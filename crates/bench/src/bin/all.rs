@@ -1,0 +1,18 @@
+//! Regenerates every table and figure in one run (the record that
+//! EXPERIMENTS.md captures). Run: cargo run --release -p bench --bin all
+fn main() {
+    for section in [
+        bench::tables::headline(),
+        bench::tables::table1(),
+        bench::tables::table2(),
+        bench::tables::table3(),
+        bench::tables::model_analysis(),
+        bench::tables::table4(),
+        bench::tables::table5(),
+        bench::tables::table6(),
+        bench::tables::table7(),
+        bench::tables::figure1(),
+    ] {
+        println!("{section}");
+    }
+}

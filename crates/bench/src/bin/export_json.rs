@@ -1,0 +1,60 @@
+//! Exports the key reproduction numbers as JSON (for plotting and
+//! regression tracking), printed to stdout.
+//!
+//! Run: `cargo run --release -p bench --bin export_json > results.json`
+
+use bench::workloads;
+use gf2m::modeled::Tier;
+use m0plus::Category;
+
+fn main() {
+    let kp = workloads::average_kp(Tier::Asm, 1..3);
+    let kg = workloads::average_kg(Tier::Asm, 1..3);
+    let relic = workloads::average_relic(1..3);
+    let (sqr_asm, mul_asm, lut_asm, inv) = workloads::kernel_cycles(Tier::Asm);
+    let (sqr_c, mul_c, _, inv_c) = workloads::kernel_cycles(Tier::C);
+
+    let run_json = |name: &str, run: &koblitz::modeled::PointMulRun| {
+        let cats: Vec<String> = Category::ALL
+            .iter()
+            .map(|&c| {
+                format!(
+                    "      {:?}: {}",
+                    c.label().replace(' ', "_"),
+                    run.report.category_cycles(c)
+                )
+            })
+            .collect();
+        format!(
+            "  \"{name}\": {{\n    \"cycles\": {},\n    \"energy_uj\": {:.4},\n    \"time_ms\": {:.4},\n    \"power_uw\": {:.2},\n    \"categories\": {{\n{}\n    }}\n  }}",
+            run.report.cycles,
+            run.report.energy_uj(),
+            run.report.time_ms(),
+            run.report.average_power_uw(),
+            cats.join(",\n")
+        )
+    };
+
+    println!("{{");
+    println!("  \"paper\": \"de Clercq et al., DAC 2014, 10.1145/2593069.2593238\",");
+    println!("  \"clock_hz\": {},", m0plus::CLOCK_HZ);
+    println!("{},", run_json("kp_this_work_asm", &kp));
+    println!("{},", run_json("kg_this_work_asm", &kg));
+    println!("{},", run_json("relic_style", &relic));
+    println!("  \"kernels\": {{");
+    println!("    \"mul_asm_cycles\": {mul_asm},");
+    println!("    \"mul_lut_asm_cycles\": {lut_asm},");
+    println!("    \"sqr_asm_cycles\": {sqr_asm},");
+    println!("    \"mul_c_cycles\": {mul_c},");
+    println!("    \"sqr_c_cycles\": {sqr_c},");
+    println!("    \"inv_cycles\": {},", inv.min(inv_c));
+    println!("    \"paper_mul_asm\": 3672,");
+    println!("    \"paper_sqr_asm\": 395");
+    println!("  }},");
+    println!("  \"paper_targets\": {{");
+    println!("    \"kp_cycles\": 2814827, \"kp_uj\": 34.16,");
+    println!("    \"kg_cycles\": 1864470, \"kg_uj\": 20.63,");
+    println!("    \"relic_kp_cycles\": 5621045");
+    println!("  }}");
+    println!("}}");
+}

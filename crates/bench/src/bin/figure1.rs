@@ -1,0 +1,4 @@
+//! Regenerates the paper's Figure 1. Run: cargo run --release -p bench --bin figure1
+fn main() {
+    print!("{}", bench::tables::figure1());
+}

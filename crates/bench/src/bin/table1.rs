@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table 1. Run: cargo run --release -p bench --bin table1
+fn main() {
+    print!("{}", bench::tables::table1());
+}

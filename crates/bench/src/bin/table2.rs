@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table 2. Run: cargo run --release -p bench --bin table2
+fn main() {
+    print!("{}", bench::tables::table2());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table 3. Run: cargo run --release -p bench --bin table3
+fn main() {
+    print!("{}", bench::tables::table3());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table 4. Run: cargo run --release -p bench --bin table4
+fn main() {
+    print!("{}", bench::tables::table4());
+}

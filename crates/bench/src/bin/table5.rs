@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table 5. Run: cargo run --release -p bench --bin table5
+fn main() {
+    print!("{}", bench::tables::table5());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table 7. Run: cargo run --release -p bench --bin table7
+fn main() {
+    print!("{}", bench::tables::table7());
+}

@@ -1,0 +1,10 @@
+//! Benchmark harness for the DAC'14 reproduction.
+//!
+//! [`tables`] regenerates every table and figure of the paper from live
+//! runs on the cost model, printing paper values next to measured ones.
+//! Each `src/bin/tableN.rs` binary prints one of them; `src/bin/all.rs`
+//! prints the full evaluation (and is what EXPERIMENTS.md records).
+//! Criterion micro-benchmarks of the portable tier live in `benches/`.
+
+pub mod tables;
+pub mod workloads;

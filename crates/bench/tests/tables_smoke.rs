@@ -1,0 +1,108 @@
+//! Smoke tests for every table/figure regenerator: each must produce
+//! its section with the paper's reference values and our measured
+//! values present, so a refactor cannot silently break the
+//! reproduction harness.
+
+use bench::tables;
+
+#[test]
+fn headline_mentions_both_operations_and_paper_targets() {
+    let s = tables::headline();
+    assert!(s.contains("kP:"));
+    assert!(s.contains("kG:"));
+    assert!(s.contains("2 814 827"), "paper kP cycles quoted");
+    assert!(s.contains("20.63"), "paper kG energy quoted");
+}
+
+#[test]
+fn table1_lists_all_three_methods_with_formulas_and_counts() {
+    let s = tables::table1();
+    assert!(s.contains("16n^2+23n"));
+    assert!(s.contains("LD with rotating registers"));
+    assert!(s.contains("LD with fixed registers"));
+    assert!(s.contains("R="), "measured counts present");
+}
+
+#[test]
+fn table2_contains_exact_formula_cycles_and_claims() {
+    let s = tables::table2();
+    for v in ["4980", "3492", "2968"] {
+        assert!(s.contains(v), "formula cycle value {v}");
+    }
+    assert!(s.contains("15.0%"), "claimed improvement over B");
+    assert!(s.contains("40.4%"), "claimed improvement over A");
+}
+
+#[test]
+fn table3_reproduces_all_six_energy_rows() {
+    let s = tables::table3();
+    for v in ["10.98", "12.05", "12.14", "12.21", "12.43", "13.45"] {
+        assert!(s.contains(v), "energy constant {v}");
+    }
+    assert!(s.contains("22.5%"));
+}
+
+#[test]
+fn table4_has_literature_rows_live_rows_and_ratios() {
+    let s = tables::table4();
+    assert!(s.contains("Micro ECC"));
+    assert!(s.contains("This work kP"));
+    assert!(s.contains("Relic kG"));
+    assert!(s.contains("Speedup vs RELIC"));
+    assert!(s.contains("paper 1.99"));
+    assert!(s.contains("secp256r1"), "prime model estimates included");
+}
+
+#[test]
+fn table5_has_our_row_and_the_crossplatform_check() {
+    let s = tables::table5();
+    assert!(s.contains("This work (reproduction)"));
+    assert!(s.contains("paper: Sqr 395 / Mul 3672"));
+    assert!(s.contains("Out-of-sample"));
+    assert!(s.contains("ATMega128L"));
+}
+
+#[test]
+fn table6_compares_c_and_assembly() {
+    let s = tables::table6();
+    assert!(s.contains("Modular squaring"));
+    assert!(s.contains("LD rotating registers"));
+    assert!(s.contains("5964"), "paper C fixed-registers cycles");
+    assert!(s.contains("3672"), "paper asm cycles");
+    assert!(s.contains("kP") && s.contains("kG"));
+}
+
+#[test]
+fn table7_has_every_category_and_both_columns() {
+    let s = tables::table7();
+    for label in [
+        "TNAF Representation",
+        "TNAF Precomputation",
+        "Multiply Precomputation",
+        "Square",
+        "Inversion",
+        "Support functions",
+        "Total",
+    ] {
+        assert!(s.contains(label), "category {label}");
+    }
+    assert!(s.contains("1108890"), "paper Multiply cycles for kP");
+}
+
+#[test]
+fn figure1_shows_the_residency_split() {
+    let s = tables::figure1();
+    assert!(s.contains("C15"));
+    assert!(s.contains("##"), "register marker");
+    assert!(s.contains(".."), "memory marker");
+    assert!(s.contains("12 of 64"), "memory-touch analysis");
+}
+
+#[test]
+fn model_analysis_reaches_both_conclusions() {
+    let s = tables::model_analysis();
+    assert!(s.contains("sect233k1 (binary Koblitz)"));
+    assert!(s.contains("secp256r1 (prime)"));
+    assert!(s.contains("Koblitz fastest at comparable security: true"));
+    assert!(s.contains("less energy/cycle:       true"));
+}

@@ -1,0 +1,38 @@
+//! Public engine API of the DAC'14 reproduction.
+//!
+//! This crate is the front door of the system: it ties the Cortex-M0+
+//! cost model ([`m0plus`]), the binary field ([`gf2m`]), the Koblitz
+//! curve layer ([`koblitz`]) and the prime baseline ([`primefield`])
+//! into the three implementation profiles the paper measures, exposes
+//! the §3.1 curve-selection model, and carries the literature dataset
+//! of Tables 4–5 for the benchmark harness.
+//!
+//! * [`Engine`] / [`Profile`] — run kG / kP under *This work (asm)*,
+//!   *This work (C)* or the *RELIC-style* baseline and get the cycle,
+//!   energy and power report the paper's measurement rig would print.
+//! * [`model`] — the architecture-matching analysis: binary Koblitz vs
+//!   prime candidates by instruction mix and energy.
+//! * [`literature`] — the cited comparison rows.
+//! * [`crossplatform`] — the generalised op-count model evaluated
+//!   against the other platforms of Table 5.
+//!
+//! # Example
+//!
+//! ```
+//! use ecc233::{Engine, Profile};
+//! use koblitz::Int;
+//!
+//! let k = Int::from_hex("6e3a7f")?;
+//! let ours = Engine::new(Profile::ThisWorkAsm).mul_g(&k);
+//! let relic = Engine::new(Profile::RelicStyle).mul_g(&k);
+//! assert_eq!(ours.point, relic.point);
+//! assert!(ours.report.cycles < relic.report.cycles);
+//! # Ok::<(), koblitz::int::ParseIntError>(())
+//! ```
+
+pub mod crossplatform;
+pub mod literature;
+pub mod model;
+pub mod profile;
+
+pub use profile::{Engine, Measured, Profile, Tier};

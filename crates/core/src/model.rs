@@ -1,0 +1,277 @@
+//! The §3.1 architecture-matching model: choosing a curve for the
+//! Cortex-M0+.
+//!
+//! The paper built a model of "instruction usage, cycle count, and
+//! energy usage of a specific curve", centred on the field
+//! multiplication (the dominant routine), and drew two conclusions:
+//!
+//! 1. **Binary Koblitz curves lead to a faster implementation** — no
+//!    point doublings (Frobenius instead) and cheap carry-free word
+//!    arithmetic;
+//! 2. **Binary curves need less power than prime curves** — binary
+//!    field code is XOR/shift heavy while prime field code is MUL/ADD
+//!    heavy, and Table 3 shows ADD to be the most energy-hungry
+//!    instruction.
+//!
+//! This module reruns that analysis on the cost model: it measures the
+//! instruction mix of the real multiplication kernels (binary F₂²³³ vs
+//! prime Comba at three sizes) and derives cycle and energy estimates
+//! for a full point multiplication of each candidate.
+
+use gf2m::modeled::{ModeledField, Tier};
+use gf2m::Fe;
+use m0plus::{ClassCounts, EnergyModel, InstrClass, CLOCK_HZ};
+
+/// The kind of underlying field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FieldKind {
+    /// Binary Koblitz curve arithmetic (XOR/shift mix, τ endomorphism).
+    BinaryKoblitz,
+    /// Prime curve arithmetic (MUL/ADD mix, real doublings).
+    Prime,
+}
+
+/// One candidate evaluated by the model.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// Display name.
+    pub name: &'static str,
+    /// Field kind.
+    pub kind: FieldKind,
+    /// Field size in bits.
+    pub field_bits: usize,
+    /// Approximate symmetric-equivalent security level.
+    pub security_bits: usize,
+}
+
+/// The model's verdict for one candidate.
+#[derive(Debug, Clone)]
+pub struct ModelRow {
+    /// The candidate being scored.
+    pub candidate: Candidate,
+    /// Measured cycles of one field multiplication kernel.
+    pub field_mul_cycles: u64,
+    /// Average energy per cycle of the kernel's instruction mix (pJ).
+    pub energy_per_cycle_pj: f64,
+    /// Estimated cycles for one full scalar multiplication.
+    pub point_mul_cycles: u64,
+    /// Estimated energy of one scalar multiplication (µJ).
+    pub point_mul_energy_uj: f64,
+}
+
+impl ModelRow {
+    /// Estimated average power in µW at the 48 MHz clock.
+    pub fn average_power_uw(&self) -> f64 {
+        self.energy_per_cycle_pj * CLOCK_HZ as f64 * 1e-6
+    }
+
+    /// Estimated execution time in milliseconds.
+    pub fn time_ms(&self) -> f64 {
+        self.point_mul_cycles as f64 / CLOCK_HZ as f64 * 1e3
+    }
+}
+
+/// Measures the instruction mix of one binary-field multiplication
+/// (assembly tier) and returns (cycles, mix).
+fn binary_mul_profile() -> (u64, ClassCounts) {
+    let mut f = ModeledField::new(Tier::Asm);
+    let a = f.alloc_init(Fe::from_hex("1af129f22ff4149563a419c26bf50a4c9d6eefad6126").expect("const"));
+    let b = f.alloc_init(Fe::from_hex("5a67c427a8cd9bf18aeb9b56e0c11056fae6a3").expect("const"));
+    let z = f.alloc();
+    let snap = f.machine().snapshot();
+    f.mul(z, a, b);
+    let report = f.machine().report_since(&snap);
+    (report.cycles, report.counts)
+}
+
+/// Average energy per cycle of an instruction mix under `model`.
+pub fn mix_energy_per_cycle(counts: &ClassCounts, model: &EnergyModel) -> f64 {
+    let mut cycles = 0u64;
+    let mut energy = 0.0;
+    for (class, n) in counts.iter() {
+        cycles += n * class.cycles();
+        energy += n as f64 * model.picojoules_per_instr(class);
+    }
+    if cycles == 0 {
+        0.0
+    } else {
+        energy / cycles as f64
+    }
+}
+
+/// Evaluates the model for the paper's candidate set: the chosen
+/// sect233k1 plus prime curves at comparable security levels.
+pub fn evaluate_candidates() -> Vec<ModelRow> {
+    let model = EnergyModel::cortex_m0plus();
+    let mut rows = Vec::new();
+
+    // Binary Koblitz candidate: sect233k1.
+    {
+        let (mul_cycles, mix) = binary_mul_profile();
+        let epc = mix_energy_per_cycle(&mix, &model);
+        // wTNAF(4) point multiplication: m Frobenius (3 squarings ≈
+        // 0.33 mul-equivalents total) + m/5 mixed additions × 8 muls +
+        // conversion ≈ m/5·8 + overheads; use the measured modeled
+        // ratio: ~330 multiplications + ~890 squarings (≈ mul/9).
+        let muls = 330u64;
+        let sqrs = 890u64;
+        let cycles = muls * mul_cycles + sqrs * (mul_cycles / 9) + 260_000 /* recoding, inversion, support */;
+        rows.push(ModelRow {
+            candidate: Candidate {
+                name: "sect233k1 (binary Koblitz)",
+                kind: FieldKind::BinaryKoblitz,
+                field_bits: 233,
+                security_bits: 112,
+            },
+            field_mul_cycles: mul_cycles,
+            energy_per_cycle_pj: epc,
+            point_mul_cycles: cycles,
+            point_mul_energy_uj: cycles as f64 * epc * 1e-6,
+        });
+    }
+
+    // Prime candidates.
+    for (name, limbs, security) in [
+        ("secp192r1 (prime)", 6usize, 96usize),
+        ("secp224r1 (prime)", 7, 112),
+        ("secp256r1 (prime)", 8, 128),
+    ] {
+        let mul_cycles = primefield::modeled::field_mul_cycles(limbs);
+        let mix = primefield::modeled::field_mul_mix(limbs);
+        let epc = mix_energy_per_cycle(&mix, &model);
+        let cycles = primefield::modeled::point_mul_cycles(limbs);
+        rows.push(ModelRow {
+            candidate: Candidate {
+                name,
+                kind: FieldKind::Prime,
+                field_bits: limbs * 32,
+                security_bits: security,
+            },
+            field_mul_cycles: mul_cycles,
+            energy_per_cycle_pj: epc,
+            point_mul_cycles: cycles,
+            point_mul_energy_uj: cycles as f64 * epc * 1e-6,
+        });
+    }
+    rows
+}
+
+/// The model's two conclusions (§3.1), checked against the rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conclusions {
+    /// Conclusion (1): the Koblitz candidate has the lowest
+    /// point-multiplication cycle count at comparable security.
+    pub koblitz_is_fastest: bool,
+    /// Conclusion (2): the binary instruction mix uses less energy per
+    /// cycle than every prime mix.
+    pub binary_uses_less_power: bool,
+}
+
+/// Evaluates the conclusions over a candidate set.
+pub fn conclusions(rows: &[ModelRow]) -> Conclusions {
+    let binary: Vec<&ModelRow> = rows
+        .iter()
+        .filter(|r| r.candidate.kind == FieldKind::BinaryKoblitz)
+        .collect();
+    let prime: Vec<&ModelRow> = rows
+        .iter()
+        .filter(|r| r.candidate.kind == FieldKind::Prime)
+        .collect();
+    let koblitz_is_fastest = binary.iter().all(|b| {
+        prime
+            .iter()
+            .filter(|p| p.candidate.security_bits >= b.candidate.security_bits)
+            .all(|p| b.point_mul_cycles < p.point_mul_cycles)
+    });
+    let binary_uses_less_power = binary.iter().all(|b| {
+        prime
+            .iter()
+            .all(|p| b.energy_per_cycle_pj < p.energy_per_cycle_pj)
+    });
+    Conclusions {
+        koblitz_is_fastest,
+        binary_uses_less_power,
+    }
+}
+
+/// Convenience: the binary-mul instruction mix, for Table-3-style
+/// analysis of which instructions dominate.
+pub fn binary_mul_mix() -> ClassCounts {
+    binary_mul_profile().1
+}
+
+/// Shares of the energy-relevant classes in a mix (for display).
+pub fn mix_shares(counts: &ClassCounts) -> Vec<(InstrClass, f64)> {
+    let total = counts.total() as f64;
+    counts
+        .iter()
+        .map(|(c, n)| (c, n as f64 / total))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_reproduces_both_section31_conclusions() {
+        let rows = evaluate_candidates();
+        let c = conclusions(&rows);
+        assert!(c.koblitz_is_fastest, "conclusion (1) failed: {rows:#?}");
+        assert!(c.binary_uses_less_power, "conclusion (2) failed");
+    }
+
+    #[test]
+    fn binary_mix_is_xor_shift_heavy() {
+        let mix = binary_mul_mix();
+        let xor_shift =
+            mix.count(InstrClass::Eor) + mix.count(InstrClass::Lsl) + mix.count(InstrClass::Lsr);
+        let mul_add = mix.count(InstrClass::Mul) + mix.count(InstrClass::Add);
+        assert!(
+            xor_shift > 5 * mul_add,
+            "binary mix: xor/shift {xor_shift} vs mul/add {mul_add}"
+        );
+    }
+
+    #[test]
+    fn prime_energy_per_cycle_exceeds_binary() {
+        let rows = evaluate_candidates();
+        let b = rows
+            .iter()
+            .find(|r| r.candidate.kind == FieldKind::BinaryKoblitz)
+            .expect("binary row");
+        for p in rows.iter().filter(|r| r.candidate.kind == FieldKind::Prime) {
+            assert!(
+                p.energy_per_cycle_pj > b.energy_per_cycle_pj,
+                "{}: {} vs {}",
+                p.candidate.name,
+                p.energy_per_cycle_pj,
+                b.energy_per_cycle_pj
+            );
+        }
+    }
+
+    #[test]
+    fn estimated_energy_is_in_the_tens_of_microjoules() {
+        // The whole point of the paper: tens of µJ per point
+        // multiplication on this core, not thousands.
+        let rows = evaluate_candidates();
+        for r in &rows {
+            assert!(
+                r.point_mul_energy_uj > 5.0 && r.point_mul_energy_uj < 500.0,
+                "{}: {} µJ",
+                r.candidate.name,
+                r.point_mul_energy_uj
+            );
+        }
+    }
+
+    #[test]
+    fn power_estimates_are_near_600_uw() {
+        let rows = evaluate_candidates();
+        for r in &rows {
+            let p = r.average_power_uw();
+            assert!((450.0..750.0).contains(&p), "{}: {p} µW", r.candidate.name);
+        }
+    }
+}

@@ -1,0 +1,426 @@
+//! The field element type [`Fe`].
+
+// In characteristic 2 addition IS xor and subtraction IS addition, and
+// Fe::mul is deliberately the inherent face of ops::Mul — silence the
+// operator-surprise lints that assume integer semantics.
+#![allow(clippy::suspicious_arithmetic_impl, clippy::suspicious_op_assign_impl)]
+#![allow(clippy::should_implement_trait)]
+
+use crate::{inv, mul, reduce, sqr, N, TOP_MASK};
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul};
+
+/// An element of F₂²³³: a binary polynomial of degree ≤ 232 stored as
+/// eight little-endian 32-bit words.
+///
+/// Addition in a binary field is XOR (and is its own inverse), so `+`
+/// doubles as subtraction. Multiplication uses the paper's
+/// *López-Dahab with fixed registers* algorithm (portable tier); the
+/// other multipliers live in [`crate::mul`] and all agree.
+///
+/// ```
+/// use gf2m::Fe;
+/// let a = Fe::from_words_reduced([1, 2, 3, 4, 5, 6, 7, 8]);
+/// assert_eq!(a + a, Fe::ZERO); // characteristic 2
+/// assert_eq!(a * Fe::ONE, a);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Fe(pub(crate) [u32; N]);
+
+/// Error parsing a hexadecimal field element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseFeError {
+    /// A character outside `[0-9a-fA-F]` was found.
+    InvalidDigit(char),
+    /// The value needs more than 233 bits.
+    TooLarge,
+    /// The string was empty.
+    Empty,
+}
+
+impl fmt::Display for ParseFeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseFeError::InvalidDigit(c) => write!(f, "invalid hex digit {c:?}"),
+            ParseFeError::TooLarge => f.write_str("value exceeds 233 bits"),
+            ParseFeError::Empty => f.write_str("empty string"),
+        }
+    }
+}
+
+impl std::error::Error for ParseFeError {}
+
+impl Fe {
+    /// The additive identity.
+    pub const ZERO: Fe = Fe([0; N]);
+    /// The multiplicative identity.
+    pub const ONE: Fe = Fe([1, 0, 0, 0, 0, 0, 0, 0]);
+
+    /// Constructs an element from its words, masking away bits ≥ 233.
+    ///
+    /// ```
+    /// use gf2m::Fe;
+    /// let e = Fe::from_words_reduced([0, 0, 0, 0, 0, 0, 0, u32::MAX]);
+    /// assert_eq!(e.words()[7], 0x1FF);
+    /// ```
+    pub fn from_words_reduced(mut words: [u32; N]) -> Fe {
+        words[N - 1] &= TOP_MASK;
+        Fe(words)
+    }
+
+    /// Constructs an element from exactly-canonical words.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(ParseFeError::TooLarge)` if any bit ≥ 233 is set.
+    pub fn try_from_words(words: [u32; N]) -> Result<Fe, ParseFeError> {
+        if words[N - 1] & !TOP_MASK != 0 {
+            return Err(ParseFeError::TooLarge);
+        }
+        Ok(Fe(words))
+    }
+
+    /// The element's words, little-endian.
+    pub fn words(&self) -> &[u32; N] {
+        &self.0
+    }
+
+    /// Consumes the element and returns its words.
+    pub fn into_words(self) -> [u32; N] {
+        self.0
+    }
+
+    /// Parses a big-endian hexadecimal string (with or without `0x`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for empty strings, non-hex digits, or values of
+    /// 234 bits or more.
+    pub fn from_hex(s: &str) -> Result<Fe, ParseFeError> {
+        let s = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")).unwrap_or(s);
+        if s.is_empty() {
+            return Err(ParseFeError::Empty);
+        }
+        let mut words = [0u32; N];
+        let mut nibbles = 0usize;
+        for c in s.chars() {
+            let d = c.to_digit(16).ok_or(ParseFeError::InvalidDigit(c))?;
+            // Shift the whole value left 4 bits and insert.
+            let mut carry = d;
+            for w in words.iter_mut() {
+                let new_carry = *w >> 28;
+                *w = (*w << 4) | carry;
+                carry = new_carry;
+            }
+            if carry != 0 {
+                return Err(ParseFeError::TooLarge);
+            }
+            nibbles += 1;
+            if nibbles > 64 {
+                return Err(ParseFeError::TooLarge);
+            }
+        }
+        Fe::try_from_words(words)
+    }
+
+    /// Serialises to 30 big-endian bytes (⌈233/8⌉ = 30).
+    pub fn to_be_bytes(self) -> [u8; 30] {
+        let mut out = [0u8; 30];
+        // Bits 0..240 of the value; bytes big-endian.
+        for (i, b) in out.iter_mut().enumerate() {
+            let bit = (29 - i) * 8;
+            let word = bit / 32;
+            let off = bit % 32;
+            let mut v = self.0[word] >> off;
+            if off > 24 && word + 1 < N {
+                v |= self.0[word + 1] << (32 - off);
+            }
+            *b = v as u8;
+        }
+        out
+    }
+
+    /// Deserialises from 30 big-endian bytes, masking bits ≥ 233.
+    pub fn from_be_bytes(bytes: &[u8; 30]) -> Fe {
+        let mut words = [0u32; N];
+        for (i, &b) in bytes.iter().rev().enumerate() {
+            let bit = i * 8;
+            words[bit / 32] |= (b as u32) << (bit % 32);
+        }
+        Fe::from_words_reduced(words)
+    }
+
+    /// Whether the element is zero.
+    pub fn is_zero(&self) -> bool {
+        self.0 == [0; N]
+    }
+
+    /// Bit `i` of the polynomial (coefficient of zⁱ).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i ≥ 256`.
+    pub fn bit(&self, i: usize) -> bool {
+        (self.0[i / 32] >> (i % 32)) & 1 == 1
+    }
+
+    /// Degree of the polynomial, or `None` for the zero polynomial.
+    pub fn degree(&self) -> Option<usize> {
+        for i in (0..N).rev() {
+            if self.0[i] != 0 {
+                return Some(i * 32 + 31 - self.0[i].leading_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Field multiplication (portable *LD with fixed registers*).
+    pub fn mul(self, other: Fe) -> Fe {
+        mul::mul_ld_fixed(self, other)
+    }
+
+    /// Field squaring via the 256-entry spread table with interleaved
+    /// reduction (§3.2.4 of the paper).
+    pub fn square(self) -> Fe {
+        sqr::square(self)
+    }
+
+    /// Repeated squaring: `self^(2^k)`.
+    pub fn square_n(self, k: usize) -> Fe {
+        let mut x = self;
+        for _ in 0..k {
+            x = x.square();
+        }
+        x
+    }
+
+    /// Multiplicative inverse via the Extended Euclidean Algorithm for
+    /// polynomials (§3.2.3), or `None` for zero.
+    pub fn invert(self) -> Option<Fe> {
+        inv::invert(self)
+    }
+
+    /// The trace Tr(x) = Σ x^(2^i) ∈ {0, 1}. For sect233k1 this is used
+    /// when solving quadratics (point decompression / random-point
+    /// sampling).
+    pub fn trace(self) -> u32 {
+        let mut t = self;
+        let mut acc = self;
+        for _ in 1..crate::M {
+            t = t.square();
+            acc += t;
+        }
+        // acc is 0 or 1.
+        debug_assert!(acc == Fe::ZERO || acc == Fe::ONE);
+        acc.0[0] & 1
+    }
+
+    /// The square root √x = x^(2^(m−1)) — squaring is a bijection in
+    /// F₂^m, so every element has exactly one root. Used by point
+    /// halving and point decompression variants.
+    ///
+    /// ```
+    /// use gf2m::Fe;
+    /// let a = Fe::from_hex("abcdef12345")?;
+    /// assert_eq!(a.sqrt().square(), a);
+    /// # Ok::<(), gf2m::ParseFeError>(())
+    /// ```
+    pub fn sqrt(self) -> Fe {
+        self.square_n(crate::M - 1)
+    }
+
+    /// The half-trace H(x) = Σ x^(2^(2i)) for odd m; H(x) solves
+    /// λ² + λ = x whenever Tr(x) = 0.
+    pub fn half_trace(self) -> Fe {
+        let mut t = self;
+        let mut acc = self;
+        for _ in 0..(crate::M - 1) / 2 {
+            t = t.square().square();
+            acc += t;
+        }
+        acc
+    }
+
+    /// Reduces a 16-word polynomial product into the field.
+    pub fn from_product(product: [u32; 2 * N]) -> Fe {
+        reduce::reduce(product)
+    }
+}
+
+impl Add for Fe {
+    type Output = Fe;
+
+    /// Polynomial addition = XOR. Also serves as subtraction.
+    fn add(self, rhs: Fe) -> Fe {
+        let mut out = [0u32; N];
+        for (o, (a, b)) in out.iter_mut().zip(self.0.iter().zip(rhs.0.iter())) {
+            *o = a ^ b;
+        }
+        Fe(out)
+    }
+}
+
+impl AddAssign for Fe {
+    fn add_assign(&mut self, rhs: Fe) {
+        for i in 0..N {
+            self.0[i] ^= rhs.0[i];
+        }
+    }
+}
+
+impl Mul for Fe {
+    type Output = Fe;
+
+    fn mul(self, rhs: Fe) -> Fe {
+        Fe::mul(self, rhs)
+    }
+}
+
+impl fmt::LowerHex for Fe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut started = false;
+        for i in (0..N).rev() {
+            if started {
+                write!(f, "{:08x}", self.0[i])?;
+            } else if self.0[i] != 0 || i == 0 {
+                write!(f, "{:x}", self.0[i])?;
+                started = true;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Fe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{self:x}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_one() {
+        assert!(Fe::ZERO.is_zero());
+        assert!(!Fe::ONE.is_zero());
+        assert_eq!(Fe::ONE.degree(), Some(0));
+        assert_eq!(Fe::ZERO.degree(), None);
+    }
+
+    #[test]
+    fn addition_is_xor_and_self_inverse() {
+        let a = Fe::from_words_reduced([0xAAAA_AAAA; N]);
+        let b = Fe::from_words_reduced([0x5555_5555; N]);
+        let c = a + b;
+        assert_eq!(c.words()[0], 0xFFFF_FFFF);
+        assert_eq!(c + b, a);
+        assert_eq!(a + a, Fe::ZERO);
+    }
+
+    #[test]
+    fn from_words_reduced_masks_top() {
+        let e = Fe::from_words_reduced([0, 0, 0, 0, 0, 0, 0, 0xFFFF_FFFF]);
+        assert_eq!(e.words()[7], TOP_MASK);
+        assert_eq!(e.degree(), Some(232));
+    }
+
+    #[test]
+    fn try_from_words_validates() {
+        assert!(Fe::try_from_words([0, 0, 0, 0, 0, 0, 0, 0x200]).is_err());
+        assert!(Fe::try_from_words([0, 0, 0, 0, 0, 0, 0, 0x1FF]).is_ok());
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let s = "17232ba853a7e731af129f22ff4149563a419c26bf50a4c9d6eefad6126";
+        let e = Fe::from_hex(s).unwrap();
+        assert_eq!(format!("{e:x}"), s);
+        assert_eq!(Fe::from_hex(&format!("0x{s}")).unwrap(), e);
+    }
+
+    #[test]
+    fn hex_errors() {
+        assert_eq!(Fe::from_hex(""), Err(ParseFeError::Empty));
+        assert_eq!(Fe::from_hex("xyz"), Err(ParseFeError::InvalidDigit('x')));
+        // 2^233 needs 234 bits.
+        let too_big = format!("2{}", "0".repeat(58));
+        assert_eq!(Fe::from_hex(&too_big), Err(ParseFeError::TooLarge));
+        // 65 nibbles.
+        assert_eq!(
+            Fe::from_hex(&"1".repeat(65)),
+            Err(ParseFeError::TooLarge)
+        );
+    }
+
+    #[test]
+    fn byte_roundtrip() {
+        let e = Fe::from_hex("1db537dece819b7f70f555a67c427a8cd9bf18aeb9b56e0c11056fae6a3")
+            .unwrap();
+        let bytes = e.to_be_bytes();
+        assert_eq!(Fe::from_be_bytes(&bytes), e);
+        // One is the last byte.
+        let one = Fe::ONE.to_be_bytes();
+        assert_eq!(one[29], 1);
+        assert!(one[..29].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn bit_and_degree() {
+        let e = Fe::from_hex("100000000").unwrap(); // z^32
+        assert!(e.bit(32));
+        assert!(!e.bit(31));
+        assert_eq!(e.degree(), Some(32));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Fe::ONE), "0x1");
+        assert_eq!(format!("{:x}", Fe::ZERO), "0");
+        let e = Fe::from_hex("a0000000b").unwrap();
+        assert_eq!(format!("{e:x}"), "a0000000b");
+    }
+
+    #[test]
+    fn trace_of_one_is_one_for_odd_m() {
+        // Tr(1) = m mod 2 = 1 for m = 233.
+        assert_eq!(Fe::ONE.trace(), 1);
+        assert_eq!(Fe::ZERO.trace(), 0);
+    }
+
+    #[test]
+    fn trace_is_additive() {
+        let a = Fe::from_hex("deadbeefcafe1234").unwrap();
+        let b = Fe::from_hex("123456789abcdef0f00d").unwrap();
+        assert_eq!((a + b).trace(), a.trace() ^ b.trace());
+    }
+
+    #[test]
+    fn sqrt_inverts_squaring() {
+        let a = Fe::from_hex("deadbeef0123456789abcdef").unwrap();
+        assert_eq!(a.square().sqrt(), a);
+        assert_eq!(a.sqrt().square(), a);
+        assert_eq!(Fe::ZERO.sqrt(), Fe::ZERO);
+        assert_eq!(Fe::ONE.sqrt(), Fe::ONE);
+    }
+
+    #[test]
+    fn sqrt_is_additive() {
+        // √ is the inverse Frobenius, hence additive in char 2.
+        let a = Fe::from_hex("123456789").unwrap();
+        let b = Fe::from_hex("fedcba987").unwrap();
+        assert_eq!((a + b).sqrt(), a.sqrt() + b.sqrt());
+    }
+
+    #[test]
+    fn half_trace_solves_quadratic() {
+        // For any x with Tr(x) = 0, H(x)² + H(x) = x.
+        let mut x = Fe::from_hex("abcdef0123456789").unwrap();
+        if x.trace() == 1 {
+            x += Fe::ONE; // Tr(x+1) = Tr(x) + 1 = 0
+        }
+        let h = x.half_trace();
+        assert_eq!(h.square() + h, x);
+    }
+}

@@ -1,0 +1,159 @@
+//! The closed-form operation-count formulas of the paper's Table 1 and
+//! their evaluation (Table 2).
+//!
+//! For field multiplication in F₂²³³ with word count `n`, window w = 4
+//! and n + 1 registers available for partial products, the paper states:
+//!
+//! | Method | Read | Write | XOR |
+//! |---|---|---|---|
+//! | A: LD | 16n² + 23n | 8n² + 30n | 8n² + 30n − 7 |
+//! | B: LD rotating registers | 8n² + 39n − 8 | 46n | 8n² + 38n − 7 |
+//! | C: LD fixed registers | 8n² + 24n + 1 | 31n + 1 | 8n² + 30n − 7 |
+//!
+//! with a constant 42n − 21 shift operations for all three, and a cycle
+//! estimate that charges memory operations 2 cycles and everything else 1.
+
+/// Operation counts for one field multiplication.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpCounts {
+    /// Memory reads (2 cycles each).
+    pub reads: u64,
+    /// Memory writes (2 cycles each).
+    pub writes: u64,
+    /// XOR word operations (1 cycle).
+    pub xors: u64,
+    /// Shift word operations (1 cycle).
+    pub shifts: u64,
+}
+
+impl OpCounts {
+    /// The paper's cycle estimate: memory operations take 2 cycles, all
+    /// other operations 1 (Table 2, footnote).
+    pub fn cycles(&self) -> u64 {
+        2 * (self.reads + self.writes) + self.xors + self.shifts
+    }
+
+    /// Total memory operations (the quantity the paper optimises).
+    pub fn memory_ops(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+/// The three compared multiplication methods.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// Plain López-Dahab.
+    A,
+    /// López-Dahab with rotating registers (Aranha et al.).
+    B,
+    /// López-Dahab with fixed registers (this paper).
+    C,
+}
+
+impl Method {
+    /// All methods in the paper's row order.
+    pub const ALL: [Method; 3] = [Method::A, Method::B, Method::C];
+
+    /// The paper's row label.
+    pub const fn label(self) -> &'static str {
+        match self {
+            Method::A => "LD",
+            Method::B => "LD with rotating registers",
+            Method::C => "LD with fixed registers",
+        }
+    }
+
+    /// Table 1 formulas evaluated at word count `n`.
+    pub fn op_counts(self, n: u64) -> OpCounts {
+        let shifts = 42 * n - 21;
+        match self {
+            Method::A => OpCounts {
+                reads: 16 * n * n + 23 * n,
+                writes: 8 * n * n + 30 * n,
+                xors: 8 * n * n + 30 * n - 7,
+                shifts,
+            },
+            Method::B => OpCounts {
+                reads: 8 * n * n + 39 * n - 8,
+                writes: 46 * n,
+                xors: 8 * n * n + 38 * n - 7,
+                shifts,
+            },
+            Method::C => OpCounts {
+                reads: 8 * n * n + 24 * n + 1,
+                writes: 31 * n + 1,
+                xors: 8 * n * n + 30 * n - 7,
+                shifts,
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for Method {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const N: u64 = crate::N as u64;
+
+    #[test]
+    fn table2_row_a() {
+        let a = Method::A.op_counts(N);
+        assert_eq!(
+            (a.reads, a.writes, a.xors, a.shifts),
+            (1208, 752, 745, 315)
+        );
+        assert_eq!(a.cycles(), 4980);
+    }
+
+    #[test]
+    fn table2_row_b() {
+        let b = Method::B.op_counts(N);
+        assert_eq!((b.reads, b.writes, b.xors, b.shifts), (816, 368, 809, 315));
+        assert_eq!(b.cycles(), 3492);
+    }
+
+    #[test]
+    fn table2_row_c() {
+        let c = Method::C.op_counts(N);
+        assert_eq!((c.reads, c.writes, c.xors, c.shifts), (705, 249, 745, 315));
+        assert_eq!(c.cycles(), 2968);
+    }
+
+    #[test]
+    fn claimed_improvements() {
+        // §3.3: "a performance increase of 15% over the LD with rotating
+        // registers method, and a performance increase of 40% over the
+        // standard LD method."
+        let a = Method::A.op_counts(N).cycles() as f64;
+        let b = Method::B.op_counts(N).cycles() as f64;
+        let c = Method::C.op_counts(N).cycles() as f64;
+        let over_b = 1.0 - c / b;
+        let over_a = 1.0 - c / a;
+        assert!((over_b - 0.15).abs() < 0.01, "got {over_b}");
+        assert!((over_a - 0.40).abs() < 0.01, "got {over_a}");
+    }
+
+    #[test]
+    fn memory_ops_strictly_decrease_a_to_c() {
+        let a = Method::A.op_counts(N).memory_ops();
+        let b = Method::B.op_counts(N).memory_ops();
+        let c = Method::C.op_counts(N).memory_ops();
+        assert!(a > b && b > c, "a={a} b={b} c={c}");
+    }
+
+    #[test]
+    fn xor_counts_of_a_and_c_match() {
+        // Method C changes only *where* words live, not the arithmetic, so
+        // its XOR column equals Method A's.
+        assert_eq!(
+            Method::A.op_counts(N).xors,
+            Method::C.op_counts(N).xors
+        );
+    }
+}

@@ -1,0 +1,327 @@
+//! Generic binary fields F₂^m for arbitrary degree and sparse reduction
+//! polynomial.
+//!
+//! The specialised F₂²³³ code in this crate is the production path; this
+//! module is its *independent oracle* (different representation,
+//! different algorithms) and covers the other fields of the paper's
+//! comparison tables — sect163k1's pentanomial field, F₂²⁸³, etc. —
+//! so related-work configurations can be exercised too.
+
+// Indexed loops below mirror the paper's Algorithm 1 pseudocode
+// (v[l + k] ^= T[u][l]); iterator rewrites would obscure the mapping.
+#![allow(clippy::needless_range_loop)]
+
+use std::fmt;
+
+/// A binary field F₂\[z\]/(f) with f = z^m + z^(taps\[0\]) + … + 1.
+///
+/// ```
+/// use gf2m::generic::GenericField;
+/// let f = GenericField::sect233k1();
+/// let a = f.element_from_words(&[3, 1]);
+/// let inv = f.inv(&a).expect("non-zero");
+/// assert_eq!(f.mul(&a, &inv), f.one());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GenericField {
+    m: usize,
+    /// Middle exponents of the reduction polynomial, descending, each
+    /// in (0, m); the z^m and 1 terms are implicit.
+    taps: Vec<usize>,
+}
+
+/// An element: little-endian u64 words, kept reduced (degree < m).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct GenPoly(Vec<u64>);
+
+impl GenericField {
+    /// Builds F₂^m with reduction middle terms `taps` (descending, all
+    /// below m, one for a trinomial, three for a pentanomial).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty tap list, taps ≥ m, or unsorted taps.
+    pub fn new(m: usize, taps: &[usize]) -> GenericField {
+        assert!(!taps.is_empty(), "need at least one middle term");
+        assert!(taps.iter().all(|&t| t > 0 && t < m), "taps must be in (0, m)");
+        assert!(taps.windows(2).all(|w| w[0] > w[1]), "taps must descend");
+        GenericField {
+            m,
+            taps: taps.to_vec(),
+        }
+    }
+
+    /// The field of sect163k1: z¹⁶³ + z⁷ + z⁶ + z³ + 1.
+    pub fn sect163k1() -> GenericField {
+        GenericField::new(163, &[7, 6, 3])
+    }
+
+    /// The field of sect233k1: z²³³ + z⁷⁴ + 1 (the paper's field).
+    pub fn sect233k1() -> GenericField {
+        GenericField::new(233, &[74])
+    }
+
+    /// The field of sect283k1: z²⁸³ + z¹² + z⁷ + z⁵ + 1.
+    pub fn sect283k1() -> GenericField {
+        GenericField::new(283, &[12, 7, 5])
+    }
+
+    /// Extension degree m.
+    pub fn degree(&self) -> usize {
+        self.m
+    }
+
+    fn words(&self) -> usize {
+        self.m.div_ceil(64)
+    }
+
+    /// The zero element.
+    pub fn zero(&self) -> GenPoly {
+        GenPoly(vec![0; self.words()])
+    }
+
+    /// The one element.
+    pub fn one(&self) -> GenPoly {
+        let mut p = self.zero();
+        p.0[0] = 1;
+        p
+    }
+
+    /// Builds an element from little-endian u64 words (reduced if
+    /// needed).
+    pub fn element_from_words(&self, words: &[u64]) -> GenPoly {
+        let mut v = words.to_vec();
+        v.resize(v.len().max(self.words()), 0);
+        let mut p = GenPoly(v);
+        self.reduce(&mut p);
+        p.0.truncate(self.words());
+        p
+    }
+
+    /// Builds an element from the F₂²³³ type (m = 233 fields only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if this field is not 233 bits.
+    pub fn element_from_fe(&self, fe: crate::Fe) -> GenPoly {
+        assert_eq!(self.m, crate::M, "element_from_fe needs an F_2^233 field");
+        let w = fe.words();
+        let mut out = vec![0u64; self.words()];
+        for (i, &x) in w.iter().enumerate() {
+            out[i / 2] |= (x as u64) << (32 * (i % 2));
+        }
+        GenPoly(out)
+    }
+
+    /// Converts back to the specialised F₂²³³ type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this field is not 233 bits.
+    pub fn element_to_fe(&self, p: &GenPoly) -> crate::Fe {
+        assert_eq!(self.m, crate::M);
+        let mut w = [0u32; crate::N];
+        for (i, slot) in w.iter_mut().enumerate() {
+            *slot = (p.0[i / 2] >> (32 * (i % 2))) as u32;
+        }
+        crate::Fe::from_words_reduced(w)
+    }
+
+    fn bit(p: &[u64], i: usize) -> bool {
+        (p[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    fn set_bit(p: &mut [u64], i: usize) {
+        p[i / 64] ^= 1 << (i % 64);
+    }
+
+    /// Degree of a polynomial (−1 for zero, as `None`).
+    pub fn poly_degree(p: &GenPoly) -> Option<usize> {
+        for i in (0..p.0.len()).rev() {
+            if p.0[i] != 0 {
+                return Some(i * 64 + 63 - p.0[i].leading_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Addition (XOR).
+    pub fn add(&self, a: &GenPoly, b: &GenPoly) -> GenPoly {
+        GenPoly(a.0.iter().zip(&b.0).map(|(x, y)| x ^ y).collect())
+    }
+
+    /// Reduction of an over-long polynomial, bit at a time from the top
+    /// (slow and obviously correct — this module is the oracle).
+    fn reduce(&self, p: &mut GenPoly) {
+        let max_bit = p.0.len() * 64;
+        for i in (self.m..max_bit).rev() {
+            if Self::bit(&p.0, i) {
+                Self::set_bit(&mut p.0, i);
+                let e = i - self.m;
+                Self::set_bit(&mut p.0, e);
+                for &t in &self.taps {
+                    Self::set_bit(&mut p.0, e + t);
+                }
+            }
+        }
+    }
+
+    /// Multiplication (shift-and-add over bits, then reduce).
+    pub fn mul(&self, a: &GenPoly, b: &GenPoly) -> GenPoly {
+        let mut prod = vec![0u64; 2 * self.words() + 1];
+        for i in 0..self.m {
+            if Self::bit(&a.0, i) {
+                let (ws, bs) = (i / 64, i % 64);
+                for (j, &w) in b.0.iter().enumerate() {
+                    prod[j + ws] ^= w << bs;
+                    if bs > 0 {
+                        prod[j + ws + 1] ^= w >> (64 - bs);
+                    }
+                }
+            }
+        }
+        let mut out = GenPoly(prod);
+        self.reduce(&mut out);
+        out.0.truncate(self.words());
+        out
+    }
+
+    /// Squaring (via multiplication; the oracle favours simplicity).
+    pub fn sqr(&self, a: &GenPoly) -> GenPoly {
+        self.mul(a, a)
+    }
+
+    /// Inversion by exponentiation: a^(2^m − 2).
+    pub fn inv(&self, a: &GenPoly) -> Option<GenPoly> {
+        if a.0.iter().all(|&w| w == 0) {
+            return None;
+        }
+        // a^(2^m - 2) = Π a^(2^i) for i = 1..m.
+        let mut power = a.clone(); // a^(2^0)
+        let mut acc = self.one();
+        for _ in 1..self.m {
+            power = self.sqr(&power);
+            acc = self.mul(&acc, &power);
+        }
+        Some(acc)
+    }
+
+    /// The trace Tr(a) ∈ {0, 1}.
+    pub fn trace(&self, a: &GenPoly) -> u64 {
+        let mut t = a.clone();
+        let mut acc = a.clone();
+        for _ in 1..self.m {
+            t = self.sqr(&t);
+            acc = self.add(&acc, &t);
+        }
+        debug_assert!(acc == self.zero() || acc == self.one());
+        acc.0[0] & 1
+    }
+}
+
+impl fmt::Display for GenPoly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut started = false;
+        for w in self.0.iter().rev() {
+            if started {
+                write!(f, "{w:016x}")?;
+            } else if *w != 0 {
+                write!(f, "{w:x}")?;
+                started = true;
+            }
+        }
+        if !started {
+            f.write_str("0")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Fe;
+
+    fn fe(seed: u64) -> Fe {
+        let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut w = [0u32; 8];
+        for x in w.iter_mut() {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            *x = (s >> 15) as u32;
+        }
+        Fe::from_words_reduced(w)
+    }
+
+    #[test]
+    fn f233_multiplication_matches_specialised_code() {
+        let f = GenericField::sect233k1();
+        for seed in 0..12u64 {
+            let a = fe(seed);
+            let b = fe(seed + 70);
+            let ga = f.element_from_fe(a);
+            let gb = f.element_from_fe(b);
+            let prod = f.mul(&ga, &gb);
+            assert_eq!(f.element_to_fe(&prod), a * b, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn f233_inversion_matches_specialised_code() {
+        let f = GenericField::sect233k1();
+        let a = fe(99);
+        let inv = f.inv(&f.element_from_fe(a)).expect("non-zero");
+        assert_eq!(f.element_to_fe(&inv), a.invert().expect("non-zero"));
+        assert_eq!(f.inv(&f.zero()), None);
+    }
+
+    #[test]
+    fn f233_trace_matches_specialised_code() {
+        let f = GenericField::sect233k1();
+        for seed in 0..6u64 {
+            let a = fe(seed + 30);
+            assert_eq!(f.trace(&f.element_from_fe(a)) as u32, a.trace());
+        }
+    }
+
+    #[test]
+    fn pentanomial_fields_are_fields() {
+        for field in [GenericField::sect163k1(), GenericField::sect283k1()] {
+            let a = field.element_from_words(&[0xDEADBEEF_CAFEBABE, 0x12345]);
+            let b = field.element_from_words(&[0x0F0F0F0F_F0F0F0F0, 0x777]);
+            // Commutativity and distributivity.
+            assert_eq!(field.mul(&a, &b), field.mul(&b, &a));
+            let lhs = field.mul(&a, &field.add(&b, &field.one()));
+            let rhs = field.add(&field.mul(&a, &b), &a);
+            assert_eq!(lhs, rhs);
+            // Inversion.
+            let inv = field.inv(&a).expect("non-zero");
+            assert_eq!(field.mul(&a, &inv), field.one());
+            // Frobenius order: a^(2^m) = a.
+            let mut x = a.clone();
+            for _ in 0..field.degree() {
+                x = field.sqr(&x);
+            }
+            assert_eq!(x, a);
+        }
+    }
+
+    #[test]
+    fn trace_of_one_is_m_mod_2() {
+        // m odd for all three standard fields → Tr(1) = 1.
+        for field in [
+            GenericField::sect163k1(),
+            GenericField::sect233k1(),
+            GenericField::sect283k1(),
+        ] {
+            assert_eq!(field.trace(&field.one()), 1, "m = {}", field.degree());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "descend")]
+    fn unsorted_taps_rejected() {
+        GenericField::new(163, &[3, 6, 7]);
+    }
+}

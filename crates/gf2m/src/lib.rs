@@ -1,0 +1,75 @@
+//! Binary-field arithmetic in F₂²³³ for the DAC'14 ECC reproduction.
+//!
+//! The field is F₂\[z\]/(f(z)) with the sect233k1 reduction trinomial
+//! f(z) = z²³³ + z⁷⁴ + 1. Elements are binary polynomials of degree ≤ 232
+//! stored as `n = 8` little-endian 32-bit words — the paper's target is a
+//! 32-bit machine and all of its operation-count formulas are in terms of
+//! these words.
+//!
+//! Three tiers implement the same arithmetic:
+//!
+//! * **portable** ([`Fe`] methods and the [`mul`] module) — fast plain
+//!   Rust, used by the curve layer, the protocols and as the reference
+//!   the other tiers are checked against;
+//! * **counted** ([`counted`]) — the same algorithms with every memory
+//!   read/write, XOR and shift tallied, reproducing the accounting of the
+//!   paper's Tables 1–2 (see also [`formulas`] for the published closed
+//!   forms);
+//! * **modeled** ([`modeled`]) — *virtual assembly* kernels executed on
+//!   the [`m0plus::Machine`], one call per Thumb instruction, producing
+//!   the cycle and energy measurements of Tables 5–7.
+//!
+//! The multiplication algorithms compared by the paper are all here:
+//! plain López-Dahab (`Method A`), López-Dahab with rotating registers
+//! (`Method B`, Aranha et al.), and the paper's contribution, López-Dahab
+//! with **fixed registers** (`Method C`).
+//!
+//! # Example
+//!
+//! ```
+//! use gf2m::Fe;
+//!
+//! let a = Fe::from_hex("1af129f22ff4149563a419c26bf50a4c9d6eefad6126")?;
+//! let b = Fe::from_hex("5a67c427a8cd9bf18aeb9b56e0c11056fae6a3")?;
+//! // Field axioms hold:
+//! assert_eq!(a * b, b * a);
+//! assert_eq!((a * b) * a.square(), a * (b * a.square()));
+//! let inv = a.invert().expect("a is non-zero");
+//! assert_eq!(a * inv, Fe::ONE);
+//! # Ok::<(), gf2m::ParseFeError>(())
+//! ```
+
+pub mod counted;
+pub mod element;
+pub mod formulas;
+pub mod generic;
+pub mod inv;
+pub mod modeled;
+pub mod mul;
+pub mod reduce;
+pub mod sqr;
+
+pub use counted::Tally;
+pub use element::{Fe, ParseFeError};
+
+/// Degree of the field extension: F₂²³³.
+pub const M: usize = 233;
+
+/// Exponent of the middle term of the reduction trinomial
+/// f(z) = z²³³ + z⁷⁴ + 1.
+pub const K: usize = 74;
+
+/// Word size of the target platform (the Cortex-M0+ is 32-bit).
+pub const W: usize = 32;
+
+/// Number of words per field element: ⌈233 / 32⌉ = 8. The paper's
+/// formulas call this `n`.
+pub const N: usize = 8;
+
+/// Window width of the López-Dahab multipliers (the paper uses w = 4
+/// throughout its multiplication comparison).
+pub const LD_WINDOW: usize = 4;
+
+/// Mask of the valid bits in the most significant word
+/// (bits 224…232 → 9 bits).
+pub const TOP_MASK: u32 = 0x1FF;

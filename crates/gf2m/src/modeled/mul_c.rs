@@ -1,0 +1,445 @@
+//! C-tier López-Dahab multiplication kernels: the instruction streams a
+//! good optimising compiler emits for the M0+ when it *cannot* pin nine
+//! accumulator words into registers.
+//!
+//! Two variants reproduce the two C rows of the paper's Table 6:
+//!
+//! * [`mul_fixed`] — the fixed-registers C source compiled without the
+//!   hand allocation: the whole 2n-word accumulator is memory resident
+//!   and every inner-loop step is load/xor/store (paper: 5 964 cycles);
+//! * [`mul_rotating`] — the rotating-registers C source, where the
+//!   compiler manages to keep a four-word slice of the rotating window in
+//!   registers (paper: 5 592 cycles — slightly *faster* than the fixed
+//!   variant in C, because the fixed allocation only pays off with hand
+//!   scheduling).
+//!
+//! The modelling conventions (which loops a compiler unrolls, how many
+//! window words it register-allocates) are fixed once here and apply to
+//! both variants; per-iteration loop control is charged explicitly.
+
+use super::{FeSlot, Layout};
+use crate::mul::{LD_OUTER, LD_TABLE_ENTRIES};
+use crate::{LD_WINDOW, N};
+use m0plus::{Category, Machine, Reg};
+
+/// Frame offset of the C-tier accumulator (16 words at `sp + 16`).
+const ACC: u32 = 16;
+
+/// C-tier window-table generation: same structure as the assembly tier
+/// but with an explicit carry local instead of the `ADCS` trick and with
+/// loop-control overhead on the entry loop.
+pub(crate) fn lut_generate_c(m: &mut Machine, layout: &Layout, y: FeSlot) {
+    m.in_category(Category::MultiplyPrecomputation, |m| {
+        m.set_base(Reg::R0, layout.lut);
+        m.set_base(Reg::R1, y.0);
+        m.movs_imm(Reg::R5, 0);
+        for l in 0..N as u32 {
+            m.str(Reg::R5, Reg::R0, l);
+        }
+        for l in 0..N as u32 {
+            m.ldr(Reg::R5, Reg::R1, l);
+            m.str(Reg::R5, Reg::R0, 8 + l);
+        }
+        for u in 1..(LD_TABLE_ENTRIES / 2) as u32 {
+            // Entry-loop control and pointer arithmetic.
+            m.mov(Reg::R2, Reg::R0);
+            m.adds_imm(Reg::R2, (8 * u) as u8);
+            m.mov(Reg::R3, Reg::R0);
+            m.adds_imm(Reg::R3, (16 * u) as u8);
+            // T[2u] = T[u] << 1 with an explicit carry register (r6).
+            m.movs_imm(Reg::R6, 0);
+            for l in 0..N as u32 {
+                m.ldr(Reg::R5, Reg::R2, l);
+                m.lsrs_imm(Reg::R7, Reg::R5, 31); // next carry
+                m.lsls_imm(Reg::R5, Reg::R5, 1);
+                m.orrs(Reg::R5, Reg::R6);
+                m.str(Reg::R5, Reg::R3, l);
+                m.mov(Reg::R6, Reg::R7);
+            }
+            // T[2u+1] = T[2u] ^ y.
+            for l in 0..N as u32 {
+                m.ldr(Reg::R5, Reg::R3, l);
+                m.ldr(Reg::R7, Reg::R1, l);
+                m.eors(Reg::R5, Reg::R7);
+                m.str(Reg::R5, Reg::R3, 8 + l);
+            }
+            // u-loop control.
+            m.adds_imm(Reg::R4, 1);
+            m.cmp_imm(Reg::R4, 8);
+            m.b_cond(m0plus::Cond::Ne);
+        }
+    });
+}
+
+/// Shared C-tier prologue: copy x into the frame, zero the accumulator,
+/// save the result pointer. Returns with `r0` = table base.
+fn prologue(m: &mut Machine, layout: &Layout, z: FeSlot, x: FeSlot) {
+    m.bl();
+    m.stack_transfer(5);
+    m.set_base(Reg::R0, x.0);
+    m.set_base(Reg::R2, z.0);
+    m.str_sp(Reg::R2, 15);
+    for l in 0..N as u32 {
+        m.ldr(Reg::R5, Reg::R0, l);
+        m.str_sp(Reg::R5, l);
+    }
+    m.movs_imm(Reg::R5, 0);
+    for i in 0..(2 * N) as u32 {
+        m.str_sp(Reg::R5, ACC + i);
+    }
+    m.set_base(Reg::R0, layout.lut);
+}
+
+/// Window extraction for the C tier: loads x\[k\] and computes the entry
+/// pointer into `r1`. The shift amounts are immediates in the emitted
+/// stream; the j-loop bookkeeping is charged separately.
+fn extract(m: &mut Machine, j: usize, k: usize) {
+    m.ldr_sp(Reg::R1, k as u32);
+    let left = (28 - LD_WINDOW * j) as u32;
+    if left > 0 {
+        m.lsls_imm(Reg::R1, Reg::R1, left);
+    } else {
+        m.nop(); // the compiler's generic (x >> 4j) path has the same length
+    }
+    m.lsrs_imm(Reg::R1, Reg::R1, 28);
+    m.lsls_imm(Reg::R1, Reg::R1, 3);
+    m.adds(Reg::R1, Reg::R1, Reg::R0);
+}
+
+/// Multi-precision shift of the memory-resident accumulator by w bits.
+fn shift_acc(m: &mut Machine) {
+    // Descending so lower words are still unshifted when sampled.
+    for i in (1..(2 * N) as u32).rev() {
+        m.ldr_sp(Reg::R2, ACC + i - 1);
+        m.lsrs_imm(Reg::R2, Reg::R2, 28);
+        m.ldr_sp(Reg::R3, ACC + i);
+        m.lsls_imm(Reg::R3, Reg::R3, LD_WINDOW as u32);
+        m.orrs(Reg::R3, Reg::R2);
+        m.str_sp(Reg::R3, ACC + i);
+    }
+    m.ldr_sp(Reg::R3, ACC);
+    m.lsls_imm(Reg::R3, Reg::R3, LD_WINDOW as u32);
+    m.str_sp(Reg::R3, ACC);
+}
+
+/// C-tier reduction (a separate routine, *not* interleaved — the
+/// interleaving is one of the things the paper's assembly adds): folds
+/// accumulator words 15…8, the excess bits of word 7, and writes the
+/// canonical result through the saved pointer.
+fn reduce_and_store(m: &mut Machine) {
+    for idx in ((N as u32)..(2 * N) as u32).rev() {
+        m.ldr_sp(Reg::R5, ACC + idx);
+        for (delta, left, amount) in [(8, true, 23), (7, false, 9), (5, true, 1), (4, false, 31)] {
+            if left {
+                m.lsls_imm(Reg::R2, Reg::R5, amount);
+            } else {
+                m.lsrs_imm(Reg::R2, Reg::R5, amount);
+            }
+            m.ldr_sp(Reg::R3, ACC + idx - delta);
+            m.eors(Reg::R3, Reg::R2);
+            m.str_sp(Reg::R3, ACC + idx - delta);
+        }
+    }
+    // Excess bits of word 7.
+    m.ldr_sp(Reg::R5, ACC + 7);
+    m.lsrs_imm(Reg::R4, Reg::R5, 9);
+    m.ldr_sp(Reg::R3, ACC);
+    m.eors(Reg::R3, Reg::R4);
+    m.str_sp(Reg::R3, ACC);
+    m.lsls_imm(Reg::R2, Reg::R4, 10);
+    m.ldr_sp(Reg::R3, ACC + 2);
+    m.eors(Reg::R3, Reg::R2);
+    m.str_sp(Reg::R3, ACC + 2);
+    m.lsrs_imm(Reg::R2, Reg::R4, 22);
+    m.ldr_sp(Reg::R3, ACC + 3);
+    m.eors(Reg::R3, Reg::R2);
+    m.str_sp(Reg::R3, ACC + 3);
+    m.ldr_const(Reg::R4, crate::TOP_MASK);
+    m.ands(Reg::R5, Reg::R4);
+    m.str_sp(Reg::R5, ACC + 7);
+
+    // Copy out.
+    m.ldr_sp(Reg::R0, 15);
+    for i in 0..N as u32 {
+        m.ldr_sp(Reg::R5, ACC + i);
+        m.str(Reg::R5, Reg::R0, i);
+    }
+    m.stack_transfer(5);
+    m.bx();
+}
+
+/// Per-iteration loop-control charge (counter update, compare, branch).
+fn loop_ctl(m: &mut Machine) {
+    m.adds_imm(Reg::R6, 1);
+    m.cmp_imm(Reg::R6, 8);
+    m.b_cond(m0plus::Cond::Ne);
+}
+
+/// C-compiled *LD with fixed registers* (Table 6: 5 964 cycles): the
+/// declared register words spill, so every accumulator access is a
+/// load/xor/store.
+pub(crate) fn mul_fixed(m: &mut Machine, layout: &Layout, z: FeSlot, x: FeSlot, y: FeSlot) {
+    lut_generate_c(m, layout, y);
+    m.in_category(Category::Multiply, |m| {
+        prologue(m, layout, z, x);
+        for j in (0..LD_OUTER).rev() {
+            for k in 0..N {
+                extract(m, j, k);
+                for l in 0..N as u32 {
+                    m.ldr(Reg::R2, Reg::R1, l);
+                    m.ldr_sp(Reg::R3, ACC + k as u32 + l);
+                    m.eors(Reg::R3, Reg::R2);
+                    m.str_sp(Reg::R3, ACC + k as u32 + l);
+                }
+                loop_ctl(m);
+            }
+            if j != 0 {
+                shift_acc(m);
+            }
+            loop_ctl(m);
+        }
+        reduce_and_store(m);
+    });
+}
+
+/// C-compiled *LD with rotating registers* (Table 6: 5 592 cycles): the
+/// compiler keeps a four-word slice `v[k..k+4]` of the rotating window in
+/// `r4`–`r7`, rotating one word per k step.
+pub(crate) fn mul_rotating(m: &mut Machine, layout: &Layout, z: FeSlot, x: FeSlot, y: FeSlot) {
+    lut_generate_c(m, layout, y);
+    m.in_category(Category::Multiply, |m| {
+        prologue(m, layout, z, x);
+        for j in (0..LD_OUTER).rev() {
+            // Window fill: r4..r7 = v[0..4].
+            for (i, r) in [Reg::R4, Reg::R5, Reg::R6, Reg::R7].iter().enumerate() {
+                m.ldr_sp(*r, ACC + i as u32);
+            }
+            for k in 0..N {
+                extract(m, j, k);
+                for l in 0..N as u32 {
+                    m.ldr(Reg::R2, Reg::R1, l);
+                    if l < 4 {
+                        // Register-resident window word.
+                        let r = [Reg::R4, Reg::R5, Reg::R6, Reg::R7][l as usize];
+                        m.eors(r, Reg::R2);
+                    } else {
+                        let off = ACC + k as u32 + l;
+                        m.ldr_sp(Reg::R3, off);
+                        m.eors(Reg::R3, Reg::R2);
+                        m.str_sp(Reg::R3, off);
+                    }
+                }
+                // Rotate: spill v[k], slide, load v[k+4].
+                m.str_sp(Reg::R4, ACC + k as u32);
+                m.mov(Reg::R4, Reg::R5);
+                m.mov(Reg::R5, Reg::R6);
+                m.mov(Reg::R6, Reg::R7);
+                m.ldr_sp(Reg::R7, ACC + k as u32 + 4);
+                // Loop control (r6 is claimed by the window, so the
+                // counter lives in a spilled slot: one extra load/store).
+                m.ldr_sp(Reg::R3, 15); // stand-in slot access
+                m.adds_imm(Reg::R3, 0);
+                m.cmp_imm(Reg::R3, 0);
+                m.b_cond(m0plus::Cond::Hs);
+            }
+            // Window write-back: r4..r7 = v[8..12].
+            for (i, r) in [Reg::R4, Reg::R5, Reg::R6, Reg::R7].iter().enumerate() {
+                m.str_sp(*r, ACC + 8 + i as u32);
+            }
+            if j != 0 {
+                shift_acc(m);
+            }
+            m.subs_imm(Reg::R3, 0);
+            m.b_cond(m0plus::Cond::Hs);
+        }
+        reduce_and_store(m);
+    });
+}
+
+/// Charges a generic-library operand copy (one field element through a
+/// called `fb_copy`-style helper).
+fn relic_copy(m: &mut Machine) {
+    m.bl();
+    for l in 0..N as u32 {
+        m.ldr(Reg::R4, Reg::R0, l);
+        m.str(Reg::R4, Reg::R1, l);
+        m.adds_imm(Reg::R6, 1);
+        m.cmp_imm(Reg::R6, 8);
+        m.b_cond(m0plus::Cond::Ne);
+    }
+    m.bx();
+}
+
+/// RELIC-baseline multiplication (§4.2.1): the plain López-Dahab C
+/// multiplication of [`mul_fixed`] wrapped in generic-library overheads —
+/// operand copies into local temporaries, a called helper per
+/// multi-precision shift and a separate reduction pass over a stored
+/// double-width product. Lands in the 8–10k cycle range that makes the
+/// RELIC point multiplication ≈ 2× slower than the paper's kernels.
+pub(crate) fn mul_relic(m: &mut Machine, layout: &Layout, z: FeSlot, x: FeSlot, y: FeSlot) {
+    m.in_category(Category::Multiply, |m| {
+        // fb_mul entry: copy both operands into bn-style temporaries and
+        // zero a double-width product buffer through called helpers.
+        m.bl();
+        m.stack_transfer(8);
+        m.set_base(Reg::R0, x.0);
+        m.set_base(Reg::R1, layout.frame);
+        relic_copy(m);
+        m.set_base(Reg::R0, y.0);
+        relic_copy(m);
+        m.movs_imm(Reg::R4, 0);
+        for i in 0..(2 * N) as u32 {
+            m.str_sp(Reg::R4, ACC + i % 16);
+            m.adds_imm(Reg::R6, 1);
+            m.cmp_imm(Reg::R6, 16);
+            m.b_cond(m0plus::Cond::Ne);
+        }
+        m.stack_transfer(8);
+        m.bx();
+    });
+    lut_generate_c(m, layout, y);
+    m.in_category(Category::Multiply, |m| {
+        prologue(m, layout, z, x);
+        for j in (0..LD_OUTER).rev() {
+            for k in 0..N {
+                extract(m, j, k);
+                // A generic library dispatches each row accumulation
+                // through an `fb_addd`-style helper: call overhead plus
+                // pointer-argument setup per row.
+                m.bl();
+                m.mov(Reg::R2, Reg::R1);
+                m.mov(Reg::R3, Reg::R1);
+                for l in 0..N as u32 {
+                    m.ldr(Reg::R2, Reg::R1, l);
+                    m.ldr_sp(Reg::R3, ACC + k as u32 + l);
+                    m.eors(Reg::R3, Reg::R2);
+                    m.str_sp(Reg::R3, ACC + k as u32 + l);
+                    loop_ctl(m);
+                }
+                m.bx();
+                loop_ctl(m);
+            }
+            if j != 0 {
+                // Generic called shift helper instead of inline code.
+                m.bl();
+                shift_acc(m);
+                for _ in 0..16 {
+                    m.adds_imm(Reg::R6, 1);
+                    m.cmp_imm(Reg::R6, 16);
+                    m.b_cond(m0plus::Cond::Ne);
+                }
+                m.bx();
+            }
+            loop_ctl(m);
+        }
+        // Store the double-width product out and reduce it in a second,
+        // separately-called pass (fb_rdc), then copy the result out —
+        // the non-interleaved structure of a generic library.
+        m.bl();
+        for i in 0..(2 * N) as u32 {
+            m.ldr_sp(Reg::R4, ACC + i % 16);
+            m.str_sp(Reg::R4, ACC + i % 16);
+            m.adds_imm(Reg::R6, 1);
+            m.cmp_imm(Reg::R6, 16);
+            m.b_cond(m0plus::Cond::Ne);
+        }
+        m.bx();
+        m.bl();
+        reduce_and_store(m);
+    });
+}
+
+/// RELIC-baseline squaring: the C table squaring plus the same
+/// generic-library overheads (operand copies, called expansion and
+/// reduction passes).
+pub(crate) fn sqr_relic(m: &mut Machine, layout: &Layout, z: FeSlot, x: FeSlot) {
+    m.in_category(Category::Square, |m| {
+        m.bl();
+        m.set_base(Reg::R0, x.0);
+        m.set_base(Reg::R1, layout.frame);
+        relic_copy(m);
+        // Generic per-word expansion loop control on top of the table
+        // lookups themselves (charged by sqr_c below).
+        for _ in 0..N {
+            m.adds_imm(Reg::R6, 1);
+            m.cmp_imm(Reg::R6, 8);
+            m.b_cond(m0plus::Cond::Ne);
+        }
+        m.bx();
+    });
+    super::sqr::sqr_c(m, layout, z, x);
+    m.in_category(Category::Square, |m| {
+        // fb_rdc call + result copy out.
+        m.bl();
+        m.set_base(Reg::R0, z.0);
+        m.set_base(Reg::R1, layout.frame);
+        relic_copy(m);
+        m.bx();
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::modeled::{ModeledField, Tier};
+    use crate::Fe;
+    use m0plus::Category;
+
+    fn fe(seed: u64) -> Fe {
+        let mut s = seed.wrapping_mul(0xBF58_476D_1CE4_E5B9) | 1;
+        let mut w = [0u32; crate::N];
+        for x in w.iter_mut() {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            *x = (s >> 7) as u32;
+        }
+        Fe::from_words_reduced(w)
+    }
+
+    #[test]
+    fn c_fixed_matches_portable() {
+        let mut f = ModeledField::new(Tier::C);
+        for seed in 0..10u64 {
+            let a = fe(seed);
+            let b = fe(seed + 500);
+            let (sa, sb, sz) = (f.alloc_init(a), f.alloc_init(b), f.alloc());
+            f.mul(sz, sa, sb);
+            assert_eq!(f.load(sz), a * b, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn c_rotating_matches_portable_and_is_cheaper_than_c_fixed() {
+        let a = fe(3);
+        let b = fe(4);
+        let mut f = ModeledField::new(Tier::C);
+        let layout = f.layout();
+        let (sa, sb, sz) = (f.alloc_init(a), f.alloc_init(b), f.alloc());
+        let s0 = f.machine().snapshot();
+        super::mul_rotating(f.machine_mut(), &layout, sz, sa, sb);
+        let rot = f.machine().report_since(&s0).cycles;
+        assert_eq!(f.load(sz), a * b);
+
+        let s1 = f.machine().snapshot();
+        super::mul_fixed(f.machine_mut(), &layout, sz, sa, sb);
+        let fixed = f.machine().report_since(&s1).cycles;
+        assert_eq!(f.load(sz), a * b);
+
+        // Table 6: rotating 5592 < fixed 5964 in C.
+        assert!(rot < fixed, "rotating {rot} should beat fixed {fixed} in C");
+    }
+
+    #[test]
+    fn c_fixed_cycles_near_paper() {
+        // Table 6: LD with fixed registers, C: 5 964 (main loop; the
+        // window table is Multiply Precomputation).
+        let mut f = ModeledField::new(Tier::C);
+        let (sa, sb, sz) = (f.alloc_init(fe(9)), f.alloc_init(fe(10)), f.alloc());
+        f.mul(sz, sa, sb);
+        let main = f.machine().category_totals(Category::Multiply).cycles;
+        assert!(
+            (5300..=6600).contains(&main),
+            "C-tier main loop = {main}, paper: 5964"
+        );
+    }
+}

@@ -1,0 +1,300 @@
+//! Table-based squaring kernels with interleaved reduction (§3.2.4).
+//!
+//! The paper: *"The lower half of the output of the squaring operation is
+//! kept inside the registers and the upper half is expanded and then
+//! immediately reduced."* The assembly kernel does exactly that: the
+//! eight result words live in three lo and five hi registers; each upper
+//! product word is spread through the byte table and folded into the
+//! register-resident result on the spot, so no upper word ever reaches
+//! memory. The C kernel expands everything to a memory accumulator and
+//! reduces afterwards — the difference is Table 6's 419 → 395 gap.
+
+use super::{FeSlot, Layout};
+use crate::N;
+use m0plus::{Category, Machine, Reg};
+
+/// Residency of the eight result words in the assembly kernel:
+/// c0–c2 in lo registers, c3–c7 in hi registers.
+fn home(idx: usize) -> HomeLoc {
+    match idx {
+        0 => HomeLoc::Lo(Reg::R2),
+        1 => HomeLoc::Lo(Reg::R3),
+        2 => HomeLoc::Lo(Reg::R6),
+        3..=7 => HomeLoc::Hi([Reg::R8, Reg::R9, Reg::R10, Reg::R11, Reg::R12][idx - 3]),
+        _ => unreachable!("result has 8 words"),
+    }
+}
+
+#[derive(Clone, Copy)]
+enum HomeLoc {
+    Lo(Reg),
+    Hi(Reg),
+}
+
+/// result\[idx\] ^= r4 (r7 shuttle for hi homes).
+fn fold_r4(m: &mut Machine, idx: usize) {
+    match home(idx) {
+        HomeLoc::Lo(r) => m.eors(r, Reg::R4),
+        HomeLoc::Hi(r) => {
+            m.mov(Reg::R7, r);
+            m.eors(Reg::R7, Reg::R4);
+            m.mov(r, Reg::R7);
+        }
+    }
+}
+
+/// result\[idx\] = r5.
+fn assign_r5(m: &mut Machine, idx: usize) {
+    match home(idx) {
+        HomeLoc::Lo(r) => m.mov(r, Reg::R5),
+        HomeLoc::Hi(r) => m.mov(r, Reg::R5),
+    }
+}
+
+/// Spreads the low half-word of `r4` through the byte table into `r5`
+/// (two table look-ups combined). `r0` = table base. Clobbers `r7`.
+fn spread_low_half(m: &mut Machine) {
+    // byte 0.
+    m.lsls_imm(Reg::R5, Reg::R4, 24);
+    m.lsrs_imm(Reg::R5, Reg::R5, 24);
+    m.ldr_reg(Reg::R5, Reg::R0, Reg::R5);
+    // byte 1 into the upper half.
+    m.lsrs_imm(Reg::R7, Reg::R4, 8);
+    m.lsls_imm(Reg::R7, Reg::R7, 24);
+    m.lsrs_imm(Reg::R7, Reg::R7, 24);
+    m.ldr_reg(Reg::R7, Reg::R0, Reg::R7);
+    m.lsls_imm(Reg::R7, Reg::R7, 16);
+    m.orrs(Reg::R5, Reg::R7);
+}
+
+/// Spreads the high half-word of `r4` into `r5`. Clobbers `r7`.
+fn spread_high_half(m: &mut Machine) {
+    // byte 2.
+    m.lsrs_imm(Reg::R5, Reg::R4, 16);
+    m.lsls_imm(Reg::R5, Reg::R5, 24);
+    m.lsrs_imm(Reg::R5, Reg::R5, 24);
+    m.ldr_reg(Reg::R5, Reg::R0, Reg::R5);
+    // byte 3.
+    m.lsrs_imm(Reg::R7, Reg::R4, 24);
+    m.ldr_reg(Reg::R7, Reg::R0, Reg::R7);
+    m.lsls_imm(Reg::R7, Reg::R7, 16);
+    m.orrs(Reg::R5, Reg::R7);
+}
+
+/// Assembly-tier squaring: lower half register-resident, upper half
+/// expanded and immediately reduced (Table 6: 395 cycles).
+pub(crate) fn sqr_asm(m: &mut Machine, layout: &Layout, z: FeSlot, x: FeSlot) {
+    m.in_category(Category::Square, |m| {
+        m.bl();
+        m.stack_transfer(5);
+        m.set_base(Reg::R0, layout.sqr_table);
+        m.set_base(Reg::R1, x.0);
+        m.str_sp(Reg::R1, 15); // not needed again, but frames the ABI
+        m.set_base(Reg::R1, x.0);
+
+        // Phase 1: lower product words c[0..8] from x[0..4], assigned to
+        // their register homes.
+        for i in 0..N / 2 {
+            m.ldr(Reg::R4, Reg::R1, i as u32);
+            spread_low_half(m);
+            assign_r5(m, 2 * i);
+            spread_high_half(m);
+            assign_r5(m, 2 * i + 1);
+        }
+
+        // Phase 2: upper product words 15…8, expanded and folded at once.
+        // Upper-word cross-contributions (product word 8..12 receives
+        // folds from 12..16) are handled by processing descending and
+        // keeping words 8..11 in frame scratch.
+        const UP: u32 = 16; // frame offsets 16..20 hold product words 8..11
+        m.movs_imm(Reg::R5, 0);
+        for off in 0..4 {
+            m.str_sp(Reg::R5, UP + off);
+        }
+        for idx in (N..2 * N).rev() {
+            let i = idx / 2; // source word of x
+            m.ldr(Reg::R4, Reg::R1, i as u32);
+            if idx % 2 == 0 {
+                spread_low_half(m);
+            } else {
+                spread_high_half(m);
+            }
+            // Merge contributions already folded into this upper word.
+            if idx < 12 {
+                m.ldr_sp(Reg::R7, UP + (idx - 8) as u32);
+                m.eors(Reg::R5, Reg::R7);
+            }
+            // Fold the four trinomial images.
+            for (delta, left, amount) in
+                [(8usize, true, 23u32), (7, false, 9), (5, true, 1), (4, false, 31)]
+            {
+                let target = idx - delta;
+                if left {
+                    m.lsls_imm(Reg::R4, Reg::R5, amount);
+                } else {
+                    m.lsrs_imm(Reg::R4, Reg::R5, amount);
+                }
+                if target < N {
+                    fold_r4(m, target);
+                } else {
+                    let off = UP + (target - 8) as u32;
+                    m.ldr_sp(Reg::R7, off);
+                    m.eors(Reg::R7, Reg::R4);
+                    m.str_sp(Reg::R7, off);
+                }
+            }
+        }
+
+        // Excess bits of c[7].
+        m.mov(Reg::R5, Reg::R12);
+        m.lsrs_imm(Reg::R4, Reg::R5, 9);
+        fold_r4(m, 0);
+        m.lsrs_imm(Reg::R4, Reg::R5, 9);
+        m.lsls_imm(Reg::R4, Reg::R4, 10);
+        fold_r4(m, 2);
+        m.lsrs_imm(Reg::R4, Reg::R5, 31);
+        fold_r4(m, 3);
+        m.ldr_const(Reg::R4, crate::TOP_MASK);
+        m.ands(Reg::R5, Reg::R4);
+        m.mov(Reg::R12, Reg::R5);
+
+        // Store out.
+        m.set_base(Reg::R1, z.0);
+        for idx in 0..N {
+            match home(idx) {
+                HomeLoc::Lo(r) => m.str(r, Reg::R1, idx as u32),
+                HomeLoc::Hi(r) => {
+                    m.mov(Reg::R5, r);
+                    m.str(Reg::R5, Reg::R1, idx as u32);
+                }
+            }
+        }
+        m.stack_transfer(5);
+        m.bx();
+    });
+}
+
+/// C-tier squaring (Table 6: 419 cycles): expand all sixteen product
+/// words to the memory accumulator, then reduce with the generic routine.
+pub(crate) fn sqr_c(m: &mut Machine, layout: &Layout, z: FeSlot, x: FeSlot) {
+    m.in_category(Category::Square, |m| {
+        m.bl();
+        m.stack_transfer(5);
+        m.set_base(Reg::R0, layout.sqr_table);
+        m.set_base(Reg::R1, x.0);
+        m.set_base(Reg::R2, z.0);
+        m.str_sp(Reg::R2, 15);
+        const ACC: u32 = 16;
+        for i in 0..N {
+            m.ldr(Reg::R4, Reg::R1, i as u32);
+            spread_low_half(m);
+            m.str_sp(Reg::R5, ACC + 2 * i as u32);
+            spread_high_half(m);
+            m.str_sp(Reg::R5, ACC + 2 * i as u32 + 1);
+        }
+        // Reduce from the accumulator and store through the saved
+        // pointer; the loop mirrors mul_c::reduce_and_store inline (the
+        // compiler inlines it in the C build too).
+        for idx in ((N as u32)..(2 * N) as u32).rev() {
+            m.ldr_sp(Reg::R5, ACC + idx);
+            for (delta, left, amount) in
+                [(8u32, true, 23u32), (7, false, 9), (5, true, 1), (4, false, 31)]
+            {
+                if left {
+                    m.lsls_imm(Reg::R2, Reg::R5, amount);
+                } else {
+                    m.lsrs_imm(Reg::R2, Reg::R5, amount);
+                }
+                m.ldr_sp(Reg::R3, ACC + idx - delta);
+                m.eors(Reg::R3, Reg::R2);
+                m.str_sp(Reg::R3, ACC + idx - delta);
+            }
+        }
+        m.ldr_sp(Reg::R5, ACC + 7);
+        m.lsrs_imm(Reg::R4, Reg::R5, 9);
+        m.ldr_sp(Reg::R3, ACC);
+        m.eors(Reg::R3, Reg::R4);
+        m.str_sp(Reg::R3, ACC);
+        m.lsls_imm(Reg::R2, Reg::R4, 10);
+        m.ldr_sp(Reg::R3, ACC + 2);
+        m.eors(Reg::R3, Reg::R2);
+        m.str_sp(Reg::R3, ACC + 2);
+        m.lsrs_imm(Reg::R2, Reg::R4, 22);
+        m.ldr_sp(Reg::R3, ACC + 3);
+        m.eors(Reg::R3, Reg::R2);
+        m.str_sp(Reg::R3, ACC + 3);
+        m.ldr_const(Reg::R4, crate::TOP_MASK);
+        m.ands(Reg::R5, Reg::R4);
+        m.str_sp(Reg::R5, ACC + 7);
+
+        m.ldr_sp(Reg::R0, 15);
+        for i in 0..N as u32 {
+            m.ldr_sp(Reg::R5, ACC + i);
+            m.str(Reg::R5, Reg::R0, i);
+        }
+        m.stack_transfer(5);
+        m.bx();
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::modeled::{ModeledField, Tier};
+    use crate::Fe;
+    use m0plus::Category;
+
+    fn fe(seed: u64) -> Fe {
+        let mut s = seed.wrapping_mul(0x94D0_49BB_1331_11EB) | 1;
+        let mut w = [0u32; crate::N];
+        for x in w.iter_mut() {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            *x = (s >> 3) as u32;
+        }
+        Fe::from_words_reduced(w)
+    }
+
+    #[test]
+    fn both_tiers_match_portable() {
+        for tier in [Tier::Asm, Tier::C] {
+            let mut f = ModeledField::new(tier);
+            for seed in 0..12u64 {
+                let a = fe(seed);
+                let (sa, sz) = (f.alloc_init(a), f.alloc());
+                f.sqr(sz, sa);
+                assert_eq!(f.load(sz), a.square(), "{tier:?} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn edge_values() {
+        let mut top = [0u32; crate::N];
+        top[7] = crate::TOP_MASK;
+        for tier in [Tier::Asm, Tier::C] {
+            let mut f = ModeledField::new(tier);
+            for a in [Fe::ZERO, Fe::ONE, Fe(top)] {
+                let (sa, sz) = (f.alloc_init(a), f.alloc());
+                f.sqr(sz, sa);
+                assert_eq!(f.load(sz), a.square(), "{tier:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_counts_near_table6() {
+        // Table 6: Modular squaring — C 419, assembly 395.
+        let cost = |tier| {
+            let mut f = ModeledField::new(tier);
+            let (sa, sz) = (f.alloc_init(fe(7)), f.alloc());
+            f.sqr(sz, sa);
+            f.machine().category_totals(Category::Square).cycles
+        };
+        let asm = cost(Tier::Asm);
+        let c = cost(Tier::C);
+        assert!(asm < c, "asm {asm} should beat C {c}");
+        assert!((330..=480).contains(&asm), "asm sqr = {asm}, paper: 395");
+        assert!((360..=560).contains(&c), "C sqr = {c}, paper: 419");
+    }
+}

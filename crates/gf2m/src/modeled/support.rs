@@ -1,0 +1,113 @@
+//! Support routines (Table 7's "Support functions"): element copies,
+//! additions, comparisons and constant loads.
+//!
+//! Argument pointers are placed in `r0`–`r2` without cost, mirroring the
+//! AAPCS calling convention (the caller would have them in registers
+//! already); each routine charges its `BL`/`BX` call overhead explicitly.
+
+use super::FeSlot;
+use crate::N;
+use m0plus::{Category, Cond, Machine, Reg};
+
+/// `z ← x ⊕ y` (field addition).
+pub fn add(m: &mut Machine, z: FeSlot, x: FeSlot, y: FeSlot) {
+    m.in_category(Category::Support, |m| {
+        m.bl();
+        m.set_base(Reg::R0, x.0);
+        m.set_base(Reg::R1, y.0);
+        m.set_base(Reg::R2, z.0);
+        for l in 0..N as u32 {
+            m.ldr(Reg::R3, Reg::R0, l);
+            m.ldr(Reg::R4, Reg::R1, l);
+            m.eors(Reg::R3, Reg::R4);
+            m.str(Reg::R3, Reg::R2, l);
+        }
+        m.bx();
+    });
+}
+
+/// `z ← x`.
+pub fn copy(m: &mut Machine, z: FeSlot, x: FeSlot) {
+    m.in_category(Category::Support, |m| {
+        m.bl();
+        m.set_base(Reg::R0, x.0);
+        m.set_base(Reg::R1, z.0);
+        for l in 0..N as u32 {
+            m.ldr(Reg::R3, Reg::R0, l);
+            m.str(Reg::R3, Reg::R1, l);
+        }
+        m.bx();
+    });
+}
+
+/// `z ← constant` via literal-pool loads.
+pub fn set_const(m: &mut Machine, z: FeSlot, value: crate::Fe) {
+    m.in_category(Category::Support, |m| {
+        m.bl();
+        m.set_base(Reg::R0, z.0);
+        for (l, &w) in value.words().iter().enumerate() {
+            m.ldr_const(Reg::R3, w);
+            m.str(Reg::R3, Reg::R0, l as u32);
+        }
+        m.bx();
+    });
+}
+
+/// Whether `x` is the zero element (OR-reduction of its words).
+pub fn is_zero(m: &mut Machine, x: FeSlot) -> bool {
+    m.in_category(Category::Support, |m| {
+        m.bl();
+        m.set_base(Reg::R0, x.0);
+        m.ldr(Reg::R3, Reg::R0, 0);
+        for l in 1..N as u32 {
+            m.ldr(Reg::R4, Reg::R0, l);
+            m.orrs(Reg::R3, Reg::R4);
+        }
+        m.cmp_imm(Reg::R3, 0);
+        let zero = m.b_cond(Cond::Eq);
+        m.bx();
+        zero
+    })
+}
+
+/// Whether `x == y` (OR-reduction of the word-wise XORs).
+pub fn equal(m: &mut Machine, x: FeSlot, y: FeSlot) -> bool {
+    m.in_category(Category::Support, |m| {
+        m.bl();
+        m.set_base(Reg::R0, x.0);
+        m.set_base(Reg::R1, y.0);
+        m.movs_imm(Reg::R3, 0);
+        for l in 0..N as u32 {
+            m.ldr(Reg::R4, Reg::R0, l);
+            m.ldr(Reg::R5, Reg::R1, l);
+            m.eors(Reg::R4, Reg::R5);
+            m.orrs(Reg::R3, Reg::R4);
+        }
+        m.cmp_imm(Reg::R3, 0);
+        let eq = m.b_cond(Cond::Eq);
+        m.bx();
+        eq
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::modeled::{ModeledField, Tier};
+    use crate::Fe;
+
+    #[test]
+    fn set_const_and_equal() {
+        let mut f = ModeledField::new(Tier::C);
+        let a = f.alloc();
+        let b = f.alloc();
+        let v = Fe::from_hex("123456789abcdef0123").unwrap();
+        f.set_const(a, v);
+        assert_eq!(f.load(a), v);
+        f.copy(b, a);
+        assert!(f.equal(a, b));
+        assert!(!f.is_zero(a));
+        let z = f.alloc_init(Fe::ZERO);
+        assert!(f.is_zero(z));
+        assert!(!f.equal(a, z));
+    }
+}

@@ -1,0 +1,163 @@
+//! Word-at-a-time reduction modulo f(z) = z²³³ + z⁷⁴ + 1 (§3.2.2).
+//!
+//! Because the sect233k1 reduction polynomial is a *sparse trinomial*, a
+//! 466-bit product can be reduced one 32-bit word at a time with constant
+//! shifts: every bit at position p = 233 + e folds to positions e and
+//! 74 + e. For a product word `C[i]` (holding bits 32·i…32·i+31, i ≥ 8):
+//!
+//! * the z^e image lands in words `i−8` (shift left 23) and `i−7`
+//!   (shift right 9), because 256 − 233 = 23;
+//! * the z^(74+e) image lands in words `i−5` (shift left 1) and `i−4`
+//!   (shift right 31), because 74 + 23 = 97 = 3·32 + 1.
+//!
+//! Processing words 15 down to 8 and then the nine excess bits of word 7
+//! yields a canonical 233-bit result.
+
+use crate::{Fe, N, TOP_MASK};
+
+/// Reduces a 16-word (466-bit capable) polynomial product to a canonical
+/// field element.
+///
+/// ```
+/// use gf2m::{reduce::reduce, Fe};
+/// // z^233 ≡ z^74 + 1 (mod f)
+/// let mut c = [0u32; 16];
+/// c[233 / 32] = 1 << (233 % 32);
+/// let r = reduce(c);
+/// let mut want = [0u32; 8];
+/// want[74 / 32] = 1 << (74 % 32);
+/// want[0] |= 1;
+/// assert_eq!(r, Fe::from_words_reduced(want));
+/// ```
+pub fn reduce(mut c: [u32; 2 * N]) -> Fe {
+    for i in (N..2 * N).rev() {
+        let t = c[i];
+        // z^e component (e = 32(i-8) + j + 23).
+        c[i - 8] ^= t << 23;
+        c[i - 7] ^= t >> 9;
+        // z^(74+e) component.
+        c[i - 5] ^= t << 1;
+        c[i - 4] ^= t >> 31;
+    }
+    // Excess bits 233…255 of word 7.
+    let t = c[7] >> 9;
+    c[0] ^= t;
+    c[2] ^= t << 10;
+    c[3] ^= t >> 22;
+    c[7] &= TOP_MASK;
+
+    let mut out = [0u32; N];
+    out.copy_from_slice(&c[..N]);
+    Fe(out)
+}
+
+/// Reference bit-at-a-time reduction, used to validate [`reduce`].
+pub fn reduce_bitwise(c: [u32; 2 * N]) -> Fe {
+    let mut bits = [false; 512];
+    for (i, w) in c.iter().enumerate() {
+        for j in 0..32 {
+            bits[i * 32 + j] = (w >> j) & 1 == 1;
+        }
+    }
+    for p in (crate::M..512).rev() {
+        if bits[p] {
+            bits[p] = false;
+            let e = p - crate::M;
+            bits[e] ^= true;
+            bits[e + crate::K] ^= true;
+        }
+    }
+    let mut out = [0u32; N];
+    for (p, &b) in bits.iter().enumerate().take(crate::M) {
+        if b {
+            out[p / 32] |= 1 << (p % 32);
+        }
+    }
+    Fe(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xorshift(state: &mut u64) -> u32 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        (*state >> 16) as u32
+    }
+
+    #[test]
+    fn reduce_of_in_range_value_is_identity() {
+        let mut c = [0u32; 16];
+        c[0] = 0xDEAD_BEEF;
+        c[7] = 0x1FF;
+        let r = reduce(c);
+        assert_eq!(r.words()[0], 0xDEAD_BEEF);
+        assert_eq!(r.words()[7], 0x1FF);
+    }
+
+    #[test]
+    fn reduce_z233_is_z74_plus_1() {
+        let mut c = [0u32; 16];
+        c[233 / 32] |= 1 << (233 % 32);
+        let r = reduce(c);
+        let mut want = [0u32; 8];
+        want[74 / 32] |= 1 << (74 % 32);
+        want[0] |= 1;
+        assert_eq!(r.words(), &want);
+    }
+
+    #[test]
+    fn reduce_single_high_bits_match_bitwise() {
+        for p in 233..464 {
+            let mut c = [0u32; 16];
+            c[p / 32] |= 1 << (p % 32);
+            assert_eq!(
+                reduce(c),
+                reduce_bitwise(c),
+                "mismatch for solitary bit {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn reduce_matches_bitwise_on_random_products() {
+        let mut s = 0x1234_5678_9ABC_DEF0u64;
+        for _ in 0..200 {
+            let mut c = [0u32; 16];
+            for w in c.iter_mut() {
+                *w = xorshift(&mut s);
+            }
+            // A real product of two 233-bit polynomials has degree ≤ 464:
+            // clear bits 465+ to stay in-domain (the fold of word 15's top
+            // bits would otherwise still be correct, but keep the test
+            // representative).
+            c[14] &= (1 << 17) - 1;
+            c[15] = 0;
+            assert_eq!(reduce(c), reduce_bitwise(c));
+        }
+    }
+
+    #[test]
+    fn reduce_handles_max_degree_product() {
+        // deg = 464 exactly (232 + 232).
+        let mut c = [0u32; 16];
+        c[14] = 1 << 16; // bit 464
+        assert_eq!(reduce(c), reduce_bitwise(c));
+    }
+
+    #[test]
+    fn result_is_canonical() {
+        let mut s = 42u64;
+        for _ in 0..100 {
+            let mut c = [0u32; 16];
+            for w in c.iter_mut().take(15) {
+                *w = xorshift(&mut s);
+            }
+            c[14] &= 0x1FFFF;
+            let r = reduce(c);
+            assert_eq!(r.words()[7] & !TOP_MASK, 0, "bits ≥ 233 must be clear");
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Table-based squaring with interleaved reduction (§3.2.4).
+//!
+//! Squaring a binary polynomial just spreads its bits apart:
+//! (Σ aᵢ zⁱ)² = Σ aᵢ z²ⁱ. The paper implements this with a byte→halfword
+//! look-up table of 256 entries and *interleaves the modular reduction*:
+//! the lower half of the squared value stays in registers while each word
+//! of the upper half is folded into the result as soon as it is produced,
+//! so the upper words are never stored to memory. The portable routine
+//! below keeps the same structure (table lookup + immediate fold) so the
+//! modeled tier has an exact reference.
+
+use crate::reduce::reduce;
+use crate::{Fe, N};
+
+/// The 256-entry bit-spreading table: entry `b` is the 16-bit value with
+/// the bits of `b` interleaved with zeros (`0b1011` → `0b1000101`).
+pub static SQR_TABLE: [u16; 256] = build_sqr_table();
+
+const fn build_sqr_table() -> [u16; 256] {
+    let mut t = [0u16; 256];
+    let mut b = 0usize;
+    while b < 256 {
+        let mut v = 0u16;
+        let mut i = 0;
+        while i < 8 {
+            if (b >> i) & 1 == 1 {
+                v |= 1 << (2 * i);
+            }
+            i += 1;
+        }
+        t[b] = v;
+        b += 1;
+    }
+    t
+}
+
+/// Spreads one 32-bit word into two words via [`SQR_TABLE`].
+pub fn spread(w: u32) -> (u32, u32) {
+    let lo = SQR_TABLE[(w & 0xFF) as usize] as u32
+        | (SQR_TABLE[((w >> 8) & 0xFF) as usize] as u32) << 16;
+    let hi = SQR_TABLE[((w >> 16) & 0xFF) as usize] as u32
+        | (SQR_TABLE[((w >> 24) & 0xFF) as usize] as u32) << 16;
+    (lo, hi)
+}
+
+/// Squares an element: table-based expansion with the reduction
+/// interleaved, mirroring the paper's memory behaviour.
+pub fn square(x: Fe) -> Fe {
+    // Lower half: words 0..8 of the square come from x[0..4] and stay
+    // "in registers" (a plain local array here).
+    let mut c = [0u32; N];
+    for i in 0..N / 2 {
+        let (lo, hi) = spread(x.0[i]);
+        c[2 * i] = lo;
+        c[2 * i + 1] = hi;
+    }
+    // Upper half: each produced word is folded immediately using the same
+    // per-word trinomial identities as crate::reduce (z^233 ≡ z^74 + 1).
+    // Word index i of the square, for i in 8..16.
+    let mut extra = [0u32; N]; // receives folds that land back in 0..8
+    let mut spill = [0u32; 4]; // folds from words 12..16 land in 7..12 region
+    for i in (N / 2..N).rev() {
+        let (lo, hi) = spread(x.0[i]);
+        for (idx, t) in [(2 * i + 1, hi), (2 * i, lo)] {
+            // Fold product word `idx` (≥ 8) exactly like reduce().
+            let mut apply = |target: usize, v: u32| {
+                if target < N {
+                    extra[target] ^= v;
+                } else {
+                    spill[target - N] ^= v;
+                }
+            };
+            apply(idx - 8, t << 23);
+            apply(idx - 7, t >> 9);
+            apply(idx - 5, t << 1);
+            apply(idx - 4, t >> 31);
+        }
+    }
+    // The spill words (product words 8..12 created by folding 12..16)
+    // must themselves be folded; run them through the generic reducer
+    // together with everything else.
+    let mut full = [0u32; 2 * N];
+    for i in 0..N {
+        full[i] = c[i] ^ extra[i];
+    }
+    for (i, &s) in spill.iter().enumerate() {
+        full[N + i] = s;
+    }
+    reduce(full)
+}
+
+/// Reference squaring through the generic multiplier, for validation.
+pub fn square_by_mul(x: Fe) -> Fe {
+    crate::mul::mul_shift_and_add(x, x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fe(seed: u64) -> Fe {
+        let mut s = seed.wrapping_mul(0x2545_F491_4F6C_DD1D) | 1;
+        let mut w = [0u32; N];
+        for x in w.iter_mut() {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            *x = (s >> 13) as u32;
+        }
+        Fe::from_words_reduced(w)
+    }
+
+    #[test]
+    fn table_spreads_bits() {
+        assert_eq!(SQR_TABLE[0], 0);
+        assert_eq!(SQR_TABLE[1], 1);
+        assert_eq!(SQR_TABLE[0b11], 0b101);
+        assert_eq!(SQR_TABLE[0b1011], 0b1000101);
+        assert_eq!(SQR_TABLE[0xFF], 0x5555);
+    }
+
+    #[test]
+    fn spread_covers_whole_word() {
+        let (lo, hi) = spread(0xFFFF_FFFF);
+        assert_eq!(lo, 0x5555_5555);
+        assert_eq!(hi, 0x5555_5555);
+        let (lo, hi) = spread(0x0001_8000);
+        assert_eq!(lo, 0x4000_0000); // bit 15 -> bit 30
+        assert_eq!(hi, 0x0000_0001); // bit 16 -> bit 32
+    }
+
+    #[test]
+    fn square_of_small_values() {
+        assert_eq!(square(Fe::ZERO), Fe::ZERO);
+        assert_eq!(square(Fe::ONE), Fe::ONE);
+        // (z)² = z².
+        let z = Fe::from_words_reduced([2, 0, 0, 0, 0, 0, 0, 0]);
+        assert_eq!(square(z).words()[0], 4);
+    }
+
+    #[test]
+    fn square_matches_multiplication() {
+        for seed in 0..50u64 {
+            let a = fe(seed);
+            assert_eq!(square(a), square_by_mul(a), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn square_of_max_degree_element() {
+        let mut w = [0xFFFF_FFFFu32; N];
+        w[7] = crate::TOP_MASK;
+        let a = Fe::from_words_reduced(w);
+        assert_eq!(square(a), square_by_mul(a));
+    }
+
+    #[test]
+    fn squaring_is_frobenius_additive() {
+        // (a + b)² = a² + b² in characteristic 2.
+        for seed in 0..20u64 {
+            let a = fe(seed);
+            let b = fe(seed + 31);
+            assert_eq!(square(a + b), square(a) + square(b));
+        }
+    }
+
+    #[test]
+    fn square_233_times_is_identity() {
+        // x^(2^233) = x for all x in F_2^233 (Frobenius order m).
+        let a = fe(99);
+        let mut x = a;
+        for _ in 0..crate::M {
+            x = square(x);
+        }
+        assert_eq!(x, a);
+    }
+}

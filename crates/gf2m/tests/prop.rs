@@ -1,0 +1,98 @@
+//! Property tests over the gf2m internals: tier agreement (counted and
+//! modeled vs portable), reduction against the bit-level oracle, and
+//! the register-budget ablation invariants.
+
+use gf2m::modeled::{ModeledField, Tier};
+use gf2m::{counted, mul, reduce, Fe};
+use proptest::prelude::*;
+
+fn arb_fe() -> impl Strategy<Value = Fe> {
+    proptest::array::uniform8(any::<u32>()).prop_map(Fe::from_words_reduced)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn counted_methods_compute_portable_products(a in arb_fe(), b in arb_fe()) {
+        let want = a * b;
+        for (m, p) in counted::all_methods(a, b) {
+            prop_assert_eq!(p.value, want, "{} diverged", m);
+        }
+    }
+
+    #[test]
+    fn counted_tallies_never_depend_on_data(a in arb_fe(), b in arb_fe()) {
+        // Data-independent cost is what makes the closed-form Table 1
+        // possible (and is also the timing-attack surface §5 discusses
+        // at the point level): compare against a fixed reference input.
+        let reference = counted::mul_ld_fixed(Fe::ONE, Fe::ONE);
+        let here = counted::mul_ld_fixed(a, b);
+        prop_assert_eq!(here.total(), reference.total());
+    }
+
+    #[test]
+    fn reduction_matches_bitwise_oracle(words in proptest::collection::vec(any::<u32>(), 16)) {
+        let mut c: [u32; 16] = words.try_into().expect("16 words");
+        // Stay within the degree range a real product can reach.
+        c[14] &= (1 << 17) - 1;
+        c[15] = 0;
+        prop_assert_eq!(reduce::reduce(c), reduce::reduce_bitwise(c));
+    }
+
+    #[test]
+    fn register_budget_is_monotone(a in arb_fe(), b in arb_fe(), r in 0usize..16) {
+        let lo = counted::mul_ld_fixed_with_registers(a, b, r);
+        let hi = counted::mul_ld_fixed_with_registers(a, b, r + 1);
+        prop_assert!(hi.main.memory_ops() <= lo.main.memory_ops());
+        prop_assert_eq!(lo.value, a * b);
+        prop_assert_eq!(hi.value, lo.value);
+    }
+
+    #[test]
+    fn itoh_tsujii_matches_eea(a in arb_fe()) {
+        prop_assert_eq!(gf2m::inv::invert_itoh_tsujii(a), gf2m::inv::invert(a));
+    }
+
+    #[test]
+    fn karatsuba_matches_comb_unreduced(a in arb_fe(), b in arb_fe()) {
+        prop_assert_eq!(
+            mul::mul_poly_karatsuba(a.words(), b.words()),
+            mul::mul_poly_comb(a.words(), b.words())
+        );
+    }
+}
+
+proptest! {
+    // Modeled-tier cases execute a few thousand virtual instructions
+    // each; keep the case count moderate.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn modeled_tiers_agree_with_portable(a in arb_fe(), b in arb_fe()) {
+        for tier in [Tier::Asm, Tier::C, Tier::RelicC] {
+            let mut f = ModeledField::new(tier);
+            let (sa, sb, sz) = (f.alloc_init(a), f.alloc_init(b), f.alloc());
+            f.mul(sz, sa, sb);
+            prop_assert_eq!(f.load(sz), a * b, "{:?} mul", tier);
+            f.sqr(sz, sa);
+            prop_assert_eq!(f.load(sz), a.square(), "{:?} sqr", tier);
+            if !a.is_zero() {
+                f.inv(sz, sa);
+                prop_assert_eq!(Some(f.load(sz)), a.invert(), "{:?} inv", tier);
+            }
+        }
+    }
+
+    #[test]
+    fn modeled_cycle_counts_are_data_independent(a in arb_fe(), b in arb_fe()) {
+        let measure = |x: Fe, y: Fe| {
+            let mut f = ModeledField::new(Tier::Asm);
+            let (sx, sy, sz) = (f.alloc_init(x), f.alloc_init(y), f.alloc());
+            let snap = f.machine().snapshot();
+            f.mul(sz, sx, sy);
+            f.machine().report_since(&snap).cycles
+        };
+        prop_assert_eq!(measure(a, b), measure(Fe::ONE, Fe::ZERO));
+    }
+}

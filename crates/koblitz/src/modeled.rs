@@ -1,0 +1,818 @@
+//! Machine-modeled point multiplication: the paper's kP and kG running
+//! on the [`m0plus`] cost model with Table-7 category attribution.
+//!
+//! The *control flow* (which field operation happens when) is driven
+//! from Rust, but every field operation, support copy and per-digit
+//! dispatch executes as charged instructions on the machine inside
+//! [`gf2m::modeled::ModeledField`], so cycle totals are measured from
+//! executed instruction streams. Category assignment follows the paper:
+//!
+//! * scalar recoding → *TNAF Representation*;
+//! * the per-call window-table (α_u·P) construction, including its
+//!   field operations and the simultaneous-inversion normalisation →
+//!   *TNAF Precomputation* (zero for kG, whose table is offline);
+//! * field multiplications → *Multiply*, with the per-multiplication
+//!   López-Dahab look-up-table generation split into
+//!   *Multiply Precomputation*;
+//! * squarings → *Square*; the final conversion's inversion →
+//!   *Inversion*; copies, digit dispatch and point bookkeeping →
+//!   *Support functions*.
+
+use crate::curve::Affine;
+use crate::int::Int;
+use crate::mul::{KG_WINDOW, KP_WINDOW};
+use crate::tnaf;
+use gf2m::modeled::{FeSlot, ModeledField, Tier};
+use gf2m::Fe;
+use m0plus::{Category, Cond, Reg, RunReport};
+
+/// A López-Dahab projective point held in machine RAM.
+#[derive(Debug, Clone, Copy)]
+struct PointSlots {
+    x: FeSlot,
+    y: FeSlot,
+    z: FeSlot,
+}
+
+/// An affine point held in machine RAM.
+#[derive(Debug, Clone, Copy)]
+struct AffineSlots {
+    x: FeSlot,
+    y: FeSlot,
+}
+
+/// Result of one modeled point multiplication.
+#[derive(Debug, Clone)]
+pub struct PointMulRun {
+    /// The computed point (verified against the portable tier).
+    pub result: Affine,
+    /// Cycle/energy/category report of the run.
+    pub report: RunReport,
+}
+
+/// The modeled point multiplier. Owns a [`ModeledField`] and a bank of
+/// reusable element slots.
+#[derive(Debug)]
+pub struct ModeledMul {
+    f: ModeledField,
+    acc: PointSlots,
+    table: Vec<AffineSlots>,
+    neg: AffineSlots,
+    tau_p: AffineSlots,
+    base: AffineSlots,
+    tmp: [FeSlot; 10],
+    bn_scratch: FeSlot,
+}
+
+impl ModeledMul {
+    /// Creates a modeled multiplier on the given implementation tier.
+    pub fn new(tier: Tier) -> Self {
+        Self::with_field(ModeledField::with_ram(tier, 64 * 1024))
+    }
+
+    /// Creates a modeled multiplier with a custom energy model (energy
+    /// sensitivity studies).
+    pub fn with_energy_model(tier: Tier, model: m0plus::EnergyModel) -> Self {
+        Self::with_field(ModeledField::with_ram_and_model(tier, 64 * 1024, model))
+    }
+
+    /// Wraps an existing modeled field.
+    pub fn with_field(mut f: ModeledField) -> Self {
+        let acc = PointSlots {
+            x: f.alloc(),
+            y: f.alloc(),
+            z: f.alloc(),
+        };
+        // Enough table slots for the widest window (w = 6 → 16 entries).
+        let table = (0..16)
+            .map(|_| AffineSlots {
+                x: f.alloc(),
+                y: f.alloc(),
+            })
+            .collect();
+        let neg = AffineSlots {
+            x: f.alloc(),
+            y: f.alloc(),
+        };
+        let tau_p = AffineSlots {
+            x: f.alloc(),
+            y: f.alloc(),
+        };
+        let base = AffineSlots {
+            x: f.alloc(),
+            y: f.alloc(),
+        };
+        let tmp = [(); 10].map(|_| f.alloc());
+        let bn_scratch = f.alloc();
+        ModeledMul {
+            f,
+            acc,
+            table,
+            neg,
+            tau_p,
+            base,
+            tmp,
+            bn_scratch,
+        }
+    }
+
+    /// The underlying field/machine (for reports beyond [`PointMulRun`]).
+    pub fn field(&self) -> &ModeledField {
+        &self.f
+    }
+
+    // ------------------------------------------------------------------
+    // Charged big-integer work: TNAF representation.
+    // ------------------------------------------------------------------
+
+    /// Charges one RELIC-style full-width bignum pass (16 words through
+    /// a called helper): the building block of the recoding loop.
+    fn charge_bn_pass(&mut self, per_word: u32) {
+        let s = self.bn_scratch;
+        let m = self.f.machine_mut();
+        m.bl();
+        m.set_base(Reg::R0, s.0);
+        for i in 0..16u32 {
+            m.ldr(Reg::R4, Reg::R0, i % 8);
+            for _ in 0..per_word.saturating_sub(5) {
+                m.lsrs_imm(Reg::R5, Reg::R4, 1);
+            }
+            m.str(Reg::R4, Reg::R0, i % 8);
+            m.adds_imm(Reg::R6, 1);
+            m.cmp_imm(Reg::R6, 16);
+            m.b_cond(Cond::Ne);
+        }
+        m.bx();
+    }
+
+    /// Charges an `a_words × b_words` limb schoolbook multi-precision
+    /// multiplication using the ARMv6-M 16-bit splitting (four `MULS`
+    /// plus recombination per limb product).
+    fn charge_bn_mul(&mut self, a_words: u32, b_words: u32) {
+        let s = self.bn_scratch;
+        let m = self.f.machine_mut();
+        m.bl();
+        m.set_base(Reg::R0, s.0);
+        for i in 0..a_words {
+            m.ldr(Reg::R4, Reg::R0, i % 8);
+            for _ in 0..b_words {
+                m.uxth(Reg::R5, Reg::R4);
+                m.lsrs_imm(Reg::R6, Reg::R4, 16);
+                m.muls(Reg::R5, Reg::R5);
+                m.muls(Reg::R6, Reg::R6);
+                m.uxth(Reg::R7, Reg::R4);
+                m.muls(Reg::R7, Reg::R4);
+                m.lsrs_imm(Reg::R3, Reg::R4, 16);
+                m.muls(Reg::R3, Reg::R4);
+                m.lsls_imm(Reg::R7, Reg::R7, 16);
+                m.adds(Reg::R5, Reg::R5, Reg::R7);
+                m.adcs(Reg::R6, Reg::R3);
+                m.ldr(Reg::R7, Reg::R0, (i + 1) % 8);
+                m.adds(Reg::R7, Reg::R7, Reg::R5);
+                m.str(Reg::R7, Reg::R0, (i + 1) % 8);
+                m.adcs(Reg::R6, Reg::R6);
+            }
+            m.adds_imm(Reg::R2, 1);
+            m.cmp_imm(Reg::R2, 8);
+            m.b_cond(Cond::Ne);
+        }
+        m.bx();
+    }
+
+    /// Computes the width-w TNAF of `k` portably while charging the
+    /// *TNAF Representation* category with the modeled recoding cost:
+    /// the two λ-numerator multiplications and rounding divisions of the
+    /// partial reduction, then per digit the parity test, the two
+    /// halving shifts and (for non-zero digits) the representative
+    /// subtraction — all as RELIC-style full-width helper calls.
+    fn tnaf_representation(&mut self, k: &Int, w: u32) -> Vec<i8> {
+        let digits = tnaf::recode(k, w);
+        self.f
+            .machine_mut()
+            .set_category_override(Some(Category::TnafRepresentation));
+        // partmod: a_i = s_i·k (4×8 limbs each) and two rounding
+        // divisions by n (charged as multiply-back long division with 8
+        // quotient limbs).
+        self.charge_bn_mul(4, 8);
+        self.charge_bn_mul(4, 8);
+        for _ in 0..2 {
+            for _ in 0..8 {
+                self.charge_bn_mul(1, 8);
+                self.charge_bn_pass(7); // compare + subtract correction
+            }
+        }
+        // ρ = k − qδ: two more products and recombination.
+        self.charge_bn_mul(4, 4);
+        self.charge_bn_mul(4, 4);
+        self.charge_bn_pass(7);
+        // Digit loop.
+        for &d in &digits {
+            {
+                let m = self.f.machine_mut();
+                m.ldr(Reg::R4, Reg::R0, 0);
+                m.movs_imm(Reg::R5, 1);
+                m.ands(Reg::R4, Reg::R5);
+                m.b_cond(Cond::Ne);
+            }
+            if d != 0 {
+                // u = (r0 + r1·t_w) mods 2^w, then subtract the
+                // representative from both components.
+                self.charge_bn_pass(7);
+                self.charge_bn_pass(7);
+            }
+            // Two halving shifts and the recombination add.
+            self.charge_bn_pass(9);
+            self.charge_bn_pass(9);
+            self.charge_bn_pass(7);
+        }
+        self.f.machine_mut().set_category_override(None);
+        digits
+    }
+
+    // ------------------------------------------------------------------
+    // Modeled point arithmetic on slots.
+    // ------------------------------------------------------------------
+
+    /// acc ← infinity (Z = 0).
+    fn set_infinity(&mut self) {
+        self.f.set_const(self.acc.x, Fe::ONE);
+        self.f.set_const(self.acc.y, Fe::ZERO);
+        self.f.set_const(self.acc.z, Fe::ZERO);
+    }
+
+    /// Whether acc is the point at infinity (charged test).
+    fn acc_is_infinity(&mut self) -> bool {
+        let z = self.acc.z;
+        self.f.is_zero(z)
+    }
+
+    /// acc ← 2·acc (LD doubling, 3M + 5S; a = 0, b = 1).
+    fn double_acc(&mut self) {
+        if self.acc_is_infinity() {
+            return;
+        }
+        let [t1, t2, t3, t4, t5, ..] = self.tmp;
+        let acc = self.acc;
+        self.f.sqr(t1, acc.z); // T1 = Z1²
+        self.f.sqr(t2, acc.x); // T2 = X1²
+        self.f.mul(t3, t1, t2); // Z3 = T1·T2
+        self.f.sqr(t4, t2); // X1⁴
+        self.f.sqr(t5, t1); // b·Z1⁴
+        self.f.add(t4, t4, t5); // X3
+        self.f.sqr(t1, acc.y); // Y1²
+        self.f.add(t1, t1, t5); // Y1² + bZ1⁴
+        self.f.mul(t2, t5, t3); // bZ1⁴·Z3
+        self.f.mul(t5, t4, t1); // X3·(…)
+        self.f.add(t2, t2, t5); // Y3
+        self.f.copy(acc.x, t4);
+        self.f.copy(acc.y, t2);
+        self.f.copy(acc.z, t3);
+    }
+
+    /// acc ← acc + Q (mixed LD + affine addition, 8M + 5S; a = 0).
+    fn add_affine_to_acc(&mut self, q: AffineSlots) {
+        if self.acc_is_infinity() {
+            // acc ← Q lifted to Z = 1.
+            let acc = self.acc;
+            self.f.copy(acc.x, q.x);
+            self.f.copy(acc.y, q.y);
+            self.f.set_const(acc.z, Fe::ONE);
+            return;
+        }
+        let [t1, t2, a, b, c, z3, e, f3, g, t10] = self.tmp;
+        let acc = self.acc;
+        self.f.sqr(t1, acc.z); // Z1²
+        self.f.mul(t2, q.y, t1); // y2·Z1²
+        self.f.add(a, acc.y, t2); // A
+        self.f.mul(t2, q.x, acc.z); // x2·Z1
+        self.f.add(b, acc.x, t2); // B
+        if self.f.is_zero(b) {
+            // Same x: doubling or annihilation.
+            if self.f.is_zero(a) {
+                self.double_acc();
+            } else {
+                self.set_infinity();
+            }
+            return;
+        }
+        self.f.mul(c, acc.z, b); // C = Z1·B
+        self.f.sqr(z3, c); // Z3 = C²
+        self.f.sqr(t1, b); // B²
+        self.f.mul(t2, t1, c); // D = B²·C
+        self.f.mul(e, a, c); // E = A·C
+        self.f.sqr(t1, a); // A²
+        self.f.add(t1, t1, t2); // A² + D
+        self.f.add(t10, t1, e); // X3 = A² + D + E
+        self.f.mul(t1, q.x, z3); // x2·Z3
+        self.f.add(f3, t10, t1); // F
+        self.f.add(t1, q.x, q.y); // x2 + y2
+        self.f.sqr(t2, z3); // Z3²
+        self.f.mul(g, t1, t2); // G
+        self.f.add(t1, e, z3); // E + Z3
+        self.f.mul(t2, t1, f3); // (E+Z3)·F
+        self.f.add(t2, t2, g); // Y3
+        self.f.copy(acc.x, t10);
+        self.f.copy(acc.y, t2);
+        self.f.copy(acc.z, z3);
+    }
+
+    /// acc ← τ(acc): three squarings.
+    fn frobenius_acc(&mut self) {
+        let acc = self.acc;
+        self.f.sqr(acc.x, acc.x);
+        self.f.sqr(acc.y, acc.y);
+        self.f.sqr(acc.z, acc.z);
+    }
+
+    /// Per-digit dispatch overhead (digit fetch, compare, branch),
+    /// charged to *Support*.
+    fn charge_digit_dispatch(&mut self) {
+        let m = self.f.machine_mut();
+        m.in_category(Category::Support, |m| {
+            m.ldr(Reg::R4, Reg::R0, 0);
+            m.cmp_imm(Reg::R4, 0);
+            m.b_cond(Cond::Ne);
+            m.b_cond(Cond::Mi);
+        });
+    }
+
+    /// Builds the negated copy of a table point into the `neg` slots
+    /// (−(x, y) = (x, x + y)), charged to *Support*.
+    fn negate_table_point(&mut self, q: AffineSlots) -> AffineSlots {
+        let neg = self.neg;
+        self.f.copy(neg.x, q.x);
+        self.f.add(neg.y, q.x, q.y);
+        neg
+    }
+
+    /// Final conversion acc → affine: one inversion, two
+    /// multiplications and one squaring.
+    fn acc_to_affine(&mut self) -> Affine {
+        if self.acc_is_infinity() {
+            return Affine::Infinity;
+        }
+        let [t1, t2, ..] = self.tmp;
+        let acc = self.acc;
+        self.f.inv(t1, acc.z); // Z⁻¹
+        self.f.mul(t2, acc.x, t1); // x
+        let x = self.f.load(t2);
+        self.f.sqr(t1, t1); // Z⁻²
+        self.f.mul(t2, acc.y, t1); // y
+        let y = self.f.load(t2);
+        Affine::Point { x, y }
+    }
+
+    // ------------------------------------------------------------------
+    // Precomputation.
+    // ------------------------------------------------------------------
+
+    /// Builds the window table for `p` in machine RAM *with* charging
+    /// (kP: the paper's TNAF-precomputation phase): computes each
+    /// α_u·P = β·P + γ·τP through modeled additions in projective
+    /// coordinates and normalises all entries with one simultaneous
+    /// inversion.
+    fn precompute_charged(&mut self, p: &Affine, w: u32) {
+        self.f
+            .machine_mut()
+            .set_category_override(Some(Category::TnafPrecomputation));
+
+        // Base point and τP as affine machine residents of this call.
+        let base = self.base;
+        self.f.store(base.x, p.x());
+        self.f.store(base.y, p.y());
+        let tau_p = self.tau_p;
+        self.f.sqr(tau_p.x, base.x);
+        self.f.sqr(tau_p.y, base.y);
+
+        // Entry 0 is P itself (a support copy).
+        let t0 = self.table[0];
+        self.f.copy(t0.x, base.x);
+        self.f.copy(t0.y, base.y);
+
+        let count = 1usize << (w - 2);
+        // Compute entries 1.. in projective coordinates, parking the Z
+        // denominators for one simultaneous inversion at the end.
+        let mut pending: Vec<(usize, PointSlots)> = Vec::new();
+        for i in 1..count {
+            let u = 2 * i as i64 + 1;
+            let (beta, gamma) = tnaf::alpha(u, w);
+            self.set_infinity();
+            for (coeff, pt) in [(beta, base), (gamma, tau_p)] {
+                let times = coeff.abs().to_i64();
+                for _ in 0..times {
+                    if coeff.is_negative() {
+                        let operand = self.negate_table_point(pt);
+                        self.add_affine_to_acc(operand);
+                    } else {
+                        self.add_affine_to_acc(pt);
+                    }
+                }
+            }
+            let parked = PointSlots {
+                x: self.f.alloc(),
+                y: self.f.alloc(),
+                z: self.f.alloc(),
+            };
+            let acc = self.acc;
+            self.f.copy(parked.x, acc.x);
+            self.f.copy(parked.y, acc.y);
+            self.f.copy(parked.z, acc.z);
+            pending.push((i, parked));
+        }
+
+        // w = 2 has no non-trivial entries (the table is {P}).
+        if pending.is_empty() {
+            self.f.machine_mut().set_category_override(None);
+            return;
+        }
+
+        // Simultaneous inversion (Montgomery's trick).
+        let mut prods: Vec<FeSlot> = Vec::new();
+        let mut running: Option<FeSlot> = None;
+        for (_, pt) in &pending {
+            let slot = self.f.alloc();
+            match running {
+                None => self.f.copy(slot, pt.z),
+                Some(prev) => self.f.mul(slot, prev, pt.z),
+            }
+            prods.push(slot);
+            running = Some(slot);
+        }
+        let inv_slot = self.f.alloc();
+        self.f.inv(inv_slot, *prods.last().expect("table is non-empty"));
+        let scratch = self.tmp[9];
+        for idx in (0..pending.len()).rev() {
+            let (i, pt) = pending[idx];
+            let zi = self.f.alloc();
+            if idx == 0 {
+                self.f.copy(zi, inv_slot);
+            } else {
+                self.f.mul(zi, inv_slot, prods[idx - 1]);
+                let t = self.tmp[8];
+                self.f.mul(t, inv_slot, pt.z);
+                self.f.copy(inv_slot, t);
+            }
+            // Affine: x = X·zi, y = Y·zi².
+            let entry = self.table[i];
+            self.f.mul(entry.x, pt.x, zi);
+            self.f.sqr(scratch, zi);
+            self.f.mul(entry.y, pt.y, scratch);
+        }
+
+        self.f.machine_mut().set_category_override(None);
+    }
+
+    /// Loads the precomputed generator table (w = 6) into machine RAM
+    /// *without* charging: the paper computes it offline and stores it
+    /// in flash, and its Table 7 charges kG zero TNAF precomputation.
+    fn load_generator_table(&mut self) {
+        for (i, p) in crate::mul::generator_table().iter().enumerate() {
+            let entry = self.table[i];
+            self.f.store(entry.x, p.x());
+            self.f.store(entry.y, p.y());
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The two public operations.
+    // ------------------------------------------------------------------
+
+    /// Random-point multiplication k·P (the paper's kP: wTNAF, w = 4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is negative.
+    pub fn kp(&mut self, p: &Affine, k: &Int) -> PointMulRun {
+        self.run(p, k, KP_WINDOW, true)
+    }
+
+    /// Fixed-point multiplication k·G (the paper's kG: wTNAF, w = 6,
+    /// offline table loaded without charge).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is negative.
+    pub fn kg(&mut self, k: &Int) -> PointMulRun {
+        let g = crate::curve::generator();
+        self.run(&g, k, KG_WINDOW, false)
+    }
+
+    /// General modeled multiplication: window width `w`, with the table
+    /// either built online (charged to *TNAF Precomputation*, as the
+    /// paper's kP and the RELIC baseline do for every multiplication) or
+    /// loaded offline (the paper's kG).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is negative, or if an offline table is requested
+    /// for a point other than the generator.
+    pub fn run(&mut self, p: &Affine, k: &Int, w: u32, charge_precomp: bool) -> PointMulRun {
+        assert!(!k.is_negative(), "scalar must be non-negative");
+        let snap = self.f.machine().snapshot();
+        if p.is_infinity() || k.is_zero() {
+            let report = self.f.machine().report_since(&snap);
+            return PointMulRun {
+                result: Affine::Infinity,
+                report,
+            };
+        }
+        let digits = self.tnaf_representation(k, w);
+        if charge_precomp {
+            self.precompute_charged(p, w);
+        } else {
+            assert_eq!(
+                *p,
+                crate::curve::generator(),
+                "offline tables exist for the generator only"
+            );
+            assert_eq!(w, KG_WINDOW, "the offline table is built for w = 6");
+            self.load_generator_table();
+        }
+        let result = self.main_loop(&digits);
+        let report = self.f.machine().report_since(&snap);
+        let expect = crate::mul::mul_wtnaf(p, k, w);
+        assert_eq!(result, expect, "modeled multiplication diverged from portable");
+        PointMulRun { result, report }
+    }
+
+    /// Constant-time Montgomery-ladder multiplication on the cost model
+    /// (the paper's §5 future work). Performs exactly the same
+    /// instruction sequence for every scalar: 232 ladder steps of one
+    /// differential addition (4M + 1S) and one doubling (1M + 4S), with
+    /// the y-coordinate recovered at the end (1 inversion + a handful of
+    /// multiplications). The cycle count is therefore
+    /// scalar-independent, which the tests assert bit-for-bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is negative or `p` is infinity / the 2-torsion
+    /// point.
+    pub fn ladder(&mut self, p: &Affine, k: &Int) -> PointMulRun {
+        assert!(!k.is_negative(), "scalar must be non-negative");
+        let (xp_val, _yp_val) = match *p {
+            Affine::Infinity => panic!("ladder needs a finite base point"),
+            Affine::Point { x, y } => (x, y),
+        };
+        assert!(!xp_val.is_zero(), "ladder needs a point of odd order");
+        let snap = self.f.machine().snapshot();
+
+        // Fixed-length scalar (see mul::montgomery_ladder).
+        let n = crate::curve::order();
+        let k1 = k.mod_positive(&n);
+        if k1.is_zero() {
+            let report = self.f.machine().report_since(&snap);
+            return PointMulRun {
+                result: Affine::Infinity,
+                report,
+            };
+        }
+        let lifted = {
+            let t = &k1 + &n;
+            if t.bits() == 233 {
+                t
+            } else {
+                &t + &n
+            }
+        };
+
+        // Slots: xp constant, two ladder points (x-only), scratch.
+        let xp = self.base.x;
+        self.f.store(xp, xp_val);
+        let (x1, z1) = (self.acc.x, self.acc.y);
+        let (x2, z2) = (self.neg.x, self.neg.y);
+        let [t1, t2, t3, ..] = self.tmp;
+        // R0 = P, R1 = 2P.
+        self.f.copy(x1, xp);
+        self.f.set_const(z1, Fe::ONE);
+        self.f.sqr(t1, xp); // x²
+        self.f.sqr(t2, t1); // x⁴
+        self.f.set_const(t3, Fe::ONE); // b
+        self.f.add(x2, t2, t3); // X2 = x⁴ + b
+        self.f.copy(z2, t1); // Z2 = x²
+
+        for i in (0..232).rev() {
+            let bit = (lifted.limbs()[i / 32] >> (i % 32)) & 1;
+            // Both arms execute the *same* operation sequence; only the
+            // operand roles swap (a real implementation swaps pointers
+            // with constant-time conditional moves, charged below).
+            let (ax, az, dx, dz) = if bit == 1 {
+                (x1, z1, x2, z2)
+            } else {
+                (x2, z2, x1, z1)
+            };
+            // Charge the constant-time conditional swap (4 masked moves).
+            {
+                let m = self.f.machine_mut();
+                m.in_category(m0plus::Category::Support, |m| {
+                    for _ in 0..4 {
+                        m.eors(Reg::R4, Reg::R5);
+                        m.ands(Reg::R4, Reg::R6);
+                        m.eors(Reg::R5, Reg::R4);
+                    }
+                });
+            }
+            // madd(ax,az, dx,dz; xp):
+            self.f.mul(t1, ax, dz); // T = X1·Z2
+            self.f.mul(t2, dx, az); // U = X2·Z1
+            self.f.add(t3, t1, t2);
+            self.f.sqr(az, t3); // Z' = (T+U)²
+            self.f.mul(t3, t1, t2); // T·U
+            self.f.mul(t1, xp, az); // x·Z'
+            self.f.add(ax, t1, t3); // X' = x·Z' + T·U
+            // mdouble(dx,dz):
+            self.f.sqr(t1, dx); // X²
+            self.f.sqr(t2, dz); // Z²
+            self.f.mul(dz, t1, t2); // Z' = X²Z²
+            self.f.sqr(t1, t1); // X⁴
+            self.f.sqr(t2, t2); // Z⁴ (b = 1)
+            self.f.add(dx, t1, t2); // X' = X⁴ + bZ⁴
+        }
+
+        // Recover y on the host (identical work for every scalar; the
+        // charged conversion below covers the x normalisation).
+        let result = {
+            let x1v = self.f.load(x1);
+            let z1v = self.f.load(z1);
+            let x2v = self.f.load(x2);
+            let z2v = self.f.load(z2);
+            recover_y(p, x1v, z1v, x2v, z2v)
+        };
+        // Charge the final conversion. A constant-time ladder needs a
+        // constant-time inversion, so the conversion uses the
+        // Itoh–Tsujii chain (fixed 10M + 233S schedule) instead of the
+        // data-dependent EEA.
+        let inv_in = self.tmp[3];
+        self.f.store(inv_in, self.f.load(z1));
+        if !self.f.load(inv_in).is_zero() {
+            self.f.inv_itoh_tsujii(t1, inv_in);
+            self.f.mul(t2, x1, t1);
+            self.f.mul(t3, x2, t1);
+        }
+        let report = self.f.machine().report_since(&snap);
+        assert_eq!(
+            result,
+            crate::mul::montgomery_ladder(p, k),
+            "modeled ladder diverged from the portable ladder"
+        );
+        PointMulRun { result, report }
+    }
+
+    /// The left-to-right digit evaluation shared by kP and kG.
+    fn main_loop(&mut self, digits: &[i8]) -> Affine {
+        self.set_infinity();
+        for &d in digits.iter().rev() {
+            self.frobenius_acc();
+            self.charge_digit_dispatch();
+            if d > 0 {
+                let entry = self.table[(d as usize) / 2];
+                self.add_affine_to_acc(entry);
+            } else if d < 0 {
+                let entry = self.table[(-d as usize) / 2];
+                let neg = self.negate_table_point(entry);
+                self.add_affine_to_acc(neg);
+            }
+        }
+        self.acc_to_affine()
+    }
+}
+
+/// y-recovery for the x-only ladder (López-Dahab 1999).
+fn recover_y(p: &Affine, x1: Fe, z1: Fe, x2: Fe, z2: Fe) -> Affine {
+    let (xp, yp) = (p.x(), p.y());
+    if z1.is_zero() {
+        return Affine::Infinity;
+    }
+    if z2.is_zero() {
+        return Affine::Point { x: xp, y: xp + yp };
+    }
+    let x1a = x1 * z1.invert().expect("z1 != 0");
+    let x2a = x2 * z2.invert().expect("z2 != 0");
+    let y = (x1a + xp) * ((x1a + xp) * (x2a + xp) + xp.square() + yp)
+        * xp.invert().expect("x != 0")
+        + yp;
+    Affine::Point { x: x1a, y }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curve::{generator, order};
+
+    fn scalar(seed: u64) -> Int {
+        let hex = format!("{:016x}", seed.wrapping_mul(0xA24B_AED4_963E_E407));
+        Int::from_hex(&hex.repeat(4)).unwrap().mod_positive(&order())
+    }
+
+    #[test]
+    fn modeled_kg_matches_portable() {
+        let mut mm = ModeledMul::new(Tier::Asm);
+        let k = scalar(1);
+        let run = mm.kg(&k);
+        assert_eq!(run.result, crate::mul::mul_g(&k));
+        assert!(run.report.cycles > 100_000);
+    }
+
+    #[test]
+    fn modeled_kp_matches_portable() {
+        let mut mm = ModeledMul::new(Tier::Asm);
+        let k = scalar(2);
+        let g = generator();
+        let run = mm.kp(&g, &k);
+        assert_eq!(run.result, crate::mul::mul_wtnaf(&g, &k, 4));
+    }
+
+    #[test]
+    fn kp_is_slower_than_kg() {
+        let mut mm = ModeledMul::new(Tier::Asm);
+        let k = scalar(3);
+        let kg = mm.kg(&k);
+        let mut mm2 = ModeledMul::new(Tier::Asm);
+        let kp = mm2.kp(&generator(), &k);
+        assert!(
+            kp.report.cycles > kg.report.cycles,
+            "kP {} should exceed kG {}",
+            kp.report.cycles,
+            kg.report.cycles
+        );
+    }
+
+    #[test]
+    fn kg_charges_no_tnaf_precomputation() {
+        let mut mm = ModeledMul::new(Tier::Asm);
+        let run = mm.kg(&scalar(4));
+        assert_eq!(
+            run.report.category_cycles(Category::TnafPrecomputation),
+            0,
+            "kG's table is offline"
+        );
+        assert!(run.report.category_cycles(Category::TnafRepresentation) > 0);
+    }
+
+    #[test]
+    fn kp_charges_all_categories() {
+        let mut mm = ModeledMul::new(Tier::Asm);
+        let run = mm.kp(&generator(), &scalar(5));
+        for c in Category::ALL {
+            assert!(
+                run.report.category_cycles(c) > 0,
+                "{c} should have cycles"
+            );
+        }
+        // Multiply dominates, as in Table 7.
+        assert!(
+            run.report.category_cycles(Category::Multiply)
+                > run.report.category_cycles(Category::Square)
+        );
+    }
+
+    #[test]
+    fn asm_tier_total_is_in_the_papers_regime() {
+        // Paper: kP = 2 814 827 cycles, kG = 1 864 470 (Tables 6/7).
+        let mut mm = ModeledMul::new(Tier::Asm);
+        let kg = mm.kg(&scalar(6));
+        assert!(
+            (1_400_000..=2_600_000).contains(&kg.report.cycles),
+            "kG cycles = {}, paper: 1 864 470",
+            kg.report.cycles
+        );
+        let mut mm2 = ModeledMul::new(Tier::Asm);
+        let kp = mm2.kp(&generator(), &scalar(7));
+        assert!(
+            (2_100_000..=3_800_000).contains(&kp.report.cycles),
+            "kP cycles = {}, paper: 2 814 827",
+            kp.report.cycles
+        );
+    }
+
+    #[test]
+    fn modeled_ladder_is_scalar_independent_and_correct() {
+        let g = generator();
+        let cycles: Vec<u64> = [scalar(31), scalar(32), Int::from(5i64)]
+            .iter()
+            .map(|k| {
+                let mut mm = ModeledMul::new(Tier::Asm);
+                let run = mm.ladder(&g, k);
+                assert_eq!(run.result, crate::mul::montgomery_ladder(&g, k));
+                run.report.cycles
+            })
+            .collect();
+        assert_eq!(cycles[0], cycles[1], "cycle counts must not depend on k");
+        assert_eq!(cycles[1], cycles[2]);
+        // The ladder pays ~2x the wTNAF cost (5M+5S per bit vs the
+        // Frobenius trick).
+        let mut mm = ModeledMul::new(Tier::Asm);
+        let kp = mm.kp(&g, &scalar(33));
+        assert!(cycles[0] > kp.report.cycles);
+        assert!(cycles[0] < 3 * kp.report.cycles);
+    }
+
+    #[test]
+    fn zero_scalar_and_infinity_are_cheap() {
+        let mut mm = ModeledMul::new(Tier::Asm);
+        let run = mm.kg(&Int::zero());
+        assert!(run.result.is_infinity());
+        assert!(run.report.cycles < 1000);
+        let run = mm.kp(&Affine::Infinity, &scalar(8));
+        assert!(run.result.is_infinity());
+    }
+}

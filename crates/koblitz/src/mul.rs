@@ -1,0 +1,418 @@
+//! Point multiplication on sect233k1.
+//!
+//! The paper's two operations, plus its proposed future work:
+//!
+//! * [`mul_wtnaf`] — random-point kP with the left-to-right width-w
+//!   TNAF method (the paper uses w = 4), mixed LD-affine additions and
+//!   Frobenius in place of doublings;
+//! * [`mul_g`] — fixed-point kG with w = 6 and a precomputed table of
+//!   α_u·G (built once, lazily — "offline" in the paper's accounting,
+//!   which charges kG zero TNAF precomputation);
+//! * [`montgomery_ladder`] — the constant-time x-only ladder the paper's
+//!   §5 names as the fix for its timing-variability caveat.
+
+use crate::curve::{generator, order, Affine};
+use crate::int::Int;
+use crate::projective::LdPoint;
+use crate::tnaf;
+use gf2m::Fe;
+use std::sync::OnceLock;
+
+/// Window width the paper uses for random-point multiplication.
+pub const KP_WINDOW: u32 = 4;
+
+/// Window width the paper uses for fixed-point multiplication.
+pub const KG_WINDOW: u32 = 6;
+
+/// Computes the affine precomputation table for `p`: the points α_u·p
+/// for odd u = 1, 3, …, 2^(w−1) − 1 (index i holds u = 2i + 1).
+pub fn precompute_table(p: &Affine, w: u32) -> Vec<Affine> {
+    let count = 1usize << (w - 2);
+    let tau_p = p.frobenius();
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        let u = 2 * i as i64 + 1;
+        let (beta, gamma) = tnaf::alpha(u, w);
+        // α_u·p = β·p + γ·τ(p), with |β|, |γ| small.
+        let term = |c: &Int, base: &Affine| {
+            let m = base.mul_binary(&c.abs());
+            if c.is_negative() {
+                m.negated()
+            } else {
+                m
+            }
+        };
+        out.push(term(&beta, p).add(&term(&gamma, &tau_p)));
+    }
+    out
+}
+
+/// Evaluates a τ-adic digit string against a precomputed table
+/// (most-significant digit first processing).
+fn eval_wtnaf(digits: &[i8], table: &[Affine]) -> Affine {
+    let mut acc = LdPoint::INFINITY;
+    for &d in digits.iter().rev() {
+        acc = acc.frobenius();
+        if d > 0 {
+            acc = acc.add_affine(&table[(d as usize) / 2]);
+        } else if d < 0 {
+            acc = acc.add_affine(&table[(-d as usize) / 2].negated());
+        }
+    }
+    acc.to_affine()
+}
+
+/// Random-point multiplication k·P by the left-to-right width-w TNAF
+/// method (Guide to ECC Alg. 3.70): the paper's kP configuration with
+/// `w = 4`.
+///
+/// # Panics
+///
+/// Panics if `k` is negative or `w` is outside 2..=8.
+pub fn mul_wtnaf(p: &Affine, k: &Int, w: u32) -> Affine {
+    assert!(!k.is_negative(), "scalar must be non-negative");
+    if k.is_zero() || p.is_infinity() {
+        return Affine::Infinity;
+    }
+    let digits = tnaf::recode(k, w);
+    let table = precompute_table(p, w);
+    eval_wtnaf(&digits, &table)
+}
+
+/// Plain-TNAF multiplication (w = 1): no precomputation beyond ±P.
+pub fn mul_tnaf(p: &Affine, k: &Int) -> Affine {
+    assert!(!k.is_negative(), "scalar must be non-negative");
+    if k.is_zero() || p.is_infinity() {
+        return Affine::Infinity;
+    }
+    let digits = tnaf::recode(k, 1);
+    let mut acc = LdPoint::INFINITY;
+    let neg = p.negated();
+    for &d in digits.iter().rev() {
+        acc = acc.frobenius();
+        if d == 1 {
+            acc = acc.add_affine(p);
+        } else if d == -1 {
+            acc = acc.add_affine(&neg);
+        }
+    }
+    acc.to_affine()
+}
+
+/// The fixed-point table α_u·G for w = 6 (2⁴ = 16 points), built once.
+pub fn generator_table() -> &'static [Affine] {
+    static TABLE: OnceLock<Vec<Affine>> = OnceLock::new();
+    TABLE.get_or_init(|| precompute_table(&generator(), KG_WINDOW))
+}
+
+/// Fixed-point multiplication k·G with w = 6 and the precomputed
+/// generator table — the paper's kG configuration.
+///
+/// # Panics
+///
+/// Panics if `k` is negative.
+pub fn mul_g(k: &Int) -> Affine {
+    assert!(!k.is_negative(), "scalar must be non-negative");
+    if k.is_zero() {
+        return Affine::Infinity;
+    }
+    let digits = tnaf::recode(k, KG_WINDOW);
+    eval_wtnaf(&digits, generator_table())
+}
+
+/// Simultaneous double multiplication u₁·G + u₂·Q by interleaved
+/// width-w TNAF evaluation (the τ-adic Shamir–Strauss trick): one shared
+/// Frobenius pass instead of two, so an ECDSA verification costs barely
+/// more than a single random-point multiplication.
+///
+/// # Panics
+///
+/// Panics if either scalar is negative.
+pub fn double_multiply(u1: &Int, u2: &Int, q: &Affine) -> Affine {
+    assert!(
+        !u1.is_negative() && !u2.is_negative(),
+        "scalars must be non-negative"
+    );
+    if q.is_infinity() || u2.is_zero() {
+        return mul_g(u1);
+    }
+    if u1.is_zero() {
+        return mul_wtnaf(q, u2, KP_WINDOW);
+    }
+    let d1 = tnaf::recode(u1, KG_WINDOW);
+    let d2 = tnaf::recode(u2, KP_WINDOW);
+    let table_g = generator_table();
+    let table_q = precompute_table(q, KP_WINDOW);
+    let len = d1.len().max(d2.len());
+    let mut acc = LdPoint::INFINITY;
+    for i in (0..len).rev() {
+        acc = acc.frobenius();
+        if let Some(&d) = d1.get(i) {
+            if d > 0 {
+                acc = acc.add_affine(&table_g[(d as usize) / 2]);
+            } else if d < 0 {
+                acc = acc.add_affine(&table_g[(-d as usize) / 2].negated());
+            }
+        }
+        if let Some(&d) = d2.get(i) {
+            if d > 0 {
+                acc = acc.add_affine(&table_q[(d as usize) / 2]);
+            } else if d < 0 {
+                acc = acc.add_affine(&table_q[(-d as usize) / 2].negated());
+            }
+        }
+    }
+    acc.to_affine()
+}
+
+/// x-only Montgomery doubling: (X, Z) → (X⁴ + b·Z⁴, X²·Z²), b = 1.
+fn mdouble(x: Fe, z: Fe) -> (Fe, Fe) {
+    let x2 = x.square();
+    let z2 = z.square();
+    (x2.square() + z2.square(), x2 * z2)
+}
+
+/// x-only Montgomery differential addition with base x-coordinate `xp`:
+/// Z = (X1·Z2 + X2·Z1)², X = xp·Z + (X1·Z2)(X2·Z1).
+fn madd(x1: Fe, z1: Fe, x2: Fe, z2: Fe, xp: Fe) -> (Fe, Fe) {
+    let t = x1 * z2;
+    let u = x2 * z1;
+    let z = (t + u).square();
+    (xp * z + t * u, z)
+}
+
+/// Constant-time Montgomery-ladder multiplication (López-Dahab 1999) —
+/// the algorithm the paper's §5 proposes to close its power-analysis
+/// gap. Processes a fixed number of ladder steps independent of `k` by
+/// lifting the scalar to `k + n` or `k + 2n` (both 233 bits + 1).
+///
+/// # Panics
+///
+/// Panics if `k` is negative or `p` is the point at infinity / the
+/// 2-torsion point (x = 0) — neither occurs for points in the
+/// prime-order subgroup.
+pub fn montgomery_ladder(p: &Affine, k: &Int) -> Affine {
+    assert!(!k.is_negative(), "scalar must be non-negative");
+    let (xp, yp) = match *p {
+        Affine::Infinity => panic!("ladder needs a finite base point"),
+        Affine::Point { x, y } => (x, y),
+    };
+    assert!(!xp.is_zero(), "ladder needs a point of odd order");
+
+    // Fix the scalar length: k' = k + n or k + 2n, both ≡ k (mod n) and
+    // exactly 233 bits, so every invocation runs 232 ladder steps.
+    let n = order();
+    let k1 = k.mod_positive(&n);
+    if k1.is_zero() {
+        return Affine::Infinity;
+    }
+    let lifted = {
+        let t = &k1 + &n;
+        if t.bits() == 233 {
+            t
+        } else {
+            &t + &n
+        }
+    };
+    debug_assert_eq!(lifted.bits(), 233);
+
+    // R0 = P, R1 = 2P (x-only).
+    let (mut x1, mut z1) = (xp, Fe::ONE);
+    let (mut x2, mut z2) = mdouble(xp, Fe::ONE);
+    for i in (0..232).rev() {
+        let bit = (lifted.limbs()[i / 32] >> (i % 32)) & 1;
+        if bit == 1 {
+            let (ax, az) = madd(x1, z1, x2, z2, xp);
+            let (dx, dz) = mdouble(x2, z2);
+            x1 = ax;
+            z1 = az;
+            x2 = dx;
+            z2 = dz;
+        } else {
+            let (ax, az) = madd(x2, z2, x1, z1, xp);
+            let (dx, dz) = mdouble(x1, z1);
+            x2 = ax;
+            z2 = az;
+            x1 = dx;
+            z1 = dz;
+        }
+    }
+
+    // Recover the y-coordinate (López-Dahab 1999).
+    if z1.is_zero() {
+        return Affine::Infinity;
+    }
+    if z2.is_zero() {
+        // kP = −P branch: result x = xp, y = xp + yp.
+        return Affine::Point { x: xp, y: xp + yp };
+    }
+    let x1a = x1 * z1.invert().expect("z1 != 0");
+    let x2a = x2 * z2.invert().expect("z2 != 0");
+    let t = (x1a + xp) * ((x1a + xp) * (x2a + xp) + xp.square() + yp)
+        * xp.invert().expect("x != 0")
+        + yp;
+    Affine::Point { x: x1a, y: t }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scalar(seed: u64) -> Int {
+        let hex = format!("{:016x}", seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        Int::from_hex(&hex.repeat(4)).unwrap().mod_positive(&order())
+    }
+
+    #[test]
+    fn wtnaf_matches_binary_for_small_scalars() {
+        let g = generator();
+        for k in 0..32i64 {
+            let ki = Int::from(k);
+            assert_eq!(mul_wtnaf(&g, &ki, 4), g.mul_binary(&ki), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn wtnaf_matches_binary_for_random_scalars() {
+        let g = generator();
+        for seed in 1..8u64 {
+            let k = scalar(seed);
+            let want = g.mul_binary(&k);
+            for w in [2u32, 4, 5, 6] {
+                assert_eq!(mul_wtnaf(&g, &k, w), want, "seed {seed} w {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn wtnaf_on_non_generator_points() {
+        let g = generator();
+        let p = g.mul_binary(&Int::from(0xABCDEFi64));
+        for seed in 1..4u64 {
+            let k = scalar(seed + 40);
+            assert_eq!(mul_wtnaf(&p, &k, 4), p.mul_binary(&k), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn plain_tnaf_matches() {
+        let g = generator();
+        for seed in 1..4u64 {
+            let k = scalar(seed + 80);
+            assert_eq!(mul_tnaf(&g, &k), g.mul_binary(&k));
+        }
+    }
+
+    #[test]
+    fn mul_g_matches_wtnaf() {
+        for seed in 1..6u64 {
+            let k = scalar(seed + 7);
+            assert_eq!(mul_g(&k), generator().mul_binary(&k), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn edge_scalars() {
+        let g = generator();
+        assert!(mul_wtnaf(&g, &Int::zero(), 4).is_infinity());
+        assert!(mul_g(&Int::zero()).is_infinity());
+        assert_eq!(mul_g(&Int::one()), g);
+        assert!(mul_g(&order()).is_infinity(), "nG = O");
+        assert_eq!(mul_g(&(&order() - &Int::one())), g.negated());
+        assert_eq!(
+            mul_g(&(&order() + &Int::one())),
+            g,
+            "(n+1)G = G (reduction works past n)"
+        );
+    }
+
+    #[test]
+    fn precompute_table_entries_are_on_curve() {
+        let table = precompute_table(&generator(), 4);
+        assert_eq!(table.len(), 4);
+        assert_eq!(table[0], generator(), "α_1·G = G");
+        for (i, p) in table.iter().enumerate() {
+            assert!(p.is_on_curve(), "entry {i}");
+            assert!(!p.is_infinity(), "entry {i} must be finite");
+        }
+    }
+
+    #[test]
+    fn generator_table_has_16_entries() {
+        assert_eq!(generator_table().len(), 16);
+    }
+
+    #[test]
+    fn ladder_matches_binary() {
+        let g = generator();
+        for seed in 1..8u64 {
+            let k = scalar(seed + 100);
+            assert_eq!(montgomery_ladder(&g, &k), g.mul_binary(&k), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn ladder_small_and_edge_scalars() {
+        let g = generator();
+        for k in 1..16i64 {
+            let ki = Int::from(k);
+            assert_eq!(montgomery_ladder(&g, &ki), g.mul_binary(&ki), "k = {k}");
+        }
+        assert!(montgomery_ladder(&g, &Int::zero()).is_infinity());
+        assert!(montgomery_ladder(&g, &order()).is_infinity());
+        assert_eq!(
+            montgomery_ladder(&g, &(&order() - &Int::one())),
+            g.negated(),
+            "(n−1)P = −P exercises the z2 = 0 recovery branch"
+        );
+    }
+
+    #[test]
+    fn ladder_on_random_points() {
+        let p = generator().mul_binary(&Int::from(987654321i64));
+        for seed in 1..4u64 {
+            let k = scalar(seed + 200);
+            assert_eq!(montgomery_ladder(&p, &k), p.mul_binary(&k));
+        }
+    }
+
+    #[test]
+    fn double_multiply_matches_separate_multiplications() {
+        let q = generator().mul_binary(&Int::from(777i64));
+        for seed in 1..5u64 {
+            let u1 = scalar(seed + 300);
+            let u2 = scalar(seed + 400);
+            let separate = mul_g(&u1).add(&mul_wtnaf(&q, &u2, 4));
+            assert_eq!(double_multiply(&u1, &u2, &q), separate, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn double_multiply_edge_cases() {
+        let q = generator().mul_binary(&Int::from(99i64));
+        let k = scalar(500);
+        assert_eq!(double_multiply(&Int::zero(), &k, &q), mul_wtnaf(&q, &k, 4));
+        assert_eq!(double_multiply(&k, &Int::zero(), &q), mul_g(&k));
+        assert_eq!(
+            double_multiply(&k, &k, &Affine::Infinity),
+            mul_g(&k),
+            "infinity Q degenerates to a single multiplication"
+        );
+        // u1·G + u2·Q = O when u2·Q = −u1·G.
+        let u1 = Int::from(5i64);
+        let g5 = mul_g(&u1);
+        let neg_scalar = (&order() - &u1).mod_positive(&order());
+        assert!(double_multiply(&u1, &neg_scalar, &generator())
+            .is_infinity());
+        let _ = g5;
+    }
+
+    #[test]
+    fn multiplication_is_a_homomorphism() {
+        // (a + b)G = aG + bG through the fast paths.
+        let a = scalar(11);
+        let b = scalar(22);
+        let sum = (&a + &b).mod_positive(&order());
+        assert_eq!(mul_g(&a).add(&mul_g(&b)), mul_g(&sum));
+    }
+}

@@ -1,0 +1,236 @@
+//! López-Dahab projective coordinates (x = X/Z, y = Y/Z²).
+//!
+//! The coordinate system of the paper's implementations: point doubling
+//! costs 3M + 5S, mixed LD+affine addition 7M + 4S (a = 0, b = 1), the
+//! Frobenius map 3S, and converting back to affine costs one inversion —
+//! the single inversion that the paper's Table 7 charges per point
+//! multiplication.
+
+use crate::curve::Affine;
+use gf2m::Fe;
+
+/// A point in López-Dahab projective coordinates. `Z = 0` encodes the
+/// point at infinity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LdPoint {
+    /// X coordinate (x = X/Z).
+    pub x: Fe,
+    /// Y coordinate (y = Y/Z²).
+    pub y: Fe,
+    /// Projective denominator.
+    pub z: Fe,
+}
+
+impl LdPoint {
+    /// The point at infinity.
+    pub const INFINITY: LdPoint = LdPoint {
+        x: Fe::ONE,
+        y: Fe::ZERO,
+        z: Fe::ZERO,
+    };
+
+    /// Lifts an affine point (Z = 1).
+    pub fn from_affine(p: &Affine) -> LdPoint {
+        match *p {
+            Affine::Infinity => LdPoint::INFINITY,
+            Affine::Point { x, y } => LdPoint { x, y, z: Fe::ONE },
+        }
+    }
+
+    /// Whether this encodes the point at infinity.
+    pub fn is_infinity(&self) -> bool {
+        self.z.is_zero()
+    }
+
+    /// Converts back to affine: x = X·Z⁻¹, y = Y·(Z⁻¹)². This is the
+    /// one place a point multiplication pays a field inversion.
+    pub fn to_affine(self) -> Affine {
+        if self.is_infinity() {
+            return Affine::Infinity;
+        }
+        let zi = self.z.invert().expect("finite point has Z != 0");
+        let x = self.x * zi;
+        let y = self.y * zi.square();
+        Affine::Point { x, y }
+    }
+
+    /// Point doubling, LD coordinates, a = 0, b = 1
+    /// (Guide to ECC Alg. 3.24 specialised): 3M + 5S.
+    #[must_use]
+    pub fn double(&self) -> LdPoint {
+        if self.is_infinity() {
+            return *self;
+        }
+        let t1 = self.z.square(); // Z1²
+        let t2 = self.x.square(); // X1²
+        let z3 = t1 * t2; // X1²·Z1²
+        let x2sq = t2.square(); // X1⁴
+        let bz4 = t1.square(); // b·Z1⁴ (b = 1)
+        let x3 = x2sq + bz4;
+        if x3.is_zero() {
+            // The doubled point is 2-torsion-adjacent: X3 = 0 means the
+            // result is the point (0, √b) or infinity on the next step;
+            // the formulas remain valid, keep going.
+        }
+        let y1sq = self.y.square();
+        // Y3 = b·Z1⁴·Z3 + X3·(a·Z3 + Y1² + b·Z1⁴), a = 0.
+        let y3 = bz4 * z3 + x3 * (y1sq + bz4);
+        LdPoint { x: x3, y: y3, z: z3 }
+    }
+
+    /// Mixed addition: `self` (LD) + `other` (affine), a = 0
+    /// (Guide to ECC Alg. 3.25 specialised): 7M + 4S.
+    ///
+    /// Falls back to doubling / infinity handling for the degenerate
+    /// cases (P = ±Q, either infinity).
+    #[must_use]
+    pub fn add_affine(&self, other: &Affine) -> LdPoint {
+        let (x2, y2) = match *other {
+            Affine::Infinity => return *self,
+            Affine::Point { x, y } => (x, y),
+        };
+        if self.is_infinity() {
+            return LdPoint::from_affine(other);
+        }
+        let z1sq = self.z.square();
+        let a = self.y + y2 * z1sq; // A = Y1 + y2·Z1²
+        let b = self.x + x2 * self.z; // B = X1 + x2·Z1
+        if b.is_zero() {
+            // x-coordinates match: either P = Q (A = 0 → double) or
+            // P = −Q (→ infinity).
+            return if a.is_zero() {
+                self.double()
+            } else {
+                LdPoint::INFINITY
+            };
+        }
+        let c = self.z * b; // C = Z1·B
+        let z3 = c.square();
+        let d = b.square() * c; // D = B²·(C + a·Z1²), a = 0
+        let e = a * c;
+        let x3 = a.square() + d + e;
+        let f = x3 + x2 * z3;
+        let g = (x2 + y2) * z3.square();
+        let y3 = (e + z3) * f + g;
+        LdPoint { x: x3, y: y3, z: z3 }
+    }
+
+    /// The Frobenius endomorphism in LD coordinates:
+    /// (X, Y, Z) → (X², Y², Z²) — three squarings, no multiplication.
+    #[must_use]
+    pub fn frobenius(&self) -> LdPoint {
+        LdPoint {
+            x: self.x.square(),
+            y: self.y.square(),
+            z: self.z.square(),
+        }
+    }
+
+    /// Point negation: −(X, Y, Z) = (X, X·Z + Y, Z). Costs 1M.
+    #[must_use]
+    pub fn negated(&self) -> LdPoint {
+        LdPoint {
+            x: self.x,
+            y: self.x * self.z + self.y,
+            z: self.z,
+        }
+    }
+}
+
+impl From<Affine> for LdPoint {
+    fn from(p: Affine) -> LdPoint {
+        LdPoint::from_affine(&p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curve::generator;
+    use crate::int::Int;
+
+    fn multiple(k: i64) -> Affine {
+        generator().mul_binary(&Int::from(k))
+    }
+
+    #[test]
+    fn roundtrip_affine() {
+        let g = generator();
+        assert_eq!(LdPoint::from_affine(&g).to_affine(), g);
+        assert_eq!(
+            LdPoint::from_affine(&Affine::Infinity).to_affine(),
+            Affine::Infinity
+        );
+    }
+
+    #[test]
+    fn double_matches_affine() {
+        for k in 1..20i64 {
+            let p = multiple(k);
+            let got = LdPoint::from_affine(&p).double().to_affine();
+            assert_eq!(got, p.double(), "2·({k}G)");
+        }
+    }
+
+    #[test]
+    fn mixed_add_matches_affine() {
+        for k in 1..15i64 {
+            let p = multiple(k);
+            let q = multiple(k + 17);
+            let got = LdPoint::from_affine(&p).add_affine(&q).to_affine();
+            assert_eq!(got, p.add(&q), "{k}G + {}G", k + 17);
+        }
+    }
+
+    #[test]
+    fn mixed_add_degenerate_cases() {
+        let g = generator();
+        let gp = LdPoint::from_affine(&g);
+        // P + P → doubling path.
+        assert_eq!(gp.add_affine(&g).to_affine(), g.double());
+        // P + (−P) → infinity.
+        assert!(gp.add_affine(&g.negated()).is_infinity());
+        // P + O and O + P.
+        assert_eq!(gp.add_affine(&Affine::Infinity).to_affine(), g);
+        assert_eq!(
+            LdPoint::INFINITY.add_affine(&g).to_affine(),
+            g
+        );
+    }
+
+    #[test]
+    fn add_after_double_has_nontrivial_z() {
+        // Exercise the mixed addition with Z1 ≠ 1.
+        let g = generator();
+        let p5 = multiple(5);
+        let acc = LdPoint::from_affine(&g).double().double(); // 4G, Z != 1
+        assert_eq!(acc.add_affine(&p5).to_affine(), multiple(9));
+    }
+
+    #[test]
+    fn frobenius_matches_affine_frobenius() {
+        let p = multiple(7);
+        let acc = LdPoint::from_affine(&generator()).double().add_affine(&p); // Z != 1
+        let via_ld = acc.frobenius().to_affine();
+        let via_affine = acc.to_affine().frobenius();
+        assert_eq!(via_ld, via_affine);
+    }
+
+    #[test]
+    fn negation_matches_affine() {
+        let p = multiple(11);
+        let acc = LdPoint::from_affine(&p).double(); // Z != 1
+        assert_eq!(acc.negated().to_affine(), acc.to_affine().negated());
+        assert!(LdPoint::INFINITY.negated().is_infinity());
+    }
+
+    #[test]
+    fn chained_operations_stay_on_curve() {
+        let g = generator();
+        let mut acc = LdPoint::from_affine(&g);
+        for k in 2..12i64 {
+            acc = acc.double().add_affine(&multiple(k));
+            assert!(acc.to_affine().is_on_curve(), "step {k}");
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Property tests over the koblitz internals: the ℤ[τ] machinery with
+//! arbitrary (including negative) inputs, bignum laws, and projective
+//! versus affine group-law agreement.
+
+use koblitz::curve::{generator, Affine};
+use koblitz::projective::LdPoint;
+use koblitz::{tnaf, Int};
+use proptest::prelude::*;
+
+fn arb_int(limbs: usize) -> impl Strategy<Value = Int> {
+    (proptest::collection::vec(any::<u32>(), 1..=limbs), any::<bool>())
+        .prop_map(|(mag, neg)| Int::from_limbs(neg, mag))
+}
+
+fn apply_zt(r0: &Int, r1: &Int, p: &Affine) -> Affine {
+    let part = |r: &Int, q: &Affine| {
+        let m = q.mul_binary(&r.abs());
+        if r.is_negative() {
+            m.negated()
+        } else {
+            m
+        }
+    };
+    part(r0, p).add(&part(r1, &p.frobenius()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn int_ring_laws(a in arb_int(6), b in arb_int(6), c in arb_int(6)) {
+        prop_assert_eq!(&a + &b, &b + &a);
+        prop_assert_eq!(&a * &b, &b * &a);
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+        prop_assert_eq!(&(&a * &b) * &c, &a * &(&b * &c));
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+        prop_assert_eq!(&a - &a, Int::zero());
+    }
+
+    #[test]
+    fn int_divrem_round_bounds(a in arb_int(8), d in arb_int(5)) {
+        prop_assume!(!d.is_zero());
+        let (q, r) = a.divrem_round(&d);
+        prop_assert_eq!(&(&q * &d) + &r, a);
+        // |r| ≤ |d|/2 (with the half-open convention at the boundary).
+        let two_r = r.abs().shl(1);
+        let bound = &d.abs() + &Int::one();
+        prop_assert!(two_r <= bound, "2|r| = {} vs |d|+1 = {}", two_r, bound);
+    }
+
+    #[test]
+    fn zt_norm_is_multiplicative(a0 in -1000i64..1000, a1 in -1000i64..1000,
+                                 b0 in -1000i64..1000, b1 in -1000i64..1000) {
+        let (a0, a1) = (Int::from(a0), Int::from(a1));
+        let (b0, b1) = (Int::from(b0), Int::from(b1));
+        let (c0, c1) = tnaf::zt_mul(&a0, &a1, &b0, &b1);
+        prop_assert_eq!(
+            tnaf::zt_norm(&c0, &c1),
+            &tnaf::zt_norm(&a0, &a1) * &tnaf::zt_norm(&b0, &b1)
+        );
+    }
+
+    #[test]
+    fn wtnaf_digit_constraints_hold_for_arbitrary_zt_elements(
+        r0 in arb_int(3), r1 in arb_int(3), w in 3u32..=6
+    ) {
+        let digits = tnaf::wtnaf(r0, r1, w);
+        let bound = 1i16 << (w - 1);
+        for &d in &digits {
+            prop_assert!(d == 0 || (d % 2 != 0 && (d as i16).abs() < bound));
+        }
+        let mut last: Option<usize> = None;
+        for (i, &d) in digits.iter().enumerate() {
+            if d != 0 {
+                if let Some(prev) = last {
+                    prop_assert!(i - prev >= w as usize, "spacing violation at {i}");
+                }
+                last = Some(i);
+            }
+        }
+    }
+}
+
+proptest! {
+    // Group-law cases run field inversions; keep the case count small.
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn tnaf_of_small_zt_elements_evaluates_correctly(
+        r0 in -2000i64..2000, r1 in -2000i64..2000
+    ) {
+        let g = generator();
+        let (r0, r1) = (Int::from(r0), Int::from(r1));
+        let want = apply_zt(&r0, &r1, &g);
+        let digits = tnaf::tnaf(r0, r1);
+        let mut acc = Affine::Infinity;
+        for &d in digits.iter().rev() {
+            acc = acc.frobenius();
+            if d == 1 {
+                acc = acc.add(&g);
+            } else if d == -1 {
+                acc = acc.add(&g.negated());
+            }
+        }
+        prop_assert_eq!(acc, want);
+    }
+
+    #[test]
+    fn projective_chain_matches_affine_chain(ops in proptest::collection::vec(any::<bool>(), 1..12)) {
+        // A random walk of doublings and additions executed in both
+        // coordinate systems must land on the same point.
+        let g = generator();
+        let q = g.mul_binary(&Int::from(3i64));
+        let mut ld = LdPoint::from_affine(&g);
+        let mut affine = g;
+        for &double in &ops {
+            if double {
+                ld = ld.double();
+                affine = affine.double();
+            } else {
+                ld = ld.add_affine(&q);
+                affine = affine.add(&q);
+            }
+            prop_assert_eq!(ld.to_affine(), affine);
+        }
+    }
+
+    #[test]
+    fn partmod_output_is_always_short(k_limbs in proptest::collection::vec(any::<u32>(), 1..8)) {
+        let k = Int::from_limbs(false, k_limbs).mod_positive(&koblitz::order());
+        let (r0, r1) = tnaf::partmod(&k);
+        prop_assert!(r0.bits() <= 121, "r0 bits {}", r0.bits());
+        prop_assert!(r1.bits() <= 121, "r1 bits {}", r1.bits());
+        let digits = tnaf::tnaf(r0, r1);
+        prop_assert!(digits.len() <= koblitz::curve_m() + 6, "length {}", digits.len());
+    }
+}

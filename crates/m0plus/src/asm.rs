@@ -1,0 +1,364 @@
+//! A small two-pass Thumb assembler: labels, branch fix-ups, `BL`
+//! calls and PC-relative literal pools, producing an executable
+//! [`Program`] image for the [`Executor`](crate::exec).
+//!
+//! Together with [`crate::exec`] this closes the loop the cost model
+//! opens: a routine can be written once as assembly, encoded to the
+//! exact halfwords a Cortex-M0+ would fetch, and then *executed from
+//! those halfwords* with the same cycle/energy accounting as the
+//! method-call kernels.
+
+use crate::isa::Instr;
+use crate::machine::Cond;
+use std::collections::HashMap;
+use std::fmt;
+
+/// One assembler item.
+#[derive(Debug, Clone)]
+enum Item {
+    /// A zero-size placeholder carrying an extra label.
+    PlainMarker,
+    /// A fully-encoded, position-independent instruction.
+    Plain(Instr),
+    /// Conditional or unconditional branch to a label.
+    Branch { cond: Option<Cond>, target: String },
+    /// Call to a label (32-bit `BL`).
+    Call(String),
+    /// PC-relative literal load; the pool slot is allocated at
+    /// assembly time.
+    Literal { rt: crate::Reg, value: u32 },
+}
+
+/// Assembly errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A branch target was never defined.
+    UndefinedLabel(String),
+    /// A label was defined twice.
+    DuplicateLabel(String),
+    /// A conditional branch target is beyond ±255 halfwords.
+    BranchOutOfRange(String),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UndefinedLabel(l) => write!(f, "undefined label {l:?}"),
+            AsmError::DuplicateLabel(l) => write!(f, "duplicate label {l:?}"),
+            AsmError::BranchOutOfRange(l) => write!(f, "branch to {l:?} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// An assembled program: Thumb halfwords plus the literal pool and the
+/// resolved label map (halfword indices).
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// The code image, halfword per element (BL takes two).
+    pub code: Vec<u16>,
+    /// Literal pool appended after the code (word values).
+    pub pool: Vec<u32>,
+    /// Label → halfword index.
+    pub labels: HashMap<String, usize>,
+}
+
+impl Program {
+    /// Flash footprint in bytes (code + pool).
+    pub fn size_bytes(&self) -> usize {
+        2 * self.code.len() + 4 * self.pool.len()
+    }
+}
+
+/// The two-pass assembler. Push instructions and labels in order, then
+/// [`Assembler::assemble`].
+///
+/// ```
+/// use m0plus::asm::Assembler;
+/// use m0plus::{Instr, Reg};
+///
+/// let mut a = Assembler::new();
+/// a.label("loop");
+/// a.push(Instr::SubsImm8 { rdn: Reg::R0, imm: 1 });
+/// a.branch_if(m0plus::Cond::Ne, "loop");
+/// a.push(Instr::Bx);
+/// let program = a.assemble()?;
+/// assert_eq!(program.code.len(), 3);
+/// # Ok::<(), m0plus::asm::AsmError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct Assembler {
+    items: Vec<(Option<String>, Item)>,
+    pending_label: Vec<String>,
+}
+
+impl Assembler {
+    /// An empty assembler.
+    pub fn new() -> Assembler {
+        Assembler::default()
+    }
+
+    /// Defines a label at the current position.
+    pub fn label(&mut self, name: &str) {
+        self.pending_label.push(name.to_string());
+    }
+
+    fn push_item(&mut self, item: Item) {
+        let label = self.pending_label.pop();
+        // Multiple labels on one spot: keep them all by emitting
+        // zero-size aliases (handled in assemble()).
+        while let Some(extra) = self.pending_label.pop() {
+            self.items.push((Some(extra), Item::PlainMarker));
+        }
+        self.items.push((label, item));
+    }
+
+    /// Appends a position-independent instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `B`/`BCond`/`Bl`/`LdrLit` — those need targets; use
+    /// [`Assembler::branch`], [`Assembler::branch_if`],
+    /// [`Assembler::call`] or [`Assembler::load_literal`].
+    pub fn push(&mut self, instr: Instr) {
+        assert!(
+            !matches!(
+                instr,
+                Instr::B | Instr::BCond { .. } | Instr::Bl | Instr::LdrLit { .. }
+            ),
+            "use the label-aware helpers for control flow and literals"
+        );
+        self.push_item(Item::Plain(instr));
+    }
+
+    /// Unconditional branch to `target`.
+    pub fn branch(&mut self, target: &str) {
+        self.push_item(Item::Branch {
+            cond: None,
+            target: target.to_string(),
+        });
+    }
+
+    /// Conditional branch to `target`.
+    pub fn branch_if(&mut self, cond: Cond, target: &str) {
+        self.push_item(Item::Branch {
+            cond: Some(cond),
+            target: target.to_string(),
+        });
+    }
+
+    /// `BL target` — call a label.
+    pub fn call(&mut self, target: &str) {
+        self.push_item(Item::Call(target.to_string()));
+    }
+
+    /// Loads a 32-bit constant from the literal pool.
+    pub fn load_literal(&mut self, rt: crate::Reg, value: u32) {
+        self.push_item(Item::Literal { rt, value });
+    }
+
+    /// Resolves labels and produces the program image.
+    ///
+    /// # Errors
+    ///
+    /// Reports undefined/duplicate labels and out-of-range conditional
+    /// branches.
+    pub fn assemble(&self) -> Result<Program, AsmError> {
+        // Pass 1: lay out halfword offsets and collect labels.
+        let mut labels: HashMap<String, usize> = HashMap::new();
+        let mut offsets = Vec::with_capacity(self.items.len());
+        let mut pc = 0usize;
+        for (label, item) in &self.items {
+            if let Some(l) = label {
+                if labels.insert(l.clone(), pc).is_some() {
+                    return Err(AsmError::DuplicateLabel(l.clone()));
+                }
+            }
+            offsets.push(pc);
+            pc += match item {
+                Item::PlainMarker => 0,
+                Item::Call(_) => 2,
+                Item::Plain(i) => i.encode().len(),
+                Item::Branch { .. } | Item::Literal { .. } => 1,
+            };
+        }
+        // Trailing labels (e.g. "end").
+        for l in self.pending_label.iter() {
+            if labels.insert(l.clone(), pc).is_some() {
+                return Err(AsmError::DuplicateLabel(l.clone()));
+            }
+        }
+        let code_len = pc;
+
+        // Pass 2: emit with resolved offsets; literals index the pool
+        // placed right after the code.
+        let mut code = Vec::with_capacity(code_len);
+        let mut pool: Vec<u32> = Vec::new();
+        for (idx, (_, item)) in self.items.iter().enumerate() {
+            let here = offsets[idx];
+            match item {
+                Item::PlainMarker => {}
+                Item::Plain(i) => code.extend(i.encode()),
+                Item::Literal { rt, value } => {
+                    let slot = pool.iter().position(|&v| v == *value).unwrap_or_else(|| {
+                        pool.push(*value);
+                        pool.len() - 1
+                    });
+                    // Encoded with the *pool slot index* in the imm8
+                    // field; the executor resolves pool-relative.
+                    code.extend(
+                        Instr::LdrLit {
+                            rt: *rt,
+                            imm_words: slot as u32,
+                        }
+                        .encode(),
+                    );
+                }
+                Item::Branch { cond, target } => {
+                    let to = *labels
+                        .get(target)
+                        .ok_or_else(|| AsmError::UndefinedLabel(target.clone()))?;
+                    // Offset relative to PC+2 halfwords (pipeline), in
+                    // halfwords.
+                    let rel = to as i64 - (here as i64 + 2);
+                    match cond {
+                        Some(c) => {
+                            if !(-128..=127).contains(&rel) {
+                                return Err(AsmError::BranchOutOfRange(target.clone()));
+                            }
+                            let base = Instr::BCond { cond: *c }.encode()[0];
+                            code.push(base | (rel as u8) as u16);
+                        }
+                        None => {
+                            if !(-1024..=1023).contains(&rel) {
+                                return Err(AsmError::BranchOutOfRange(target.clone()));
+                            }
+                            let base = Instr::B.encode()[0];
+                            code.push(base | (rel as u16 & 0x7FF));
+                        }
+                    }
+                }
+                Item::Call(target) => {
+                    let to = *labels
+                        .get(target)
+                        .ok_or_else(|| AsmError::UndefinedLabel(target.clone()))?;
+                    let rel = to as i64 - (here as i64 + 2);
+                    code.extend(encode_bl(rel as i32));
+                }
+            }
+        }
+        Ok(Program { code, pool, labels })
+    }
+}
+
+/// Encodes `BL` with a halfword offset (T1 encoding: S:imm10 / J1 J2
+/// imm11 with I1 = NOT(J1 XOR S), I2 = NOT(J2 XOR S)).
+pub fn encode_bl(offset_halfwords: i32) -> [u16; 2] {
+    let imm = offset_halfwords; // offset in halfwords = bytes/2
+    let s = ((imm >> 23) & 1) as u16;
+    let i1 = ((imm >> 22) & 1) as u16;
+    let i2 = ((imm >> 21) & 1) as u16;
+    let imm10 = ((imm >> 11) & 0x3FF) as u16;
+    let imm11 = (imm & 0x7FF) as u16;
+    let j1 = (!(i1 ^ s)) & 1;
+    let j2 = (!(i2 ^ s)) & 1;
+    let first = 0b11110 << 11 | s << 10 | imm10;
+    let second = 0b11 << 14 | j1 << 13 | 1 << 12 | j2 << 11 | imm11;
+    [first, second]
+}
+
+/// Decodes a `BL` pair back to its halfword offset.
+pub fn decode_bl(first: u16, second: u16) -> i32 {
+    let s = ((first >> 10) & 1) as i32;
+    let imm10 = (first & 0x3FF) as i32;
+    let j1 = ((second >> 13) & 1) as i32;
+    let j2 = ((second >> 11) & 1) as i32;
+    let imm11 = (second & 0x7FF) as i32;
+    let i1 = (!(j1 ^ s)) & 1;
+    let i2 = (!(j2 ^ s)) & 1;
+    let raw = (s << 23) | (i1 << 22) | (i2 << 21) | (imm10 << 11) | imm11;
+    // Sign-extend from bit 23.
+    (raw << 8) >> 8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Instr, Reg};
+
+    #[test]
+    fn forward_and_backward_branches_resolve() {
+        let mut a = Assembler::new();
+        a.push(Instr::MovsImm { rd: Reg::R0, imm: 3 });
+        a.label("loop");
+        a.push(Instr::SubsImm8 { rdn: Reg::R0, imm: 1 });
+        a.branch_if(Cond::Ne, "loop");
+        a.branch("end");
+        a.push(Instr::Nop); // skipped
+        a.label("end");
+        a.push(Instr::Bx);
+        let p = a.assemble().expect("assembles");
+        assert_eq!(p.labels["loop"], 1);
+        assert_eq!(p.labels["end"], 5);
+        // bne loop: at index 2, target 1 → rel = 1 - 4 = -3 → 0xFD.
+        assert_eq!(p.code[2] & 0xFF, 0xFD);
+    }
+
+    #[test]
+    fn undefined_and_duplicate_labels_error() {
+        let mut a = Assembler::new();
+        a.branch("nowhere");
+        assert_eq!(
+            a.assemble().err(),
+            Some(AsmError::UndefinedLabel("nowhere".into()))
+        );
+
+        let mut b = Assembler::new();
+        b.label("x");
+        b.push(Instr::Nop);
+        b.label("x");
+        b.push(Instr::Nop);
+        assert_eq!(b.assemble().err(), Some(AsmError::DuplicateLabel("x".into())));
+    }
+
+    #[test]
+    fn literal_pool_dedupes() {
+        let mut a = Assembler::new();
+        a.load_literal(Reg::R0, 0xDEADBEEF);
+        a.load_literal(Reg::R1, 0x1FF);
+        a.load_literal(Reg::R2, 0xDEADBEEF);
+        a.push(Instr::Bx);
+        let p = a.assemble().expect("assembles");
+        assert_eq!(p.pool, vec![0xDEADBEEF, 0x1FF]);
+        assert_eq!(p.size_bytes(), 4 * 2 + 2 * 4);
+    }
+
+    #[test]
+    fn bl_offset_roundtrip() {
+        for off in [-5000i32, -3, -1, 0, 1, 4, 4095, 100_000] {
+            let [f, s] = encode_bl(off);
+            assert_eq!(decode_bl(f, s), off, "offset {off}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "label-aware helpers")]
+    fn raw_branch_push_is_rejected() {
+        Assembler::new().push(Instr::B);
+    }
+
+    #[test]
+    fn branch_out_of_range_detected() {
+        let mut a = Assembler::new();
+        a.label("start");
+        for _ in 0..200 {
+            a.push(Instr::Nop);
+        }
+        a.branch_if(Cond::Eq, "start");
+        assert_eq!(
+            a.assemble().err(),
+            Some(AsmError::BranchOutOfRange("start".into()))
+        );
+    }
+}

@@ -1,0 +1,203 @@
+//! Instruction classes and their cycle costs on the Cortex-M0+.
+//!
+//! Cycle counts follow the Cortex-M0+ Technical Reference Manual (r0p1),
+//! the document the paper cites as reference \[2\]. The M0+ has a 2-stage
+//! pipeline, which is why a taken branch costs only 2 cycles (1 on the
+//! older 3-stage M0 costs 3). The single-cycle multiplier configuration is
+//! assumed (`MULS` = 1 cycle), matching the paper's energy table in which a
+//! `MUL` costs about the same energy per cycle as a shift.
+
+/// A class of Thumb (ARMv6-M) instructions with uniform cycle cost and
+/// uniform per-cycle energy.
+///
+/// The granularity matches the paper's Table 3, which distinguishes
+/// `LDR`, `LSR`, `MUL`, `LSL`, `XOR` (`EORS`) and `ADD`; the remaining
+/// classes cover the instructions needed by the ECC kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum InstrClass {
+    /// Memory load (`LDR`, `LDRH`, `LDRB`): 2 cycles.
+    Ldr,
+    /// Memory store (`STR`, `STRH`, `STRB`): 2 cycles.
+    Str,
+    /// Logical shift left (`LSLS`): 1 cycle.
+    Lsl,
+    /// Logical / arithmetic shift right (`LSRS`, `ASRS`, `RORS`): 1 cycle.
+    Lsr,
+    /// Exclusive or (`EORS`): 1 cycle.
+    Eor,
+    /// Other bitwise logic (`ANDS`, `ORRS`, `BICS`, `MVNS`, `TST`): 1 cycle.
+    Logic,
+    /// Addition (`ADDS`, `ADCS`, `ADD`): 1 cycle.
+    Add,
+    /// Subtraction / compare-negative (`SUBS`, `SBCS`, `RSBS`): 1 cycle.
+    Sub,
+    /// Multiply (`MULS`): 1 cycle (single-cycle multiplier configuration).
+    Mul,
+    /// Register / immediate moves (`MOVS`, `MOV`, sign/zero extends): 1 cycle.
+    Mov,
+    /// Compare (`CMP`, `CMN`): 1 cycle.
+    Cmp,
+    /// Taken branch (conditional or not) / `BX`: 2 cycles (pipeline refill).
+    BranchTaken,
+    /// Conditional branch that falls through: 1 cycle.
+    BranchNotTaken,
+    /// Branch with link (`BL`): 3 cycles.
+    Bl,
+    /// One register transferred by `PUSH`/`POP`/`LDM`/`STM`
+    /// (cost 1 + N cycles is modelled as one `StackWord` per register plus
+    /// one [`InstrClass::Mov`]-class base cycle charged by the helper).
+    StackWord,
+    /// `NOP` or architectural padding: 1 cycle.
+    Nop,
+}
+
+impl InstrClass {
+    /// All instruction classes, in a stable display order.
+    pub const ALL: [InstrClass; 16] = [
+        InstrClass::Ldr,
+        InstrClass::Str,
+        InstrClass::Lsl,
+        InstrClass::Lsr,
+        InstrClass::Eor,
+        InstrClass::Logic,
+        InstrClass::Add,
+        InstrClass::Sub,
+        InstrClass::Mul,
+        InstrClass::Mov,
+        InstrClass::Cmp,
+        InstrClass::BranchTaken,
+        InstrClass::BranchNotTaken,
+        InstrClass::Bl,
+        InstrClass::StackWord,
+        InstrClass::Nop,
+    ];
+
+    /// The cycle cost of one instruction of this class on the Cortex-M0+.
+    ///
+    /// ```
+    /// use m0plus::InstrClass;
+    /// assert_eq!(InstrClass::Ldr.cycles(), 2);
+    /// assert_eq!(InstrClass::Eor.cycles(), 1);
+    /// assert_eq!(InstrClass::BranchTaken.cycles(), 2);
+    /// ```
+    pub const fn cycles(self) -> u64 {
+        match self {
+            InstrClass::Ldr | InstrClass::Str => 2,
+            InstrClass::BranchTaken => 2,
+            InstrClass::Bl => 3,
+            InstrClass::Lsl
+            | InstrClass::Lsr
+            | InstrClass::Eor
+            | InstrClass::Logic
+            | InstrClass::Add
+            | InstrClass::Sub
+            | InstrClass::Mul
+            | InstrClass::Mov
+            | InstrClass::Cmp
+            | InstrClass::BranchNotTaken
+            | InstrClass::StackWord
+            | InstrClass::Nop => 1,
+        }
+    }
+
+    /// A short mnemonic used in reports.
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            InstrClass::Ldr => "LDR",
+            InstrClass::Str => "STR",
+            InstrClass::Lsl => "LSL",
+            InstrClass::Lsr => "LSR",
+            InstrClass::Eor => "EOR",
+            InstrClass::Logic => "AND/ORR",
+            InstrClass::Add => "ADD",
+            InstrClass::Sub => "SUB",
+            InstrClass::Mul => "MUL",
+            InstrClass::Mov => "MOV",
+            InstrClass::Cmp => "CMP",
+            InstrClass::BranchTaken => "B(taken)",
+            InstrClass::BranchNotTaken => "B(fall)",
+            InstrClass::Bl => "BL",
+            InstrClass::StackWord => "PUSH/POP",
+            InstrClass::Nop => "NOP",
+        }
+    }
+
+    /// Index of this class inside [`InstrClass::ALL`], used for dense
+    /// per-class counters.
+    pub(crate) const fn index(self) -> usize {
+        match self {
+            InstrClass::Ldr => 0,
+            InstrClass::Str => 1,
+            InstrClass::Lsl => 2,
+            InstrClass::Lsr => 3,
+            InstrClass::Eor => 4,
+            InstrClass::Logic => 5,
+            InstrClass::Add => 6,
+            InstrClass::Sub => 7,
+            InstrClass::Mul => 8,
+            InstrClass::Mov => 9,
+            InstrClass::Cmp => 10,
+            InstrClass::BranchTaken => 11,
+            InstrClass::BranchNotTaken => 12,
+            InstrClass::Bl => 13,
+            InstrClass::StackWord => 14,
+            InstrClass::Nop => 15,
+        }
+    }
+}
+
+impl std::fmt::Display for InstrClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_ops_cost_two_cycles() {
+        assert_eq!(InstrClass::Ldr.cycles(), 2);
+        assert_eq!(InstrClass::Str.cycles(), 2);
+    }
+
+    #[test]
+    fn data_processing_costs_one_cycle() {
+        for c in [
+            InstrClass::Lsl,
+            InstrClass::Lsr,
+            InstrClass::Eor,
+            InstrClass::Logic,
+            InstrClass::Add,
+            InstrClass::Sub,
+            InstrClass::Mul,
+            InstrClass::Mov,
+            InstrClass::Cmp,
+        ] {
+            assert_eq!(c.cycles(), 1, "{c} should be single-cycle");
+        }
+    }
+
+    #[test]
+    fn branch_costs_match_two_stage_pipeline() {
+        assert_eq!(InstrClass::BranchTaken.cycles(), 2);
+        assert_eq!(InstrClass::BranchNotTaken.cycles(), 1);
+        assert_eq!(InstrClass::Bl.cycles(), 3);
+    }
+
+    #[test]
+    fn index_is_consistent_with_all() {
+        for (i, c) in InstrClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn mnemonics_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for c in InstrClass::ALL {
+            assert!(seen.insert(c.mnemonic()), "duplicate mnemonic {c}");
+        }
+    }
+}

@@ -1,0 +1,395 @@
+//! The machine-code executor: runs an assembled [`Program`] on the
+//! [`Machine`], fetching, decoding and dispatching real Thumb halfwords
+//! with the same per-instruction cost accounting as direct method
+//! calls.
+//!
+//! Supported control flow: conditional/unconditional branches, `BL`
+//! subroutine calls (a host-side return stack models `LR`), and `BX lr`
+//! which returns — or, at the outermost level, ends execution.
+
+use crate::asm::{decode_bl, Program};
+use crate::isa::Instr;
+use crate::machine::Machine;
+
+/// Execution errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// The program counter left the code image.
+    PcOutOfRange(usize),
+    /// An undecodable halfword was fetched.
+    InvalidInstruction { pc: usize, halfword: u16 },
+    /// The step budget was exhausted (runaway loop guard).
+    StepLimit,
+    /// A literal load referenced a missing pool slot.
+    BadLiteral { pc: usize, slot: usize },
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::PcOutOfRange(pc) => write!(f, "pc {pc} outside the code image"),
+            ExecError::InvalidInstruction { pc, halfword } => {
+                write!(f, "invalid instruction {halfword:04x} at {pc}")
+            }
+            ExecError::StepLimit => f.write_str("step limit exhausted"),
+            ExecError::BadLiteral { pc, slot } => {
+                write!(f, "literal slot {slot} missing at {pc}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Statistics of one program run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Cycles charged (from the machine's counter delta).
+    pub cycles: u64,
+}
+
+/// Runs `program` on `machine` starting at `entry` (a label) until the
+/// outermost `BX lr`, for at most `max_steps` instructions.
+///
+/// # Errors
+///
+/// Propagates label, decode, literal and runaway-loop failures; the
+/// machine state reflects everything executed up to the error.
+///
+/// # Panics
+///
+/// Panics if `entry` is not a label of the program.
+pub fn execute(
+    machine: &mut Machine,
+    program: &Program,
+    entry: &str,
+    max_steps: u64,
+) -> Result<ExecStats, ExecError> {
+    let mut pc = *program
+        .labels
+        .get(entry)
+        .unwrap_or_else(|| panic!("entry label {entry:?} not found"));
+    let mut call_stack: Vec<usize> = Vec::new();
+    let mut steps = 0u64;
+    let start_cycles = machine.cycles();
+
+    loop {
+        if steps >= max_steps {
+            return Err(ExecError::StepLimit);
+        }
+        if pc >= program.code.len() {
+            return Err(ExecError::PcOutOfRange(pc));
+        }
+        let hw = program.code[pc];
+        let window = &program.code[pc..(pc + 2).min(program.code.len())];
+        let (instr, width) = Instr::decode(window).ok_or(ExecError::InvalidInstruction {
+            pc,
+            halfword: hw,
+        })?;
+        steps += 1;
+
+        match instr {
+            Instr::BCond { cond } => {
+                let taken = machine.b_cond(cond);
+                if taken {
+                    let rel = (hw & 0xFF) as i8 as i64;
+                    pc = (pc as i64 + 2 + rel) as usize;
+                } else {
+                    pc += 1;
+                }
+            }
+            Instr::B => {
+                machine.b();
+                // Sign-extend the 11-bit offset.
+                let rel = ((hw & 0x7FF) as i16) << 5 >> 5;
+                pc = (pc as i64 + 2 + rel as i64) as usize;
+            }
+            Instr::Bl => {
+                machine.bl();
+                let rel = decode_bl(program.code[pc], program.code[pc + 1]) as i64;
+                call_stack.push(pc + 2);
+                pc = (pc as i64 + 2 + rel) as usize;
+            }
+            Instr::Bx => {
+                machine.bx();
+                match call_stack.pop() {
+                    Some(ret) => pc = ret,
+                    None => break,
+                }
+            }
+            Instr::LdrLit { rt, imm_words } => {
+                let slot = imm_words as usize;
+                let value = *program.pool.get(slot).ok_or(ExecError::BadLiteral {
+                    pc,
+                    slot,
+                })?;
+                machine.ldr_const(rt, value);
+                pc += 1;
+            }
+            Instr::Push { reg_count } | Instr::Pop { reg_count } => {
+                machine.stack_transfer(reg_count);
+                pc += width;
+            }
+            other => {
+                dispatch(machine, other);
+                pc += width;
+            }
+        }
+    }
+
+    Ok(ExecStats {
+        instructions: steps,
+        cycles: machine.cycles() - start_cycles,
+    })
+}
+
+/// Dispatches a position-independent instruction to its machine method.
+fn dispatch(m: &mut Machine, instr: Instr) {
+    use Instr::*;
+    match instr {
+        LslsImm { rd, rm, imm } => m.lsls_imm(rd, rm, imm),
+        LsrsImm { rd, rm, imm } => m.lsrs_imm(rd, rm, if imm == 0 { 32 } else { imm }),
+        AsrsImm { rd, rm, imm } => m.asrs_imm(rd, rm, if imm == 0 { 32 } else { imm }),
+        AddsReg { rd, rn, rm } => m.adds(rd, rn, rm),
+        SubsReg { rd, rn, rm } => m.subs(rd, rn, rm),
+        MovsImm { rd, imm } => m.movs_imm(rd, imm),
+        CmpImm { rn, imm } => m.cmp_imm(rn, imm),
+        AddsImm8 { rdn, imm } => m.adds_imm(rdn, imm),
+        SubsImm8 { rdn, imm } => m.subs_imm(rdn, imm),
+        Ands { rdn, rm } => m.ands(rdn, rm),
+        Eors { rdn, rm } => m.eors(rdn, rm),
+        LslsReg { rdn, rm } => m.lsls_reg(rdn, rm),
+        LsrsReg { rdn, rm } => m.lsrs_reg(rdn, rm),
+        Adcs { rdn, rm } => m.adcs(rdn, rm),
+        Sbcs { rdn, rm } => m.sbcs(rdn, rm),
+        Tst { rn, rm } => m.tst(rn, rm),
+        Rsbs { rd, rn } => m.rsbs(rd, rn),
+        CmpReg { rn, rm } => m.cmp(rn, rm),
+        Orrs { rdn, rm } => m.orrs(rdn, rm),
+        Muls { rdn, rm } => m.muls(rdn, rm),
+        Bics { rdn, rm } => m.bics(rdn, rm),
+        Mvns { rd, rm } => m.mvns(rd, rm),
+        Mov { rd, rm } => m.mov(rd, rm),
+        LdrImm { rt, rn, imm_words } => m.ldr(rt, rn, imm_words),
+        StrImm { rt, rn, imm_words } => m.str(rt, rn, imm_words),
+        LdrReg { rt, rn, rm } => m.ldr_reg(rt, rn, rm),
+        StrReg { rt, rn, rm } => m.str_reg(rt, rn, rm),
+        LdrSp { rt, imm_words } => m.ldr_sp(rt, imm_words),
+        StrSp { rt, imm_words } => m.str_sp(rt, imm_words),
+        Uxth { rd, rm } => m.uxth(rd, rm),
+        Nop => m.nop(),
+        B | BCond { .. } | Bl | Bx | LdrLit { .. } | Push { .. } | Pop { .. } => {
+            unreachable!("control flow handled by the executor loop")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Assembler;
+    use crate::{Cond, Instr, Reg};
+
+    #[test]
+    fn countdown_loop_executes_the_right_number_of_times() {
+        // r0 = 5; do { r1 += 2; r0 -= 1 } while (r0 != 0); bx lr
+        let mut m = Machine::new(64);
+        let p2 = {
+            let mut a = Assembler::new();
+            a.label("entry");
+            a.push(Instr::MovsImm { rd: Reg::R0, imm: 5 });
+            a.push(Instr::MovsImm { rd: Reg::R1, imm: 0 });
+            a.label("loop");
+            a.push(Instr::AddsImm8 { rdn: Reg::R1, imm: 2 });
+            a.push(Instr::SubsImm8 { rdn: Reg::R0, imm: 1 });
+            a.branch_if(Cond::Ne, "loop");
+            a.push(Instr::Bx);
+            a.assemble().expect("assembles")
+        };
+        let stats = execute(&mut m, &p2, "entry", 1000).expect("runs");
+        assert_eq!(m.reg(Reg::R1), 10);
+        assert_eq!(m.reg(Reg::R0), 0);
+        // 2 movs + 5×(adds, subs, bne) + bx; the last bne falls through.
+        assert_eq!(stats.instructions, 2 + 15 + 1);
+        // Cycles: 2 + 5×(1+1) + 4 taken + 1 untaken branches... count:
+        // movs 2, adds/subs 10, bne: 4 taken ×2 + 1 untaken ×1 = 9,
+        // bx 2 ⇒ 23.
+        assert_eq!(stats.cycles, 23);
+    }
+
+    #[test]
+    fn memcpy_program_copies_memory() {
+        // r0 = src, r1 = dst, r2 = word count.
+        let mut a = Assembler::new();
+        a.label("memcpy");
+        a.label("loop");
+        a.push(Instr::LdrImm { rt: Reg::R3, rn: Reg::R0, imm_words: 0 });
+        a.push(Instr::StrImm { rt: Reg::R3, rn: Reg::R1, imm_words: 0 });
+        a.push(Instr::AddsImm8 { rdn: Reg::R0, imm: 1 });
+        a.push(Instr::AddsImm8 { rdn: Reg::R1, imm: 1 });
+        a.push(Instr::SubsImm8 { rdn: Reg::R2, imm: 1 });
+        a.branch_if(Cond::Ne, "loop");
+        a.push(Instr::Bx);
+        let p = a.assemble().expect("assembles");
+
+        let mut m = Machine::new(256);
+        let src = m.alloc(8);
+        let dst = m.alloc(8);
+        m.write_slice(src, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        m.set_base(Reg::R0, src);
+        m.set_base(Reg::R1, dst);
+        m.set_reg(Reg::R2, 8);
+        execute(&mut m, &p, "memcpy", 1000).expect("runs");
+        assert_eq!(m.read_slice(dst, 8), vec![1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn subroutine_call_and_return() {
+        // main: r0 = 1; bl double; bl double; bx  (outermost return)
+        // double: adds r0, r0; bx lr
+        let mut a = Assembler::new();
+        a.label("main");
+        a.push(Instr::MovsImm { rd: Reg::R0, imm: 1 });
+        a.call("double");
+        a.call("double");
+        a.push(Instr::Bx);
+        a.label("double");
+        a.push(Instr::AddsReg { rd: Reg::R0, rn: Reg::R0, rm: Reg::R0 });
+        a.push(Instr::Bx);
+        let p = a.assemble().expect("assembles");
+
+        let mut m = Machine::new(64);
+        let stats = execute(&mut m, &p, "main", 100).expect("runs");
+        assert_eq!(m.reg(Reg::R0), 4);
+        // movs, 2×(bl, adds, bx), final bx = 8 instructions.
+        assert_eq!(stats.instructions, 8);
+    }
+
+    #[test]
+    fn literal_pool_loads_resolve() {
+        let mut a = Assembler::new();
+        a.label("entry");
+        a.load_literal(Reg::R0, 0x1234_5678);
+        a.load_literal(Reg::R1, 0x1FF);
+        a.push(Instr::Ands { rdn: Reg::R0, rm: Reg::R1 });
+        a.push(Instr::Bx);
+        let p = a.assemble().expect("assembles");
+        let mut m = Machine::new(64);
+        execute(&mut m, &p, "entry", 100).expect("runs");
+        assert_eq!(m.reg(Reg::R0), 0x1234_5678 & 0x1FF);
+    }
+
+    #[test]
+    fn runaway_loops_hit_the_step_limit() {
+        let mut a = Assembler::new();
+        a.label("spin");
+        a.branch("spin");
+        let p = a.assemble().expect("assembles");
+        let mut m = Machine::new(16);
+        assert_eq!(
+            execute(&mut m, &p, "spin", 50),
+            Err(ExecError::StepLimit)
+        );
+    }
+
+    #[test]
+    fn falling_off_the_end_is_detected() {
+        let mut a = Assembler::new();
+        a.label("entry");
+        a.push(Instr::Nop);
+        let p = a.assemble().expect("assembles");
+        let mut m = Machine::new(16);
+        assert_eq!(
+            execute(&mut m, &p, "entry", 10),
+            Err(ExecError::PcOutOfRange(1))
+        );
+    }
+
+    #[test]
+    fn invalid_instruction_is_reported() {
+        use std::collections::HashMap;
+        let mut labels = HashMap::new();
+        labels.insert("entry".to_string(), 0usize);
+        let program = Program {
+            code: vec![0b11111 << 11], // reserved encoding
+            pool: vec![],
+            labels,
+        };
+        let mut m = Machine::new(16);
+        assert_eq!(
+            execute(&mut m, &program, "entry", 10),
+            Err(ExecError::InvalidInstruction {
+                pc: 0,
+                halfword: 0b11111 << 11
+            })
+        );
+    }
+
+    #[test]
+    fn missing_literal_slot_is_reported() {
+        use std::collections::HashMap;
+        let mut labels = HashMap::new();
+        labels.insert("entry".to_string(), 0usize);
+        let program = Program {
+            code: Instr::LdrLit {
+                rt: Reg::R0,
+                imm_words: 3,
+            }
+            .encode(),
+            pool: vec![],
+            labels,
+        };
+        let mut m = Machine::new(16);
+        assert_eq!(
+            execute(&mut m, &program, "entry", 10),
+            Err(ExecError::BadLiteral { pc: 0, slot: 3 })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "entry label")]
+    fn unknown_entry_label_panics() {
+        let program = Assembler::new().assemble().expect("empty assembles");
+        let mut m = Machine::new(16);
+        let _ = execute(&mut m, &program, "nope", 10);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        assert!(format!("{}", ExecError::StepLimit).contains("step limit"));
+        assert!(format!("{}", ExecError::PcOutOfRange(7)).contains('7'));
+    }
+
+    #[test]
+    fn multiprecision_add_program() {
+        // 2-word add with carry: r0 = &a, r1 = &b, r2 = &out.
+        let mut a = Assembler::new();
+        a.label("add64");
+        a.push(Instr::LdrImm { rt: Reg::R3, rn: Reg::R0, imm_words: 0 });
+        a.push(Instr::LdrImm { rt: Reg::R4, rn: Reg::R1, imm_words: 0 });
+        a.push(Instr::AddsReg { rd: Reg::R3, rn: Reg::R3, rm: Reg::R4 });
+        a.push(Instr::StrImm { rt: Reg::R3, rn: Reg::R2, imm_words: 0 });
+        a.push(Instr::LdrImm { rt: Reg::R3, rn: Reg::R0, imm_words: 1 });
+        a.push(Instr::LdrImm { rt: Reg::R4, rn: Reg::R1, imm_words: 1 });
+        a.push(Instr::Adcs { rdn: Reg::R3, rm: Reg::R4 });
+        a.push(Instr::StrImm { rt: Reg::R3, rn: Reg::R2, imm_words: 1 });
+        a.push(Instr::Bx);
+        let p = a.assemble().expect("assembles");
+
+        let mut m = Machine::new(64);
+        let (pa, pb, po) = (m.alloc(2), m.alloc(2), m.alloc(2));
+        let a_val = 0xFFFF_FFFF_0000_0001u64;
+        let b_val = 0x0000_0001_FFFF_FFFFu64;
+        m.write_slice(pa, &[a_val as u32, (a_val >> 32) as u32]);
+        m.write_slice(pb, &[b_val as u32, (b_val >> 32) as u32]);
+        m.set_base(Reg::R0, pa);
+        m.set_base(Reg::R1, pb);
+        m.set_base(Reg::R2, po);
+        execute(&mut m, &p, "add64", 100).expect("runs");
+        let out = m.read_slice(po, 2);
+        let got = out[0] as u64 | (out[1] as u64) << 32;
+        assert_eq!(got, a_val.wrapping_add(b_val));
+    }
+}

@@ -1,0 +1,1110 @@
+//! The instrumented ARMv6-M abstract machine.
+//!
+//! A [`Machine`] has the Cortex-M0+ programmer's model: registers
+//! `R0`–`R12` (plus `SP`/`LR`, modelled but rarely needed), the NZCV flags,
+//! and a word-addressed RAM. Each public method corresponds to one Thumb
+//! instruction; calling it executes the operation *and* charges its cycle
+//! and energy cost, attributed to the current [`Category`].
+//!
+//! The ARMv6-M lo/hi register split is enforced: data-processing
+//! instructions (`EORS`, `ADDS`, `LSLS`, …) only accept lo registers
+//! (`R0`–`R7`), exactly as on real hardware, while `MOV` may touch hi
+//! registers. This constraint is what limits how many accumulator words
+//! the paper's "LD with fixed registers" can keep in registers and why
+//! hi-register-resident words cost two extra `MOV`s per use.
+//!
+//! [`Category`]: crate::profile::Category
+
+use crate::cost::InstrClass;
+use crate::energy::EnergyModel;
+use crate::isa::Instr;
+use crate::profile::{Category, CategoryTotals};
+use crate::report::{ClassCounts, RunReport, Snapshot};
+
+/// One of the Cortex-M0+ core registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)]
+pub enum Reg {
+    R0,
+    R1,
+    R2,
+    R3,
+    R4,
+    R5,
+    R6,
+    R7,
+    R8,
+    R9,
+    R10,
+    R11,
+    R12,
+    Sp,
+    Lr,
+}
+
+impl Reg {
+    /// The thirteen general-purpose registers.
+    pub const GENERAL: [Reg; 13] = [
+        Reg::R0,
+        Reg::R1,
+        Reg::R2,
+        Reg::R3,
+        Reg::R4,
+        Reg::R5,
+        Reg::R6,
+        Reg::R7,
+        Reg::R8,
+        Reg::R9,
+        Reg::R10,
+        Reg::R11,
+        Reg::R12,
+    ];
+
+    /// The eight lo registers usable by ARMv6-M data-processing
+    /// instructions.
+    pub const LO: [Reg; 8] = [
+        Reg::R0,
+        Reg::R1,
+        Reg::R2,
+        Reg::R3,
+        Reg::R4,
+        Reg::R5,
+        Reg::R6,
+        Reg::R7,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            Reg::R0 => 0,
+            Reg::R1 => 1,
+            Reg::R2 => 2,
+            Reg::R3 => 3,
+            Reg::R4 => 4,
+            Reg::R5 => 5,
+            Reg::R6 => 6,
+            Reg::R7 => 7,
+            Reg::R8 => 8,
+            Reg::R9 => 9,
+            Reg::R10 => 10,
+            Reg::R11 => 11,
+            Reg::R12 => 12,
+            Reg::Sp => 13,
+            Reg::Lr => 14,
+        }
+    }
+
+    /// Whether this is a lo register (`R0`–`R7`), addressable by ARMv6-M
+    /// data-processing instructions.
+    pub fn is_lo(self) -> bool {
+        self.index() < 8
+    }
+}
+
+impl std::fmt::Display for Reg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Reg::Sp => f.write_str("sp"),
+            Reg::Lr => f.write_str("lr"),
+            r => write!(f, "r{}", r.index()),
+        }
+    }
+}
+
+/// A word address in machine RAM.
+///
+/// RAM is word-addressed (the ECC kernels only ever perform aligned 32-bit
+/// accesses). `Addr(3)` is the fourth word. Arithmetic on addresses stored
+/// in registers uses *word units* as well, which keeps kernels readable; a
+/// real implementation would scale by 4, which costs the same one shift
+/// instruction the kernels already charge where relevant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Addr(pub u32);
+
+impl Addr {
+    /// Address of the word `offset` words past `self`.
+    #[must_use]
+    pub fn offset(self, offset: u32) -> Addr {
+        Addr(self.0 + offset)
+    }
+
+    /// The raw value a base register should hold to point at this address.
+    pub fn to_base_register_value(self) -> u32 {
+        self.0
+    }
+}
+
+/// Condition codes for conditional branches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Cond {
+    /// Z set.
+    Eq,
+    /// Z clear.
+    Ne,
+    /// C set (unsigned ≥).
+    Hs,
+    /// C clear (unsigned <).
+    Lo,
+    /// N set.
+    Mi,
+    /// N clear.
+    Pl,
+    /// Signed ≥.
+    Ge,
+    /// Signed <.
+    Lt,
+    /// Signed >.
+    Gt,
+    /// Signed ≤.
+    Le,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Flags {
+    n: bool,
+    z: bool,
+    c: bool,
+    v: bool,
+}
+
+/// The instrumented Cortex-M0+ model. See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct Machine {
+    regs: [u32; 15],
+    flags: Flags,
+    mem: Vec<u32>,
+    brk: u32,
+    counts: ClassCounts,
+    cycles: u64,
+    energy_pj: f64,
+    model: EnergyModel,
+    category_stack: Vec<Category>,
+    category_override: Option<Category>,
+    by_category: Vec<CategoryTotals>,
+    recording: Option<Vec<Instr>>,
+}
+
+impl Machine {
+    /// Creates a machine with `mem_words` words of RAM and the default
+    /// Cortex-M0+ energy model.
+    pub fn new(mem_words: usize) -> Self {
+        Self::with_model(mem_words, EnergyModel::cortex_m0plus())
+    }
+
+    /// Creates a machine with a custom [`EnergyModel`].
+    pub fn with_model(mem_words: usize, model: EnergyModel) -> Self {
+        Machine {
+            regs: [0; 15],
+            flags: Flags::default(),
+            mem: vec![0; mem_words],
+            brk: 0,
+            counts: ClassCounts::default(),
+            cycles: 0,
+            energy_pj: 0.0,
+            model,
+            category_stack: Vec::new(),
+            category_override: None,
+            by_category: vec![CategoryTotals::default(); Category::ALL.len()],
+            recording: None,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Un-costed setup / inspection API (the "debugger view").
+    // ------------------------------------------------------------------
+
+    /// Reserves `words` words of RAM and returns their base address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine runs out of RAM.
+    pub fn alloc(&mut self, words: usize) -> Addr {
+        let base = self.brk;
+        let end = base as usize + words;
+        assert!(end <= self.mem.len(), "machine out of RAM");
+        self.brk = end as u32;
+        Addr(base)
+    }
+
+    /// Writes `data` into RAM without charging cycles (test/benchmark
+    /// setup; the DMA of the simulator, so to speak).
+    pub fn write_slice(&mut self, addr: Addr, data: &[u32]) {
+        let base = addr.0 as usize;
+        self.mem[base..base + data.len()].copy_from_slice(data);
+    }
+
+    /// Reads `len` words from RAM without charging cycles.
+    pub fn read_slice(&self, addr: Addr, len: usize) -> Vec<u32> {
+        let base = addr.0 as usize;
+        self.mem[base..base + len].to_vec()
+    }
+
+    /// Current value of register `r`.
+    pub fn reg(&self, r: Reg) -> u32 {
+        self.regs[r.index()]
+    }
+
+    /// Sets register `r` without charging cycles (setup only).
+    pub fn set_reg(&mut self, r: Reg, value: u32) {
+        self.regs[r.index()] = value;
+    }
+
+    /// Points register `r` at `addr` without charging cycles. Kernels use
+    /// this for arguments that would arrive in registers per the AAPCS
+    /// calling convention.
+    pub fn set_base(&mut self, r: Reg, addr: Addr) {
+        self.set_reg(r, addr.to_base_register_value());
+    }
+
+    /// Total cycles executed so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Total energy consumed so far, in picojoules.
+    pub fn energy_pj(&self) -> f64 {
+        self.energy_pj
+    }
+
+    /// Per-class instruction counts.
+    pub fn counts(&self) -> &ClassCounts {
+        &self.counts
+    }
+
+    /// The energy model in use.
+    pub fn model(&self) -> &EnergyModel {
+        &self.model
+    }
+
+    /// Captures the current counters so a later [`Machine::report_since`]
+    /// can compute a delta.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            cycles: self.cycles,
+            energy_pj: self.energy_pj,
+            counts: self.counts.clone(),
+            by_category: self.by_category.clone(),
+        }
+    }
+
+    /// Builds a [`RunReport`] for everything executed since `snapshot`.
+    pub fn report_since(&self, snapshot: &Snapshot) -> RunReport {
+        RunReport::from_delta(snapshot, &self.snapshot(), crate::CLOCK_HZ)
+    }
+
+    /// Builds a [`RunReport`] for the machine's whole life.
+    pub fn report(&self) -> RunReport {
+        let zero = Snapshot {
+            cycles: 0,
+            energy_pj: 0.0,
+            counts: ClassCounts::default(),
+            by_category: vec![CategoryTotals::default(); Category::ALL.len()],
+        };
+        RunReport::from_delta(&zero, &self.snapshot(), crate::CLOCK_HZ)
+    }
+
+    // ------------------------------------------------------------------
+    // Category attribution.
+    // ------------------------------------------------------------------
+
+    /// Runs `f` with all executed instructions attributed to `category`.
+    ///
+    /// Categories nest; the innermost wins (this matches how the paper
+    /// splits the multiplication's look-up-table generation out of the
+    /// multiplication total in its Table 7).
+    pub fn in_category<T>(&mut self, category: Category, f: impl FnOnce(&mut Machine) -> T) -> T {
+        self.category_stack.push(category);
+        let out = f(self);
+        self.category_stack.pop();
+        out
+    }
+
+    /// Runs `f` with *every* instruction force-attributed to `category`,
+    /// regardless of nested [`Machine::in_category`] scopes.
+    ///
+    /// The paper's Table 7 needs this: during the wTNAF point
+    /// precomputation phase, field multiplications and squarings are
+    /// charged to *TNAF Precomputation*, not to their own categories.
+    pub fn with_category_override<T>(
+        &mut self,
+        category: Category,
+        f: impl FnOnce(&mut Machine) -> T,
+    ) -> T {
+        let prev = self.category_override.replace(category);
+        let out = f(self);
+        self.category_override = prev;
+        out
+    }
+
+    /// The currently forced category, if any.
+    pub fn category_override(&self) -> Option<Category> {
+        self.category_override
+    }
+
+    /// Sets or clears the forced category. Prefer
+    /// [`Machine::with_category_override`]; this escape hatch exists for
+    /// wrappers that own the machine and need to scope the override
+    /// around a closure over themselves.
+    pub fn set_category_override(&mut self, category: Option<Category>) {
+        self.category_override = category;
+    }
+
+    /// Cycle/energy totals attributed to `category` so far.
+    pub fn category_totals(&self, category: Category) -> CategoryTotals {
+        self.by_category[category.index()]
+    }
+
+    fn current_category(&self) -> Category {
+        self.category_override
+            .unwrap_or_else(|| *self.category_stack.last().unwrap_or(&Category::Support))
+    }
+
+    // ------------------------------------------------------------------
+    // Cost recording.
+    // ------------------------------------------------------------------
+
+    /// Starts capturing every executed instruction as a decodable
+    /// [`Instr`] (see [`crate::isa`]). Replaces any previous capture.
+    pub fn start_recording(&mut self) {
+        self.recording = Some(Vec::new());
+    }
+
+    /// Stops capturing and returns the instruction stream.
+    pub fn take_recording(&mut self) -> Vec<Instr> {
+        self.recording.take().unwrap_or_default()
+    }
+
+    fn rec(&mut self, instr: Instr) {
+        if let Some(buf) = self.recording.as_mut() {
+            buf.push(instr);
+        }
+    }
+
+    fn record(&mut self, class: InstrClass) {
+        let cycles = class.cycles();
+        let energy = self.model.picojoules_per_instr(class);
+        self.cycles += cycles;
+        self.energy_pj += energy;
+        self.counts.bump(class);
+        let cat = self.current_category();
+        let t = &mut self.by_category[cat.index()];
+        t.cycles += cycles;
+        t.energy_pj += energy;
+    }
+
+    fn set_nz(&mut self, value: u32) {
+        self.flags.n = (value as i32) < 0;
+        self.flags.z = value == 0;
+    }
+
+    fn lo(r: Reg) -> usize {
+        assert!(
+            r.is_lo(),
+            "ARMv6-M data-processing instructions require lo registers, got {r}"
+        );
+        r.index()
+    }
+
+    // ------------------------------------------------------------------
+    // Memory instructions (2 cycles each).
+    // ------------------------------------------------------------------
+
+    /// `LDR rt, [rn, #off]` — loads the word at `rn + off` (word offset).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either register is a hi register or the address is out of
+    /// bounds.
+    pub fn ldr(&mut self, rt: Reg, rn: Reg, off_words: u32) {
+        let base = self.regs[Self::lo(rn)];
+        let addr = (base + off_words) as usize;
+        let value = self.mem[addr];
+        self.regs[Self::lo(rt)] = value;
+        self.rec(Instr::LdrImm { rt, rn, imm_words: off_words });
+        self.record(InstrClass::Ldr);
+    }
+
+    /// `STR rt, [rn, #off]` — stores `rt` to `rn + off` (word offset).
+    pub fn str(&mut self, rt: Reg, rn: Reg, off_words: u32) {
+        let base = self.regs[Self::lo(rn)];
+        let addr = (base + off_words) as usize;
+        self.mem[addr] = self.regs[Self::lo(rt)];
+        self.rec(Instr::StrImm { rt, rn, imm_words: off_words });
+        self.record(InstrClass::Str);
+    }
+
+    /// `LDR rt, [sp, #off]` — stack-relative load. ARMv6-M addresses the
+    /// stack frame without consuming a general-purpose base register,
+    /// which is how the fixed-register multiplier frees a register for an
+    /// accumulator word.
+    pub fn ldr_sp(&mut self, rt: Reg, off_words: u32) {
+        let base = self.regs[Reg::Sp.index()];
+        let addr = (base + off_words) as usize;
+        let value = self.mem[addr];
+        self.regs[Self::lo(rt)] = value;
+        self.rec(Instr::LdrSp { rt, imm_words: off_words });
+        self.record(InstrClass::Ldr);
+    }
+
+    /// `STR rt, [sp, #off]` — stack-relative store.
+    pub fn str_sp(&mut self, rt: Reg, off_words: u32) {
+        let base = self.regs[Reg::Sp.index()];
+        let addr = (base + off_words) as usize;
+        self.mem[addr] = self.regs[Self::lo(rt)];
+        self.rec(Instr::StrSp { rt, imm_words: off_words });
+        self.record(InstrClass::Str);
+    }
+
+    /// `LDR rt, [rn, rm]` — register-offset load.
+    pub fn ldr_reg(&mut self, rt: Reg, rn: Reg, rm: Reg) {
+        let addr = (self.regs[Self::lo(rn)] + self.regs[Self::lo(rm)]) as usize;
+        let value = self.mem[addr];
+        self.regs[Self::lo(rt)] = value;
+        self.rec(Instr::LdrReg { rt, rn, rm });
+        self.record(InstrClass::Ldr);
+    }
+
+    /// `STR rt, [rn, rm]` — register-offset store.
+    pub fn str_reg(&mut self, rt: Reg, rn: Reg, rm: Reg) {
+        let addr = (self.regs[Self::lo(rn)] + self.regs[Self::lo(rm)]) as usize;
+        self.mem[addr] = self.regs[Self::lo(rt)];
+        self.rec(Instr::StrReg { rt, rn, rm });
+        self.record(InstrClass::Str);
+    }
+
+    // ------------------------------------------------------------------
+    // Moves.
+    // ------------------------------------------------------------------
+
+    /// `MOVS rd, #imm8` — move 8-bit immediate, sets N/Z.
+    pub fn movs_imm(&mut self, rd: Reg, imm: u8) {
+        self.regs[Self::lo(rd)] = imm as u32;
+        self.set_nz(imm as u32);
+        self.rec(Instr::MovsImm { rd, imm });
+        self.record(InstrClass::Mov);
+    }
+
+    /// Materialises a full 32-bit constant.
+    ///
+    /// ARMv6-M has no wide-immediate move; real code uses a literal-pool
+    /// `LDR`, which is what this helper charges (2 cycles).
+    pub fn ldr_const(&mut self, rd: Reg, value: u32) {
+        self.regs[Self::lo(rd)] = value;
+        self.rec(Instr::LdrLit { rt: rd, imm_words: 0 });
+        self.record(InstrClass::Ldr);
+    }
+
+    /// `MOV rd, rm` — register move; hi registers allowed, flags untouched.
+    pub fn mov(&mut self, rd: Reg, rm: Reg) {
+        self.regs[rd.index()] = self.regs[rm.index()];
+        self.rec(Instr::Mov { rd, rm });
+        self.record(InstrClass::Mov);
+    }
+
+    // ------------------------------------------------------------------
+    // Bitwise logic and shifts (lo registers only).
+    // ------------------------------------------------------------------
+
+    /// `EORS rdn, rm` — exclusive or.
+    pub fn eors(&mut self, rdn: Reg, rm: Reg) {
+        let v = self.regs[Self::lo(rdn)] ^ self.regs[Self::lo(rm)];
+        self.regs[Self::lo(rdn)] = v;
+        self.set_nz(v);
+        self.rec(Instr::Eors { rdn, rm });
+        self.record(InstrClass::Eor);
+    }
+
+    /// `ANDS rdn, rm`.
+    pub fn ands(&mut self, rdn: Reg, rm: Reg) {
+        let v = self.regs[Self::lo(rdn)] & self.regs[Self::lo(rm)];
+        self.regs[Self::lo(rdn)] = v;
+        self.set_nz(v);
+        self.rec(Instr::Ands { rdn, rm });
+        self.record(InstrClass::Logic);
+    }
+
+    /// `ORRS rdn, rm`.
+    pub fn orrs(&mut self, rdn: Reg, rm: Reg) {
+        let v = self.regs[Self::lo(rdn)] | self.regs[Self::lo(rm)];
+        self.regs[Self::lo(rdn)] = v;
+        self.set_nz(v);
+        self.rec(Instr::Orrs { rdn, rm });
+        self.record(InstrClass::Logic);
+    }
+
+    /// `BICS rdn, rm` — bit clear.
+    pub fn bics(&mut self, rdn: Reg, rm: Reg) {
+        let v = self.regs[Self::lo(rdn)] & !self.regs[Self::lo(rm)];
+        self.regs[Self::lo(rdn)] = v;
+        self.set_nz(v);
+        self.rec(Instr::Bics { rdn, rm });
+        self.record(InstrClass::Logic);
+    }
+
+    /// `MVNS rd, rm` — bitwise not.
+    pub fn mvns(&mut self, rd: Reg, rm: Reg) {
+        let v = !self.regs[Self::lo(rm)];
+        self.regs[Self::lo(rd)] = v;
+        self.set_nz(v);
+        self.rec(Instr::Mvns { rd, rm });
+        self.record(InstrClass::Logic);
+    }
+
+    /// `TST rn, rm` — AND, flags only.
+    pub fn tst(&mut self, rn: Reg, rm: Reg) {
+        let v = self.regs[Self::lo(rn)] & self.regs[Self::lo(rm)];
+        self.set_nz(v);
+        self.rec(Instr::Tst { rn, rm });
+        self.record(InstrClass::Logic);
+    }
+
+    /// `LSLS rd, rm, #imm` — logical shift left by an immediate
+    /// (1 ≤ imm ≤ 31). Carry receives the last bit shifted out.
+    pub fn lsls_imm(&mut self, rd: Reg, rm: Reg, imm: u32) {
+        assert!((1..=31).contains(&imm), "LSLS immediate must be 1..=31");
+        let x = self.regs[Self::lo(rm)];
+        self.flags.c = (x >> (32 - imm)) & 1 != 0;
+        let v = x << imm;
+        self.regs[Self::lo(rd)] = v;
+        self.set_nz(v);
+        self.rec(Instr::LslsImm { rd, rm, imm });
+        self.record(InstrClass::Lsl);
+    }
+
+    /// `LSRS rd, rm, #imm` — logical shift right by an immediate
+    /// (1 ≤ imm ≤ 32; 32 yields zero with carry = bit 31).
+    pub fn lsrs_imm(&mut self, rd: Reg, rm: Reg, imm: u32) {
+        assert!((1..=32).contains(&imm), "LSRS immediate must be 1..=32");
+        let x = self.regs[Self::lo(rm)];
+        self.flags.c = (x >> (imm - 1)) & 1 != 0;
+        let v = if imm == 32 { 0 } else { x >> imm };
+        self.regs[Self::lo(rd)] = v;
+        self.set_nz(v);
+        self.rec(Instr::LsrsImm { rd, rm, imm });
+        self.record(InstrClass::Lsr);
+    }
+
+    /// `LSLS rdn, rm` — shift left by a register amount (low byte used).
+    pub fn lsls_reg(&mut self, rdn: Reg, rm: Reg) {
+        let sh = self.regs[Self::lo(rm)] & 0xFF;
+        let x = self.regs[Self::lo(rdn)];
+        let v = if sh >= 32 { 0 } else { x << sh };
+        if (1..=32).contains(&sh) {
+            self.flags.c = (x >> (32 - sh)) & 1 != 0;
+        } else if sh > 32 {
+            self.flags.c = false;
+        }
+        self.regs[Self::lo(rdn)] = v;
+        self.set_nz(v);
+        self.rec(Instr::LslsReg { rdn, rm });
+        self.record(InstrClass::Lsl);
+    }
+
+    /// `LSRS rdn, rm` — shift right by a register amount (low byte used).
+    pub fn lsrs_reg(&mut self, rdn: Reg, rm: Reg) {
+        let sh = self.regs[Self::lo(rm)] & 0xFF;
+        let x = self.regs[Self::lo(rdn)];
+        let v = if sh >= 32 { 0 } else { x >> sh };
+        if (1..=32).contains(&sh) {
+            self.flags.c = (x >> (sh - 1)) & 1 != 0;
+        } else if sh > 32 {
+            self.flags.c = false;
+        }
+        self.regs[Self::lo(rdn)] = v;
+        self.set_nz(v);
+        self.rec(Instr::LsrsReg { rdn, rm });
+        self.record(InstrClass::Lsr);
+    }
+
+    /// `ASRS rd, rm, #imm` — arithmetic shift right.
+    pub fn asrs_imm(&mut self, rd: Reg, rm: Reg, imm: u32) {
+        assert!((1..=32).contains(&imm), "ASRS immediate must be 1..=32");
+        let x = self.regs[Self::lo(rm)] as i32;
+        let sh = imm.min(31);
+        self.flags.c = ((x >> (imm - 1).min(31)) & 1) != 0;
+        let v = (x >> sh) as u32;
+        self.regs[Self::lo(rd)] = v;
+        self.set_nz(v);
+        self.rec(Instr::AsrsImm { rd, rm, imm });
+        self.record(InstrClass::Lsr);
+    }
+
+    // ------------------------------------------------------------------
+    // Arithmetic.
+    // ------------------------------------------------------------------
+
+    fn add_with_carry(&mut self, a: u32, b: u32, carry_in: bool) -> u32 {
+        let (s1, c1) = a.overflowing_add(b);
+        let (s2, c2) = s1.overflowing_add(carry_in as u32);
+        self.flags.c = c1 || c2;
+        let sa = a as i32;
+        let sb = b as i32;
+        let (t1, o1) = sa.overflowing_add(sb);
+        let (_, o2) = t1.overflowing_add(carry_in as i32);
+        self.flags.v = o1 ^ o2;
+        self.set_nz(s2);
+        s2
+    }
+
+    /// `ADDS rd, rn, rm`.
+    pub fn adds(&mut self, rd: Reg, rn: Reg, rm: Reg) {
+        let v = {
+            let a = self.regs[Self::lo(rn)];
+            let b = self.regs[Self::lo(rm)];
+            self.add_with_carry(a, b, false)
+        };
+        self.regs[Self::lo(rd)] = v;
+        self.rec(Instr::AddsReg { rd, rn, rm });
+        self.record(InstrClass::Add);
+    }
+
+    /// `ADDS rdn, #imm8`.
+    pub fn adds_imm(&mut self, rdn: Reg, imm: u8) {
+        let v = {
+            let a = self.regs[Self::lo(rdn)];
+            self.add_with_carry(a, imm as u32, false)
+        };
+        self.regs[Self::lo(rdn)] = v;
+        self.rec(Instr::AddsImm8 { rdn, imm });
+        self.record(InstrClass::Add);
+    }
+
+    /// `ADCS rdn, rm` — add with carry (multi-precision arithmetic).
+    pub fn adcs(&mut self, rdn: Reg, rm: Reg) {
+        let v = {
+            let a = self.regs[Self::lo(rdn)];
+            let b = self.regs[Self::lo(rm)];
+            let c = self.flags.c;
+            self.add_with_carry(a, b, c)
+        };
+        self.regs[Self::lo(rdn)] = v;
+        self.rec(Instr::Adcs { rdn, rm });
+        self.record(InstrClass::Add);
+    }
+
+    /// `SUBS rd, rn, rm`.
+    pub fn subs(&mut self, rd: Reg, rn: Reg, rm: Reg) {
+        let v = {
+            let a = self.regs[Self::lo(rn)];
+            let b = self.regs[Self::lo(rm)];
+            self.add_with_carry(a, !b, true)
+        };
+        self.regs[Self::lo(rd)] = v;
+        self.rec(Instr::SubsReg { rd, rn, rm });
+        self.record(InstrClass::Sub);
+    }
+
+    /// `SUBS rdn, #imm8`.
+    pub fn subs_imm(&mut self, rdn: Reg, imm: u8) {
+        let v = {
+            let a = self.regs[Self::lo(rdn)];
+            self.add_with_carry(a, !(imm as u32), true)
+        };
+        self.regs[Self::lo(rdn)] = v;
+        self.rec(Instr::SubsImm8 { rdn, imm });
+        self.record(InstrClass::Sub);
+    }
+
+    /// `SBCS rdn, rm` — subtract with carry (borrow).
+    pub fn sbcs(&mut self, rdn: Reg, rm: Reg) {
+        let v = {
+            let a = self.regs[Self::lo(rdn)];
+            let b = self.regs[Self::lo(rm)];
+            let c = self.flags.c;
+            self.add_with_carry(a, !b, c)
+        };
+        self.regs[Self::lo(rdn)] = v;
+        self.rec(Instr::Sbcs { rdn, rm });
+        self.record(InstrClass::Sub);
+    }
+
+    /// `RSBS rd, rn, #0` — negate.
+    pub fn rsbs(&mut self, rd: Reg, rn: Reg) {
+        let v = {
+            let a = self.regs[Self::lo(rn)];
+            self.add_with_carry(!a, 0, true)
+        };
+        self.regs[Self::lo(rd)] = v;
+        self.rec(Instr::Rsbs { rd, rn });
+        self.record(InstrClass::Sub);
+    }
+
+    /// `MULS rdn, rm` — 32×32→32 multiply (the only multiply ARMv6-M has;
+    /// multi-precision code must split operands into 16-bit halves).
+    pub fn muls(&mut self, rdn: Reg, rm: Reg) {
+        let v = self.regs[Self::lo(rdn)].wrapping_mul(self.regs[Self::lo(rm)]);
+        self.regs[Self::lo(rdn)] = v;
+        self.set_nz(v);
+        self.rec(Instr::Muls { rdn, rm });
+        self.record(InstrClass::Mul);
+    }
+
+    /// `UXTH rd, rm` — zero-extend halfword (costed as a move).
+    pub fn uxth(&mut self, rd: Reg, rm: Reg) {
+        let v = self.regs[Self::lo(rm)] & 0xFFFF;
+        self.regs[Self::lo(rd)] = v;
+        self.rec(Instr::Uxth { rd, rm });
+        self.record(InstrClass::Mov);
+    }
+
+    // ------------------------------------------------------------------
+    // Compare and control flow.
+    // ------------------------------------------------------------------
+
+    /// `CMP rn, rm`.
+    pub fn cmp(&mut self, rn: Reg, rm: Reg) {
+        let a = self.regs[Self::lo(rn)];
+        let b = self.regs[Self::lo(rm)];
+        self.add_with_carry(a, !b, true);
+        self.rec(Instr::CmpReg { rn, rm });
+        self.record(InstrClass::Cmp);
+    }
+
+    /// `CMP rn, #imm8`.
+    pub fn cmp_imm(&mut self, rn: Reg, imm: u8) {
+        let a = self.regs[Self::lo(rn)];
+        self.add_with_carry(a, !(imm as u32), true);
+        self.rec(Instr::CmpImm { rn, imm });
+        self.record(InstrClass::Cmp);
+    }
+
+    /// Evaluates `cond` against the current flags *without* charging
+    /// cycles (the check happens inside the branch instruction).
+    pub fn cond(&self, cond: Cond) -> bool {
+        let f = self.flags;
+        match cond {
+            Cond::Eq => f.z,
+            Cond::Ne => !f.z,
+            Cond::Hs => f.c,
+            Cond::Lo => !f.c,
+            Cond::Mi => f.n,
+            Cond::Pl => !f.n,
+            Cond::Ge => f.n == f.v,
+            Cond::Lt => f.n != f.v,
+            Cond::Gt => !f.z && f.n == f.v,
+            Cond::Le => f.z || f.n != f.v,
+        }
+    }
+
+    /// `B<cond>` — conditional branch. Charges 2 cycles if taken, 1 if
+    /// not, and returns whether it was taken so the host loop can follow.
+    pub fn b_cond(&mut self, cond: Cond) -> bool {
+        let taken = self.cond(cond);
+        self.rec(Instr::BCond { cond });
+        self.record(if taken {
+            InstrClass::BranchTaken
+        } else {
+            InstrClass::BranchNotTaken
+        });
+        taken
+    }
+
+    /// `B` — unconditional branch (2 cycles).
+    pub fn b(&mut self) {
+        self.rec(Instr::B);
+        self.record(InstrClass::BranchTaken);
+    }
+
+    /// `BL` — call (3 cycles). The return `BX LR` is charged separately
+    /// via [`Machine::bx`].
+    pub fn bl(&mut self) {
+        self.rec(Instr::Bl);
+        self.record(InstrClass::Bl);
+    }
+
+    /// `BX lr` — return (2 cycles, pipeline refill).
+    pub fn bx(&mut self) {
+        self.rec(Instr::Bx);
+        self.record(InstrClass::BranchTaken);
+    }
+
+    /// `PUSH`/`POP`/`LDM`/`STM` of `n` registers: 1 + n cycles.
+    pub fn stack_transfer(&mut self, n: usize) {
+        self.rec(Instr::Push { reg_count: n });
+        self.record(InstrClass::Mov); // base cycle
+        for _ in 0..n {
+            self.record(InstrClass::StackWord);
+        }
+    }
+
+    /// `NOP`.
+    pub fn nop(&mut self) {
+        self.rec(Instr::Nop);
+        self.record(InstrClass::Nop);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> Machine {
+        Machine::new(256)
+    }
+
+    #[test]
+    fn load_store_roundtrip_costs_four_cycles() {
+        let mut m = machine();
+        let a = m.alloc(4);
+        m.set_base(Reg::R0, a);
+        m.movs_imm(Reg::R1, 42);
+        let before = m.cycles();
+        m.str(Reg::R1, Reg::R0, 2);
+        m.ldr(Reg::R2, Reg::R0, 2);
+        assert_eq!(m.cycles() - before, 4);
+        assert_eq!(m.reg(Reg::R2), 42);
+    }
+
+    #[test]
+    fn register_offset_addressing_works() {
+        let mut m = machine();
+        let a = m.alloc(8);
+        m.write_slice(a, &[0, 10, 20, 30, 0, 0, 0, 0]);
+        m.set_base(Reg::R0, a);
+        m.movs_imm(Reg::R1, 3);
+        m.ldr_reg(Reg::R2, Reg::R0, Reg::R1);
+        assert_eq!(m.reg(Reg::R2), 30);
+        m.movs_imm(Reg::R3, 99);
+        m.str_reg(Reg::R3, Reg::R0, Reg::R1);
+        assert_eq!(m.read_slice(a, 4), vec![0, 10, 20, 99]);
+    }
+
+    #[test]
+    #[should_panic(expected = "lo registers")]
+    fn data_processing_rejects_hi_registers() {
+        let mut m = machine();
+        m.eors(Reg::R8, Reg::R0);
+    }
+
+    #[test]
+    fn mov_allows_hi_registers() {
+        let mut m = machine();
+        m.movs_imm(Reg::R0, 7);
+        m.mov(Reg::R9, Reg::R0);
+        m.mov(Reg::R1, Reg::R9);
+        assert_eq!(m.reg(Reg::R1), 7);
+        assert_eq!(m.cycles(), 3);
+    }
+
+    #[test]
+    fn shifts_compute_and_set_carry() {
+        let mut m = machine();
+        m.ldr_const(Reg::R0, 0x8000_0001);
+        m.lsls_imm(Reg::R1, Reg::R0, 1);
+        assert_eq!(m.reg(Reg::R1), 2);
+        assert!(m.cond(Cond::Hs), "carry should hold the shifted-out bit");
+        m.lsrs_imm(Reg::R2, Reg::R0, 1);
+        assert_eq!(m.reg(Reg::R2), 0x4000_0000);
+        assert!(m.cond(Cond::Hs));
+    }
+
+    #[test]
+    fn register_amount_shifts_handle_large_amounts() {
+        let mut m = machine();
+        m.ldr_const(Reg::R0, 0xFFFF_FFFF);
+        m.movs_imm(Reg::R1, 32);
+        m.lsls_reg(Reg::R0, Reg::R1);
+        assert_eq!(m.reg(Reg::R0), 0);
+        m.ldr_const(Reg::R2, 0xFFFF_FFFF);
+        m.movs_imm(Reg::R1, 40);
+        m.lsrs_reg(Reg::R2, Reg::R1);
+        assert_eq!(m.reg(Reg::R2), 0);
+    }
+
+    #[test]
+    fn lsrs_imm_32_zeroes_with_carry_from_bit31() {
+        let mut m = machine();
+        m.ldr_const(Reg::R0, 0x8000_0000);
+        m.lsrs_imm(Reg::R0, Reg::R0, 32);
+        assert_eq!(m.reg(Reg::R0), 0);
+        assert!(m.cond(Cond::Hs));
+    }
+
+    #[test]
+    fn adcs_propagates_carry_across_words() {
+        // 0xFFFFFFFF + 1 with carry chain = 0x1_0000_0000.
+        let mut m = machine();
+        m.ldr_const(Reg::R0, 0xFFFF_FFFF);
+        m.movs_imm(Reg::R1, 1);
+        m.movs_imm(Reg::R2, 0);
+        m.movs_imm(Reg::R3, 0);
+        m.adds(Reg::R0, Reg::R0, Reg::R1); // low word, sets carry
+        m.adcs(Reg::R2, Reg::R3); // high word += carry
+        assert_eq!(m.reg(Reg::R0), 0);
+        assert_eq!(m.reg(Reg::R2), 1);
+    }
+
+    #[test]
+    fn sbcs_borrows() {
+        let mut m = machine();
+        m.movs_imm(Reg::R0, 0);
+        m.movs_imm(Reg::R1, 1);
+        m.movs_imm(Reg::R2, 5);
+        m.movs_imm(Reg::R3, 0);
+        m.subs(Reg::R0, Reg::R0, Reg::R1); // 0 - 1 borrows
+        m.sbcs(Reg::R2, Reg::R3); // 5 - 0 - borrow = 4
+        assert_eq!(m.reg(Reg::R0), u32::MAX);
+        assert_eq!(m.reg(Reg::R2), 4);
+    }
+
+    #[test]
+    fn signed_conditions() {
+        let mut m = machine();
+        m.movs_imm(Reg::R0, 1);
+        m.rsbs(Reg::R0, Reg::R0); // -1
+        m.movs_imm(Reg::R1, 1);
+        m.cmp(Reg::R0, Reg::R1); // -1 cmp 1
+        assert!(m.cond(Cond::Lt));
+        assert!(m.cond(Cond::Le));
+        assert!(!m.cond(Cond::Ge));
+        assert!(!m.cond(Cond::Eq));
+        // Unsigned view: 0xFFFFFFFF >= 1.
+        assert!(m.cond(Cond::Hs));
+    }
+
+    #[test]
+    fn branch_costs_depend_on_outcome() {
+        let mut m = machine();
+        m.movs_imm(Reg::R0, 1);
+        m.cmp_imm(Reg::R0, 1);
+        let c0 = m.cycles();
+        assert!(m.b_cond(Cond::Eq));
+        assert_eq!(m.cycles() - c0, 2);
+        let c1 = m.cycles();
+        assert!(!m.b_cond(Cond::Ne));
+        assert_eq!(m.cycles() - c1, 1);
+    }
+
+    #[test]
+    fn muls_wraps() {
+        let mut m = machine();
+        m.ldr_const(Reg::R0, 0x1234_5678);
+        m.ldr_const(Reg::R1, 0x9ABC_DEF0);
+        m.muls(Reg::R0, Reg::R1);
+        assert_eq!(m.reg(Reg::R0), 0x1234_5678u32.wrapping_mul(0x9ABC_DEF0));
+    }
+
+    #[test]
+    fn energy_accrues_per_model() {
+        let mut m = machine();
+        m.movs_imm(Reg::R0, 1);
+        m.movs_imm(Reg::R1, 2);
+        let e0 = m.energy_pj();
+        m.eors(Reg::R0, Reg::R1);
+        assert!((m.energy_pj() - e0 - 12.43).abs() < 1e-9);
+        m.adds(Reg::R0, Reg::R0, Reg::R1);
+        assert!((m.energy_pj() - e0 - 12.43 - 13.45).abs() < 1e-9);
+    }
+
+    #[test]
+    fn categories_attribute_nested_cycles_to_innermost() {
+        let mut m = machine();
+        m.in_category(Category::Multiply, |m| {
+            m.movs_imm(Reg::R0, 1);
+            m.in_category(Category::MultiplyPrecomputation, |m| {
+                m.movs_imm(Reg::R1, 2);
+                m.movs_imm(Reg::R2, 3);
+            });
+            m.movs_imm(Reg::R3, 4);
+        });
+        assert_eq!(m.category_totals(Category::Multiply).cycles, 2);
+        assert_eq!(
+            m.category_totals(Category::MultiplyPrecomputation).cycles,
+            2
+        );
+        assert_eq!(m.category_totals(Category::Support).cycles, 0);
+    }
+
+    #[test]
+    fn stack_transfer_costs_one_plus_n() {
+        let mut m = machine();
+        m.stack_transfer(4);
+        assert_eq!(m.cycles(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of RAM")]
+    fn alloc_past_end_panics() {
+        let mut m = Machine::new(4);
+        m.alloc(5);
+    }
+
+    #[test]
+    fn category_override_beats_nested_scopes() {
+        let mut m = machine();
+        m.with_category_override(Category::TnafPrecomputation, |m| {
+            m.in_category(Category::Multiply, |m| {
+                m.movs_imm(Reg::R0, 1);
+            });
+        });
+        m.in_category(Category::Multiply, |m| m.movs_imm(Reg::R1, 2));
+        assert_eq!(m.category_totals(Category::TnafPrecomputation).cycles, 1);
+        assert_eq!(m.category_totals(Category::Multiply).cycles, 1);
+    }
+
+    #[test]
+    fn sp_relative_addressing() {
+        let mut m = machine();
+        let frame = m.alloc(8);
+        m.set_base(Reg::Sp, frame);
+        m.movs_imm(Reg::R0, 17);
+        m.str_sp(Reg::R0, 5);
+        m.ldr_sp(Reg::R1, 5);
+        assert_eq!(m.reg(Reg::R1), 17);
+        assert_eq!(m.read_slice(frame, 8)[5], 17);
+    }
+
+    #[test]
+    fn recording_captures_decodable_instructions() {
+        let mut m = machine();
+        let a = m.alloc(4);
+        m.set_base(Reg::R0, a);
+        m.start_recording();
+        m.movs_imm(Reg::R1, 7);
+        m.str(Reg::R1, Reg::R0, 2);
+        m.ldr(Reg::R2, Reg::R0, 2);
+        m.eors(Reg::R2, Reg::R1);
+        m.adds(Reg::R3, Reg::R1, Reg::R2);
+        m.cmp_imm(Reg::R3, 0);
+        m.b_cond(Cond::Ne);
+        let stream = m.take_recording();
+        assert_eq!(stream.len(), 7);
+        // Every recorded instruction round-trips through its encoding
+        // and reports the class that was charged.
+        for instr in &stream {
+            let code = instr.encode();
+            let (decoded, _) = crate::isa::Instr::decode(&code)
+                .unwrap_or_else(|| panic!("decode of {instr}"));
+            assert_eq!(decoded, *instr);
+        }
+        assert_eq!(stream[0].class(), InstrClass::Mov);
+        assert_eq!(stream[1].class(), InstrClass::Str);
+        assert_eq!(stream[6].class(), InstrClass::BranchTaken);
+    }
+
+    #[test]
+    fn recording_is_off_by_default_and_clears_on_take() {
+        let mut m = machine();
+        m.movs_imm(Reg::R0, 1);
+        assert!(m.take_recording().is_empty());
+        m.start_recording();
+        m.movs_imm(Reg::R0, 2);
+        assert_eq!(m.take_recording().len(), 1);
+        m.movs_imm(Reg::R0, 3);
+        assert!(m.take_recording().is_empty(), "take stops recording");
+    }
+
+    #[test]
+    fn snapshot_delta_reports() {
+        let mut m = machine();
+        m.movs_imm(Reg::R0, 1);
+        let snap = m.snapshot();
+        m.ldr_const(Reg::R1, 5);
+        m.eors(Reg::R0, Reg::R1);
+        let r = m.report_since(&snap);
+        assert_eq!(r.cycles, 3);
+        assert_eq!(r.counts.count(InstrClass::Eor), 1);
+        assert_eq!(r.counts.count(InstrClass::Ldr), 1);
+        assert_eq!(r.counts.count(InstrClass::Mov), 0);
+    }
+}

@@ -1,0 +1,136 @@
+//! Operation categories for cycle attribution (the paper's Table 7).
+//!
+//! The paper reports where a point multiplication spends its cycles:
+//! TNAF representation, TNAF precomputation, multiply, multiply
+//! precomputation (look-up-table generation inside each field
+//! multiplication), square, inversion and support functions. Kernels mark
+//! their work with [`Machine::in_category`] and the machine accumulates a
+//! [`CategoryTotals`] per category.
+//!
+//! [`Machine::in_category`]: crate::machine::Machine::in_category
+
+/// The operation categories of the paper's Table 7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Category {
+    /// Converting the scalar `k` into its (width-w) τ-adic NAF.
+    TnafRepresentation,
+    /// Computing the per-multiplication table of small odd multiples
+    /// `α_u · P` (zero for fixed-point multiplication, where the table is
+    /// precomputed offline).
+    TnafPrecomputation,
+    /// The main accumulation of field multiplications.
+    Multiply,
+    /// Generation of the López-Dahab window look-up table inside each
+    /// field multiplication.
+    MultiplyPrecomputation,
+    /// Field squarings.
+    Square,
+    /// Field inversions.
+    Inversion,
+    /// Everything else: copies, comparisons, reductions standing alone,
+    /// coordinate bookkeeping.
+    Support,
+}
+
+impl Category {
+    /// All categories, in the paper's Table 7 row order (with `Support`
+    /// last).
+    pub const ALL: [Category; 7] = [
+        Category::TnafRepresentation,
+        Category::TnafPrecomputation,
+        Category::Multiply,
+        Category::MultiplyPrecomputation,
+        Category::Square,
+        Category::Inversion,
+        Category::Support,
+    ];
+
+    /// Dense index for per-category arrays.
+    pub(crate) const fn index(self) -> usize {
+        match self {
+            Category::TnafRepresentation => 0,
+            Category::TnafPrecomputation => 1,
+            Category::Multiply => 2,
+            Category::MultiplyPrecomputation => 3,
+            Category::Square => 4,
+            Category::Inversion => 5,
+            Category::Support => 6,
+        }
+    }
+
+    /// The row label used by the paper.
+    pub const fn label(self) -> &'static str {
+        match self {
+            Category::TnafRepresentation => "TNAF Representation",
+            Category::TnafPrecomputation => "TNAF Precomputation",
+            Category::Multiply => "Multiply",
+            Category::MultiplyPrecomputation => "Multiply Precomputation",
+            Category::Square => "Square",
+            Category::Inversion => "Inversion",
+            Category::Support => "Support functions",
+        }
+    }
+}
+
+impl std::fmt::Display for Category {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Cycles and energy attributed to one [`Category`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CategoryTotals {
+    /// Cycles spent in the category.
+    pub cycles: u64,
+    /// Energy spent in the category, picojoules.
+    pub energy_pj: f64,
+}
+
+impl CategoryTotals {
+    /// Component-wise difference (`self` − `earlier`).
+    #[must_use]
+    pub fn delta(self, earlier: CategoryTotals) -> CategoryTotals {
+        CategoryTotals {
+            cycles: self.cycles - earlier.cycles,
+            energy_pj: self.energy_pj - earlier.energy_pj,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_match_all_order() {
+        for (i, c) in Category::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn labels_match_paper_rows() {
+        assert_eq!(Category::TnafRepresentation.label(), "TNAF Representation");
+        assert_eq!(
+            Category::MultiplyPrecomputation.label(),
+            "Multiply Precomputation"
+        );
+        assert_eq!(Category::Support.label(), "Support functions");
+    }
+
+    #[test]
+    fn delta_subtracts() {
+        let a = CategoryTotals {
+            cycles: 10,
+            energy_pj: 5.0,
+        };
+        let b = CategoryTotals {
+            cycles: 4,
+            energy_pj: 2.0,
+        };
+        let d = a.delta(b);
+        assert_eq!(d.cycles, 6);
+        assert!((d.energy_pj - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,203 @@
+//! Simulation of the paper's power-measurement setup (§4.1).
+//!
+//! The authors designed a rig that measures the power drawn by the board
+//! while it executes a loop of a single instruction, yielding the
+//! per-instruction energies of Table 3. We cannot attach a probe to a
+//! simulator, so the [`MeasurementRig`] plays the experiment back: it runs
+//! the same single-instruction loops on the [`Machine`] and reports the
+//! average energy per cycle that an external power probe would infer
+//! (total energy ÷ cycles, with the loop overhead either included — as a
+//! real rig inevitably would — or compensated, as the paper's numbers
+//! evidently are, since they quote per-instruction values).
+//!
+//! The experiment is circular by construction (the machine's energy comes
+//! from the model that Table 3 seeded) — that is exactly the substitution
+//! DESIGN.md documents. What the rig adds is (a) the *procedure*, kept
+//! faithful, and (b) a consistency check that loop-overhead compensation
+//! recovers the model constants.
+
+use crate::cost::InstrClass;
+use crate::machine::{Cond, Machine, Reg};
+
+/// One measured row: instruction, inferred pJ/cycle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RigReading {
+    /// Instruction class exercised by the loop.
+    pub class: InstrClass,
+    /// Inferred energy per cycle with the loop overhead compensated.
+    pub picojoules_per_cycle: f64,
+    /// Inferred energy per cycle of the raw loop, overhead included.
+    pub raw_picojoules_per_cycle: f64,
+    /// Average power of the raw loop in µW at 48 MHz.
+    pub raw_power_uw: f64,
+}
+
+/// Simulates the single-instruction measurement loops of §4.1.
+#[derive(Debug, Clone)]
+pub struct MeasurementRig {
+    iterations: u32,
+    unroll: u32,
+}
+
+impl MeasurementRig {
+    /// A rig running `iterations` loop iterations with `unroll` copies of
+    /// the instruction under test per iteration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is zero.
+    pub fn new(iterations: u32, unroll: u32) -> Self {
+        assert!(iterations > 0 && unroll > 0);
+        MeasurementRig {
+            iterations,
+            unroll,
+        }
+    }
+
+    /// Runs the measurement loop for `class` and returns the reading.
+    ///
+    /// Only classes that correspond to real instructions the rig can loop
+    /// on are supported; branch classes are measured implicitly as part of
+    /// the loop overhead.
+    pub fn measure(&self, class: InstrClass) -> RigReading {
+        let mut m = Machine::new(64);
+        let buf = m.alloc(4);
+        m.write_slice(buf, &[0xDEAD_BEEF, 0x0BAD_F00D, 5, 7]);
+        m.set_base(Reg::R0, buf);
+        m.set_reg(Reg::R1, 0x1234_5678);
+        m.set_reg(Reg::R2, 3);
+
+        // Warm-up values for the counter in r7.
+        m.set_reg(Reg::R7, self.iterations);
+
+        let mut body_cycles = 0u64;
+        let mut body_energy = 0.0f64;
+        loop {
+            let s = m.snapshot();
+            for _ in 0..self.unroll {
+                match class {
+                    InstrClass::Ldr => m.ldr(Reg::R3, Reg::R0, 1),
+                    InstrClass::Str => m.str(Reg::R1, Reg::R0, 2),
+                    InstrClass::Lsl => m.lsls_imm(Reg::R3, Reg::R1, 3),
+                    InstrClass::Lsr => m.lsrs_imm(Reg::R3, Reg::R1, 3),
+                    InstrClass::Eor => m.eors(Reg::R1, Reg::R2),
+                    InstrClass::Logic => m.ands(Reg::R3, Reg::R1),
+                    InstrClass::Add => m.adds(Reg::R3, Reg::R1, Reg::R2),
+                    InstrClass::Sub => m.subs(Reg::R3, Reg::R1, Reg::R2),
+                    InstrClass::Mul => m.muls(Reg::R1, Reg::R2),
+                    InstrClass::Mov => m.mov(Reg::R3, Reg::R1),
+                    InstrClass::Cmp => m.cmp(Reg::R1, Reg::R2),
+                    InstrClass::Nop => m.nop(),
+                    InstrClass::BranchTaken
+                    | InstrClass::BranchNotTaken
+                    | InstrClass::Bl
+                    | InstrClass::StackWord => {
+                        panic!("the rig cannot loop on control-flow class {class}")
+                    }
+                }
+            }
+            let end = m.snapshot();
+            body_cycles += end.cycles - s.cycles;
+            body_energy += end.energy_pj - s.energy_pj;
+            // Loop tail: decrement + conditional branch back.
+            m.subs_imm(Reg::R7, 1);
+            if !m.b_cond(Cond::Ne) {
+                break;
+            }
+        }
+
+        let total_cycles = m.cycles();
+        let total_energy = m.energy_pj();
+        RigReading {
+            class,
+            picojoules_per_cycle: body_energy / body_cycles as f64,
+            raw_picojoules_per_cycle: total_energy / total_cycles as f64,
+            raw_power_uw: crate::EnergyModel::average_power_uw(
+                total_energy,
+                total_cycles,
+                crate::CLOCK_HZ,
+            ),
+        }
+    }
+
+    /// Measures all six classes of the paper's Table 3 and returns the
+    /// readings in the paper's order (ascending energy).
+    pub fn table3(&self) -> Vec<RigReading> {
+        [
+            InstrClass::Ldr,
+            InstrClass::Lsr,
+            InstrClass::Mul,
+            InstrClass::Lsl,
+            InstrClass::Eor,
+            InstrClass::Add,
+        ]
+        .iter()
+        .map(|&c| self.measure(c))
+        .collect()
+    }
+}
+
+impl Default for MeasurementRig {
+    /// 1024 iterations of a 16-fold unrolled loop, enough to make the loop
+    /// overhead visible but small.
+    fn default() -> Self {
+        MeasurementRig::new(1024, 16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compensated_readings_recover_table3() {
+        let rig = MeasurementRig::default();
+        let rows = rig.table3();
+        let expected = [10.98, 12.05, 12.14, 12.21, 12.43, 13.45];
+        for (row, want) in rows.iter().zip(expected) {
+            assert!(
+                (row.picojoules_per_cycle - want).abs() < 1e-9,
+                "{}: got {} want {want}",
+                row.class,
+                row.picojoules_per_cycle
+            );
+        }
+    }
+
+    #[test]
+    fn raw_readings_include_loop_overhead() {
+        let rig = MeasurementRig::new(64, 4);
+        let r = rig.measure(InstrClass::Eor);
+        // Overhead (SUBS at 13.45 + taken branch at 12.21) is more
+        // expensive per cycle than EOR... actually SUBS is; raw must
+        // differ from compensated.
+        assert!(r.raw_picojoules_per_cycle != r.picojoules_per_cycle);
+    }
+
+    #[test]
+    fn raw_power_is_in_the_papers_regime() {
+        // The paper's implementations average 520–600 µW at 48 MHz; any
+        // plausible instruction stream should land in the same decade.
+        let rig = MeasurementRig::default();
+        for row in rig.table3() {
+            assert!(
+                row.raw_power_uw > 400.0 && row.raw_power_uw < 800.0,
+                "{}: {} µW",
+                row.class,
+                row.raw_power_uw
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot loop")]
+    fn branch_classes_are_rejected() {
+        MeasurementRig::default().measure(InstrClass::Bl);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_iterations_rejected() {
+        MeasurementRig::new(0, 1);
+    }
+}

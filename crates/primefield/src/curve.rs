@@ -1,0 +1,327 @@
+//! Short-Weierstrass curves y² = x³ + ax + b over prime fields, with
+//! Jacobian-coordinate arithmetic — the shape of every baseline curve
+//! in the paper's Table 4 (secp160r1 … secp256r1, all with a = −3).
+
+use crate::field::{parse_hex, significant_bits, Limbs, PrimeField};
+
+/// A short-Weierstrass prime curve.
+#[derive(Debug, Clone)]
+pub struct Curve {
+    /// Display name, e.g. `secp192r1`.
+    pub name: &'static str,
+    /// The base field.
+    pub field: PrimeField,
+    /// Coefficient a in Montgomery form (−3 for all SEC r1 curves).
+    a: Limbs,
+    /// Coefficient b in Montgomery form.
+    b: Limbs,
+    /// Base point (affine, Montgomery form).
+    gx: Limbs,
+    gy: Limbs,
+    /// Group order (plain form).
+    n: Limbs,
+}
+
+/// An affine point (Montgomery-form coordinates) or infinity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PfPoint {
+    /// The identity.
+    Infinity,
+    /// A finite point.
+    Point {
+        /// x (Montgomery form).
+        x: Limbs,
+        /// y (Montgomery form).
+        y: Limbs,
+    },
+}
+
+/// A Jacobian point (x = X/Z², y = Y/Z³); Z = 0 encodes infinity.
+#[derive(Debug, Clone, Copy)]
+struct Jacobian {
+    x: Limbs,
+    y: Limbs,
+    z: Limbs,
+}
+
+impl Curve {
+    /// Builds a curve from big-endian hex constants (a is fixed to −3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the base point fails the curve equation — a guard
+    /// against transcription errors in the constants.
+    pub fn new(
+        name: &'static str,
+        p_hex: &str,
+        b_hex: &str,
+        gx_hex: &str,
+        gy_hex: &str,
+        n_hex: &str,
+    ) -> Curve {
+        let field = PrimeField::new(p_hex);
+        let mut three = [0u32; 8];
+        three[0] = 3;
+        let a = field.neg(&field.to_mont(&three));
+        let curve = Curve {
+            name,
+            b: field.to_mont(&parse_hex(b_hex)),
+            gx: field.to_mont(&parse_hex(gx_hex)),
+            gy: field.to_mont(&parse_hex(gy_hex)),
+            n: parse_hex(n_hex),
+            a,
+            field,
+        };
+        assert!(
+            curve.is_on_curve(&curve.generator()),
+            "{name}: generator fails the curve equation"
+        );
+        curve
+    }
+
+    /// The base point G.
+    pub fn generator(&self) -> PfPoint {
+        PfPoint::Point {
+            x: self.gx,
+            y: self.gy,
+        }
+    }
+
+    /// The group order n.
+    pub fn order(&self) -> &Limbs {
+        &self.n
+    }
+
+    /// Bit length of the group order.
+    pub fn order_bits(&self) -> usize {
+        significant_bits(&self.n)
+    }
+
+    /// Checks y² = x³ + ax + b.
+    pub fn is_on_curve(&self, p: &PfPoint) -> bool {
+        match p {
+            PfPoint::Infinity => true,
+            PfPoint::Point { x, y } => {
+                let f = &self.field;
+                let y2 = f.mont_mul(y, y);
+                let x2 = f.mont_mul(x, x);
+                let x3 = f.mont_mul(&x2, x);
+                let ax = f.mont_mul(&self.a, x);
+                let rhs = f.add(&f.add(&x3, &ax), &self.b);
+                y2 == rhs
+            }
+        }
+    }
+
+    fn to_jacobian(&self, p: &PfPoint) -> Jacobian {
+        match p {
+            PfPoint::Infinity => Jacobian {
+                x: self.field.one(),
+                y: self.field.one(),
+                z: self.field.zero(),
+            },
+            PfPoint::Point { x, y } => Jacobian {
+                x: *x,
+                y: *y,
+                z: self.field.one(),
+            },
+        }
+    }
+
+    fn to_affine(&self, p: &Jacobian) -> PfPoint {
+        let f = &self.field;
+        if f.is_zero(&p.z) {
+            return PfPoint::Infinity;
+        }
+        let zi = f.invert(&p.z);
+        let zi2 = f.mont_mul(&zi, &zi);
+        let zi3 = f.mont_mul(&zi2, &zi);
+        PfPoint::Point {
+            x: f.mont_mul(&p.x, &zi2),
+            y: f.mont_mul(&p.y, &zi3),
+        }
+    }
+
+    /// Jacobian doubling specialised to a = −3
+    /// (α = 3(X−Z²)(X+Z²)): 4M + 4S.
+    fn double(&self, p: &Jacobian) -> Jacobian {
+        let f = &self.field;
+        if f.is_zero(&p.z) || f.is_zero(&p.y) {
+            return Jacobian {
+                x: f.one(),
+                y: f.one(),
+                z: f.zero(),
+            };
+        }
+        let delta = f.mont_mul(&p.z, &p.z);
+        let gamma = f.mont_mul(&p.y, &p.y);
+        let beta = f.mont_mul(&p.x, &gamma);
+        let t1 = f.sub(&p.x, &delta);
+        let t2 = f.add(&p.x, &delta);
+        let t3 = f.mont_mul(&t1, &t2);
+        let alpha = f.add(&f.add(&t3, &t3), &t3);
+        let mut x3 = f.mont_mul(&alpha, &alpha);
+        let beta2 = f.add(&beta, &beta);
+        let beta4 = f.add(&beta2, &beta2);
+        let beta8 = f.add(&beta4, &beta4);
+        x3 = f.sub(&x3, &beta8);
+        let t4 = f.add(&p.y, &p.z);
+        let t5 = f.mont_mul(&t4, &t4);
+        let z3 = f.sub(&f.sub(&t5, &gamma), &delta);
+        let t6 = f.sub(&beta4, &x3);
+        let gamma2 = f.mont_mul(&gamma, &gamma);
+        let g2 = f.add(&gamma2, &gamma2);
+        let g4 = f.add(&g2, &g2);
+        let g8 = f.add(&g4, &g4);
+        let y3 = f.sub(&f.mont_mul(&alpha, &t6), &g8);
+        Jacobian { x: x3, y: y3, z: z3 }
+    }
+
+    /// Mixed addition: Jacobian + affine (11M + 3S class).
+    fn add_mixed(&self, p: &Jacobian, q: &PfPoint) -> Jacobian {
+        let f = &self.field;
+        let (x2, y2) = match q {
+            PfPoint::Infinity => return *p,
+            PfPoint::Point { x, y } => (x, y),
+        };
+        if f.is_zero(&p.z) {
+            return Jacobian {
+                x: *x2,
+                y: *y2,
+                z: f.one(),
+            };
+        }
+        let z1z1 = f.mont_mul(&p.z, &p.z);
+        let u2 = f.mont_mul(x2, &z1z1);
+        let z1z1z1 = f.mont_mul(&p.z, &z1z1);
+        let s2 = f.mont_mul(y2, &z1z1z1);
+        let h = f.sub(&u2, &p.x);
+        let r = f.sub(&s2, &p.y);
+        if f.is_zero(&h) {
+            if f.is_zero(&r) {
+                return self.double(p);
+            }
+            return Jacobian {
+                x: f.one(),
+                y: f.one(),
+                z: f.zero(),
+            };
+        }
+        let hh = f.mont_mul(&h, &h);
+        let hhh = f.mont_mul(&h, &hh);
+        let v = f.mont_mul(&p.x, &hh);
+        let mut x3 = f.mont_mul(&r, &r);
+        x3 = f.sub(&f.sub(&x3, &hhh), &f.add(&v, &v));
+        let t = f.sub(&v, &x3);
+        let y3 = f.sub(&f.mont_mul(&r, &t), &f.mont_mul(&p.y, &hhh));
+        let z3 = f.mont_mul(&p.z, &h);
+        Jacobian { x: x3, y: y3, z: z3 }
+    }
+
+    /// Scalar multiplication by binary double-and-add over the scalar's
+    /// bits (the Micro ECC-style baseline loop).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scalar exceeds 256 bits (cannot happen for reduced
+    /// scalars).
+    pub fn mul(&self, p: &PfPoint, k: &Limbs) -> PfPoint {
+        let bits = significant_bits(k);
+        let mut acc = self.to_jacobian(&PfPoint::Infinity);
+        for i in (0..bits).rev() {
+            acc = self.double(&acc);
+            if (k[i / 32] >> (i % 32)) & 1 == 1 {
+                acc = self.add_mixed(&acc, p);
+            }
+        }
+        self.to_affine(&acc)
+    }
+
+    /// Point addition through Jacobian coordinates.
+    pub fn add_points(&self, p: &PfPoint, q: &PfPoint) -> PfPoint {
+        let jp = self.to_jacobian(p);
+        self.to_affine(&self.add_mixed(&jp, q))
+    }
+
+    /// Point negation.
+    pub fn neg_point(&self, p: &PfPoint) -> PfPoint {
+        match p {
+            PfPoint::Infinity => PfPoint::Infinity,
+            PfPoint::Point { x, y } => PfPoint::Point {
+                x: *x,
+                y: self.field.neg(y),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curves;
+
+    #[test]
+    fn all_generators_validate() {
+        for c in curves::all() {
+            assert!(c.is_on_curve(&c.generator()), "{}", c.name);
+        }
+    }
+
+    #[test]
+    fn n_times_g_is_infinity_on_every_curve() {
+        for c in curves::all() {
+            let ng = c.mul(&c.generator(), c.order());
+            assert_eq!(ng, PfPoint::Infinity, "{}", c.name);
+        }
+    }
+
+    #[test]
+    fn small_multiples_consistent() {
+        let c = curves::secp192r1();
+        let g = c.generator();
+        let two = {
+            let mut k = [0u32; 8];
+            k[0] = 2;
+            k
+        };
+        let three = {
+            let mut k = [0u32; 8];
+            k[0] = 3;
+            k
+        };
+        let g2 = c.mul(&g, &two);
+        let g3 = c.mul(&g, &three);
+        assert!(c.is_on_curve(&g2));
+        assert!(c.is_on_curve(&g3));
+        assert_eq!(c.add_points(&g2, &g), g3);
+        // G + (−G) = O.
+        assert_eq!(c.add_points(&g, &c.neg_point(&g)), PfPoint::Infinity);
+    }
+
+    #[test]
+    fn n_minus_one_times_g_is_neg_g() {
+        let c = curves::secp256r1();
+        let mut k = *c.order();
+        k[0] -= 1; // order is odd, no borrow
+        assert_eq!(c.mul(&c.generator(), &k), c.neg_point(&c.generator()));
+    }
+
+    #[test]
+    fn scalar_mult_distributes() {
+        let c = curves::secp224r1();
+        let g = c.generator();
+        let mk = |v: u32| {
+            let mut k = [0u32; 8];
+            k[0] = v;
+            k
+        };
+        let lhs = c.add_points(&c.mul(&g, &mk(41)), &c.mul(&g, &mk(59)));
+        assert_eq!(lhs, c.mul(&g, &mk(100)));
+    }
+
+    #[test]
+    fn zero_scalar_gives_infinity() {
+        let c = curves::secp160r1();
+        assert_eq!(c.mul(&c.generator(), &[0u32; 8]), PfPoint::Infinity);
+    }
+}

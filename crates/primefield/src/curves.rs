@@ -1,0 +1,84 @@
+//! The SEC 2 prime curves appearing in the paper's Table 4.
+//!
+//! Every constructor validates its base point against the curve
+//! equation, and the test suite additionally checks n·G = ∞, so a
+//! transcription error in any constant cannot survive `cargo test`.
+
+use crate::curve::Curve;
+
+/// secp160r1 — the "P-160" of the NanoECC row (MSP430F1611).
+pub fn secp160r1() -> Curve {
+    Curve::new(
+        "secp160r1",
+        "ffffffffffffffffffffffffffffffff7fffffff",
+        "1c97befc54bd7a8b65acf89f81d4d4adc565fa45",
+        "4a96b5688ef573284664698968c38bb913cbfc82",
+        "23a628553168947d59dcc912042351377ac5fb32",
+        "0100000000000000000001f4c8f927aed3ca752257",
+    )
+}
+
+/// secp192r1 — the MIRACL/ARM7TDMI and Micro ECC/Cortex-M0 rows.
+pub fn secp192r1() -> Curve {
+    Curve::new(
+        "secp192r1",
+        "fffffffffffffffffffffffffffffffeffffffffffffffff",
+        "64210519e59c80e70fa7e9ab72243049feb8deecc146b9b1",
+        "188da80eb03090f67cbf20eb43a18800f4ff0afd82ff1012",
+        "07192b95ffc8da78631011ed6b24cdd573f977a11e794811",
+        "ffffffffffffffffffffffff99def836146bc9b1b4d22831",
+    )
+}
+
+/// secp224r1 — the MIRACL/ARM7TDMI and Wenger et al./Cortex-M0+ rows.
+pub fn secp224r1() -> Curve {
+    Curve::new(
+        "secp224r1",
+        "ffffffffffffffffffffffffffffffff000000000000000000000001",
+        "b4050a850c04b3abf54132565044b0b7d7bfd8ba270b39432355ffb4",
+        "b70e0cbd6bb4bf7f321390b94a03c1d356c21122343280d6115c1d21",
+        "bd376388b5f723fb4c22dfe6cd4375a05a07476444d5819985007e34",
+        "ffffffffffffffffffffffffffff16a2e0b8f03e13dd29455c5c2a3d",
+    )
+}
+
+/// secp256r1 — the Micro ECC/Cortex-M0 256-bit row.
+pub fn secp256r1() -> Curve {
+    Curve::new(
+        "secp256r1",
+        "ffffffff00000001000000000000000000000000ffffffffffffffffffffffff",
+        "5ac635d8aa3a93e7b3ebbd55769886bc651d06b0cc53b0f63bce3c3e27d2604b",
+        "6b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a13945d898c296",
+        "4fe342e2fe1a7f9b8ee7eb4a7c0f9e162bce33576b315ececbb6406837bf51f5",
+        "ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551",
+    )
+}
+
+/// All baseline curves, smallest first.
+pub fn all() -> Vec<Curve> {
+    vec![secp160r1(), secp192r1(), secp224r1(), secp256r1()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curve_sizes() {
+        assert_eq!(secp160r1().field.bits(), 160);
+        assert_eq!(secp192r1().field.bits(), 192);
+        assert_eq!(secp224r1().field.bits(), 224);
+        assert_eq!(secp256r1().field.bits(), 256);
+        // secp160r1's order is famously 161 bits.
+        assert_eq!(secp160r1().order_bits(), 161);
+        assert_eq!(secp256r1().order_bits(), 256);
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names: Vec<_> = all().iter().map(|c| c.name).collect();
+        let mut dedup = names.clone();
+        dedup.dedup();
+        assert_eq!(names, dedup);
+    }
+}

@@ -1,0 +1,414 @@
+//! Generic prime-field arithmetic on 32-bit limbs (up to 256 bits).
+//!
+//! The baseline the paper compares against (§3.1's model, Table 4's
+//! Micro ECC / MIRACL / NanoECC rows) works over NIST-style primes.
+//! Elements are fixed 8-limb little-endian arrays with a per-field
+//! active-limb count; multiplication is Montgomery (CIOS) with all
+//! Montgomery constants derived from the modulus at construction time.
+
+// Multi-precision schoolbook loops are clearest with explicit indices.
+#![allow(clippy::needless_range_loop)]
+
+use std::fmt;
+
+/// Maximum limb count (256-bit fields).
+pub const MAX_LIMBS: usize = 8;
+
+/// An element, little-endian limbs, limbs beyond the field width zero.
+pub type Limbs = [u32; MAX_LIMBS];
+
+/// A prime field F_p with p < 2²⁵⁶, p odd.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrimeField {
+    /// Active limb count L = ⌈bits(p)/32⌉.
+    limbs: usize,
+    /// The modulus.
+    p: Limbs,
+    /// R² mod p where R = 2^(32L) (for conversion into Montgomery form).
+    r2: Limbs,
+    /// −p⁻¹ mod 2³² (the CIOS folding constant).
+    n0: u32,
+}
+
+/// Compares a < b over `len` limbs.
+fn lt(a: &Limbs, b: &Limbs, len: usize) -> bool {
+    for i in (0..len).rev() {
+        if a[i] != b[i] {
+            return a[i] < b[i];
+        }
+    }
+    false
+}
+
+/// a -= b, returns the borrow.
+fn sub_assign(a: &mut Limbs, b: &Limbs, len: usize) -> bool {
+    let mut borrow = 0i64;
+    for i in 0..len {
+        let d = a[i] as i64 - b[i] as i64 - borrow;
+        a[i] = d as u32;
+        borrow = (d < 0) as i64;
+    }
+    borrow != 0
+}
+
+/// a += b, returns the carry.
+fn add_assign(a: &mut Limbs, b: &Limbs, len: usize) -> bool {
+    let mut carry = 0u64;
+    for i in 0..len {
+        let s = a[i] as u64 + b[i] as u64 + carry;
+        a[i] = s as u32;
+        carry = s >> 32;
+    }
+    carry != 0
+}
+
+impl PrimeField {
+    /// Constructs the field from big-endian hex of the (odd) modulus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the modulus is even, zero, over 256 bits, or malformed
+    /// hex (these are compile-time curve constants in practice).
+    pub fn new(p_hex: &str) -> PrimeField {
+        let p = parse_hex(p_hex);
+        let bits = significant_bits(&p);
+        assert!(bits > 0 && bits <= 256, "modulus must be 1..=256 bits");
+        assert!(p[0] & 1 == 1, "modulus must be odd");
+        let limbs = bits.div_ceil(32);
+
+        // n0 = −p⁻¹ mod 2³² by Newton iteration (5 steps double the
+        // precision from the seed p⁻¹ ≡ p (mod 8)).
+        let mut inv: u32 = p[0]; // correct mod 8
+        for _ in 0..5 {
+            inv = inv.wrapping_mul(2u32.wrapping_sub(p[0].wrapping_mul(inv)));
+        }
+        let n0 = inv.wrapping_neg();
+
+        // R mod p, then square it L·32 times by doubling → R² mod p is
+        // cheaper via repeated doubling of R mod p... simplest: compute
+        // R mod p, then R² = (R mod p) · 2^(32L) mod p via 32L modular
+        // doublings.
+        let mut r = [0u32; MAX_LIMBS];
+        // R = 2^(32L): reduce by repeated subtraction from the top.
+        // Start with 1 and double 32L times mod p.
+        r[0] = 1;
+        let mut field = PrimeField { limbs, p, r2: [0; MAX_LIMBS], n0 };
+        for _ in 0..32 * limbs {
+            field.double_mod(&mut r);
+        }
+        // r now holds R mod p; double 32L more times for R².
+        let mut r2 = r;
+        for _ in 0..32 * limbs {
+            field.double_mod(&mut r2);
+        }
+        // That computed R·2^(32L) = R² (mod p) only if r held R mod p —
+        // which it does. But R² must come from (R mod p)·R, and doubling
+        // R mod p 32L times is exactly multiplying by 2^(32L) = R. ✓
+        field.r2 = r2;
+        field
+    }
+
+    fn double_mod(&self, a: &mut Limbs) {
+        let carry = {
+            let mut c = 0u64;
+            for x in a.iter_mut().take(self.limbs) {
+                let s = (*x as u64) * 2 + c;
+                *x = s as u32;
+                c = s >> 32;
+            }
+            c != 0
+        };
+        if carry || !lt(a, &self.p, self.limbs) {
+            sub_assign(a, &self.p, self.limbs);
+        }
+    }
+
+    /// Active limb count.
+    pub fn limbs(&self) -> usize {
+        self.limbs
+    }
+
+    /// The modulus limbs.
+    pub fn modulus(&self) -> &Limbs {
+        &self.p
+    }
+
+    /// Bit length of the modulus.
+    pub fn bits(&self) -> usize {
+        significant_bits(&self.p)
+    }
+
+    /// Zero.
+    pub fn zero(&self) -> Limbs {
+        [0; MAX_LIMBS]
+    }
+
+    /// One in Montgomery form.
+    pub fn one(&self) -> Limbs {
+        let mut one = [0u32; MAX_LIMBS];
+        one[0] = 1;
+        self.to_mont(&one)
+    }
+
+    /// Converts a canonical value (< p) to Montgomery form.
+    pub fn to_mont(&self, a: &Limbs) -> Limbs {
+        self.mont_mul(a, &self.r2)
+    }
+
+    /// Converts from Montgomery form to canonical.
+    pub fn from_mont(&self, a: &Limbs) -> Limbs {
+        let mut one = [0u32; MAX_LIMBS];
+        one[0] = 1;
+        self.mont_mul(a, &one)
+    }
+
+    /// Montgomery multiplication (CIOS): returns a·b·R⁻¹ mod p.
+    pub fn mont_mul(&self, a: &Limbs, b: &Limbs) -> Limbs {
+        let l = self.limbs;
+        let mut t = [0u64; MAX_LIMBS + 2];
+        for i in 0..l {
+            // t += a[i] * b
+            let mut carry = 0u64;
+            for j in 0..l {
+                let s = t[j] + a[i] as u64 * b[j] as u64 + carry;
+                t[j] = s & 0xFFFF_FFFF;
+                carry = s >> 32;
+            }
+            let s = t[l] + carry;
+            t[l] = s & 0xFFFF_FFFF;
+            t[l + 1] = s >> 32;
+            // fold: m = t[0] * n0 mod 2^32; t += m*p; t >>= 32
+            let m = (t[0] as u32).wrapping_mul(self.n0) as u64;
+            let mut carry = (t[0] + m * self.p[0] as u64) >> 32;
+            for j in 1..l {
+                let s = t[j] + m * self.p[j] as u64 + carry;
+                t[j - 1] = s & 0xFFFF_FFFF;
+                carry = s >> 32;
+            }
+            let s = t[l] + carry;
+            t[l - 1] = s & 0xFFFF_FFFF;
+            t[l] = t[l + 1] + (s >> 32);
+            t[l + 1] = 0;
+        }
+        let mut out = [0u32; MAX_LIMBS];
+        for j in 0..l {
+            out[j] = t[j] as u32;
+        }
+        if t[l] != 0 || !lt(&out, &self.p, l) {
+            sub_assign(&mut out, &self.p, l);
+        }
+        out
+    }
+
+    /// Modular addition.
+    pub fn add(&self, a: &Limbs, b: &Limbs) -> Limbs {
+        let mut out = *a;
+        let carry = add_assign(&mut out, b, self.limbs);
+        if carry || !lt(&out, &self.p, self.limbs) {
+            sub_assign(&mut out, &self.p, self.limbs);
+        }
+        out
+    }
+
+    /// Modular subtraction.
+    pub fn sub(&self, a: &Limbs, b: &Limbs) -> Limbs {
+        let mut out = *a;
+        if sub_assign(&mut out, b, self.limbs) {
+            add_assign(&mut out, &self.p, self.limbs);
+        }
+        out
+    }
+
+    /// Modular negation.
+    pub fn neg(&self, a: &Limbs) -> Limbs {
+        if a.iter().all(|&x| x == 0) {
+            return *a;
+        }
+        let mut out = self.p;
+        sub_assign(&mut out, a, self.limbs);
+        out
+    }
+
+    /// Whether the element is zero (works in either form).
+    pub fn is_zero(&self, a: &Limbs) -> bool {
+        a.iter().all(|&x| x == 0)
+    }
+
+    /// Modular inverse via Fermat (p prime): a^(p−2), inputs/outputs in
+    /// Montgomery form. Returns zero for zero.
+    pub fn invert(&self, a: &Limbs) -> Limbs {
+        if self.is_zero(a) {
+            return *a;
+        }
+        // exponent = p − 2.
+        let mut e = self.p;
+        let mut two = [0u32; MAX_LIMBS];
+        two[0] = 2;
+        sub_assign(&mut e, &two, self.limbs);
+        let mut acc = self.one();
+        for i in (0..self.bits()).rev() {
+            acc = self.mont_mul(&acc, &acc);
+            if (e[i / 32] >> (i % 32)) & 1 == 1 {
+                acc = self.mont_mul(&acc, a);
+            }
+        }
+        acc
+    }
+}
+
+/// Parses big-endian hex into limbs.
+///
+/// # Panics
+///
+/// Panics on invalid hex or values over 256 bits.
+pub fn parse_hex(s: &str) -> Limbs {
+    let s = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")).unwrap_or(s);
+    assert!(s.len() <= 64, "value exceeds 256 bits");
+    let mut out = [0u32; MAX_LIMBS];
+    for c in s.chars() {
+        let d = c.to_digit(16).expect("valid hex digit");
+        let mut carry = d;
+        for w in out.iter_mut() {
+            let nc = *w >> 28;
+            *w = (*w << 4) | carry;
+            carry = nc;
+        }
+        assert_eq!(carry, 0, "value exceeds 256 bits");
+    }
+    out
+}
+
+/// Bit length of a limb array.
+pub fn significant_bits(a: &Limbs) -> usize {
+    for i in (0..MAX_LIMBS).rev() {
+        if a[i] != 0 {
+            return i * 32 + 32 - a[i].leading_zeros() as usize;
+        }
+    }
+    0
+}
+
+/// Formats limbs as big-endian hex (for tests/debug).
+pub fn to_hex(a: &Limbs) -> String {
+    let mut s = String::new();
+    let mut started = false;
+    for i in (0..MAX_LIMBS).rev() {
+        if started {
+            s += &format!("{:08x}", a[i]);
+        } else if a[i] != 0 {
+            s += &format!("{:x}", a[i]);
+            started = true;
+        }
+    }
+    if !started {
+        s = "0".into();
+    }
+    s
+}
+
+/// A displayable wrapper used in error/debug paths.
+pub struct HexLimbs<'a>(pub &'a Limbs);
+
+impl fmt::Display for HexLimbs<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{}", to_hex(self.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f192() -> PrimeField {
+        PrimeField::new("fffffffffffffffffffffffffffffffeffffffffffffffff")
+    }
+
+    fn small() -> PrimeField {
+        PrimeField::new("fb") // p = 251
+    }
+
+    #[test]
+    fn parse_and_bits() {
+        let p = parse_hex("deadbeef");
+        assert_eq!(p[0], 0xDEAD_BEEF);
+        assert_eq!(significant_bits(&p), 32);
+        assert_eq!(to_hex(&p), "deadbeef");
+    }
+
+    #[test]
+    fn small_field_full_multiplication_table() {
+        let f = small();
+        for a in 0u32..251 {
+            for b in (0u32..251).step_by(17) {
+                let am = f.to_mont(&{
+                    let mut x = [0u32; 8];
+                    x[0] = a;
+                    x
+                });
+                let bm = f.to_mont(&{
+                    let mut x = [0u32; 8];
+                    x[0] = b;
+                    x
+                });
+                let prod = f.from_mont(&f.mont_mul(&am, &bm));
+                assert_eq!(prod[0], (a * b) % 251, "{a}*{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn montgomery_roundtrip() {
+        let f = f192();
+        let a = parse_hex("123456789abcdef0123456789abcdef0123456789abcdef");
+        let m = f.to_mont(&a);
+        assert_eq!(f.from_mont(&m), a);
+    }
+
+    #[test]
+    fn mul_matches_naive_on_192() {
+        // (2^96)·(2^96) mod p = 2^192 mod p = 2^64 + 1 for
+        // p = 2^192 − 2^64 − 1.
+        let f = f192();
+        let mut a = [0u32; 8];
+        a[3] = 1; // 2^96
+        let am = f.to_mont(&a);
+        let sq = f.from_mont(&f.mont_mul(&am, &am));
+        let mut want = [0u32; 8];
+        want[2] = 1; // 2^64
+        want[0] = 1;
+        assert_eq!(sq, want);
+    }
+
+    #[test]
+    fn add_sub_neg() {
+        let f = f192();
+        let a = parse_hex("fffffffffffffffffffffffffffffffefffffffffffffffe"); // p−1
+        let one = {
+            let mut x = [0u32; 8];
+            x[0] = 1;
+            x
+        };
+        assert!(f.is_zero(&f.add(&a, &one)));
+        assert_eq!(f.sub(&f.zero(), &one), a, "0 − 1 = p − 1");
+        assert_eq!(f.neg(&one), a);
+        assert!(f.is_zero(&f.neg(&f.zero())));
+    }
+
+    #[test]
+    fn inversion() {
+        let f = f192();
+        let a = f.to_mont(&parse_hex("deadbeefcafebabe12345678"));
+        let inv = f.invert(&a);
+        let prod = f.from_mont(&f.mont_mul(&a, &inv));
+        let mut one = [0u32; 8];
+        one[0] = 1;
+        assert_eq!(prod, one);
+        assert!(f.is_zero(&f.invert(&f.zero())));
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn even_modulus_rejected() {
+        PrimeField::new("10");
+    }
+}

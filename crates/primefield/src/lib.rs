@@ -1,0 +1,37 @@
+//! Prime-field ECC baseline for the DAC'14 reproduction.
+//!
+//! The paper argues (§3.1) that on the Cortex-M0+ a *binary* Koblitz
+//! curve beats a *prime* curve of equivalent security both in cycles and
+//! in energy per cycle, and its Table 4 compares against several
+//! prime-curve implementations (Micro ECC, MIRACL, NanoECC, Wenger et
+//! al.). This crate supplies that baseline from scratch:
+//!
+//! * [`field`] — generic F_p on 32-bit limbs with Montgomery (CIOS)
+//!   multiplication and Fermat inversion;
+//! * [`curve`] — short-Weierstrass curves with Jacobian arithmetic and
+//!   double-and-add scalar multiplication;
+//! * [`curves`] — secp160r1, secp192r1, secp224r1 and secp256r1 (every
+//!   prime curve named in Table 4), each validated at construction;
+//! * [`modeled`] — the machine-modeled Comba multiplication kernel that
+//!   feeds the §3.1 instruction-mix model and the regenerated prime
+//!   rows of Table 4.
+//!
+//! # Example
+//!
+//! ```
+//! use primefield::curves;
+//! let curve = curves::secp192r1();
+//! let g = curve.generator();
+//! let mut k = [0u32; 8];
+//! k[0] = 42;
+//! let p = curve.mul(&g, &k);
+//! assert!(curve.is_on_curve(&p));
+//! ```
+
+pub mod curve;
+pub mod curves;
+pub mod field;
+pub mod modeled;
+
+pub use curve::{Curve, PfPoint};
+pub use field::PrimeField;

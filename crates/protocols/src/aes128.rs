@@ -1,0 +1,239 @@
+//! AES-128 (FIPS 197), from scratch, for the hybrid-cryptosystem demo.
+//!
+//! The paper's introduction motivates ECC exactly for this setting:
+//! *"hybrid cryptosystems where PKC is used for key exchange, and
+//! symmetric cryptography is used for the efficient encryption of
+//! data."* The WSN example derives an AES key through ECDH and encrypts
+//! telemetry in counter mode.
+//!
+//! This is a table-free, readable implementation (S-box computed at
+//! compile time) — constant-time hardening is out of scope here, as it
+//! is in the paper.
+
+/// The AES S-box, generated at compile time from the multiplicative
+/// inverse in GF(2⁸) followed by the affine map.
+pub static SBOX: [u8; 256] = build_sbox();
+
+const fn gf_mul(mut a: u8, mut b: u8) -> u8 {
+    let mut out = 0u8;
+    let mut i = 0;
+    while i < 8 {
+        if b & 1 == 1 {
+            out ^= a;
+        }
+        let hi = a & 0x80;
+        a <<= 1;
+        if hi != 0 {
+            a ^= 0x1B;
+        }
+        b >>= 1;
+        i += 1;
+    }
+    out
+}
+
+const fn gf_inv(a: u8) -> u8 {
+    // a^254 in GF(2^8) (0 maps to 0).
+    let mut result = 1u8;
+    let mut base = a;
+    let mut e = 254u8;
+    while e > 0 {
+        if e & 1 == 1 {
+            result = gf_mul(result, base);
+        }
+        base = gf_mul(base, base);
+        e >>= 1;
+    }
+    result
+}
+
+const fn build_sbox() -> [u8; 256] {
+    let mut sbox = [0u8; 256];
+    let mut i = 0;
+    while i < 256 {
+        let inv = gf_inv(i as u8);
+        let mut x = inv;
+        let mut y = inv;
+        let mut r = 1;
+        while r < 5 {
+            y = y.rotate_left(1);
+            x ^= y;
+            r += 1;
+        }
+        sbox[i] = x ^ 0x63;
+        i += 1;
+    }
+    sbox
+}
+
+/// Expanded AES-128 key schedule (11 round keys).
+#[derive(Debug, Clone)]
+pub struct Aes128 {
+    round_keys: [[u8; 16]; 11],
+}
+
+impl Aes128 {
+    /// Expands a 128-bit key.
+    pub fn new(key: &[u8; 16]) -> Aes128 {
+        let mut w = [[0u8; 4]; 44];
+        for i in 0..4 {
+            w[i].copy_from_slice(&key[4 * i..4 * i + 4]);
+        }
+        let mut rcon = 1u8;
+        for i in 4..44 {
+            let mut t = w[i - 1];
+            if i % 4 == 0 {
+                t.rotate_left(1);
+                for b in t.iter_mut() {
+                    *b = SBOX[*b as usize];
+                }
+                t[0] ^= rcon;
+                rcon = gf_mul(rcon, 2);
+            }
+            for j in 0..4 {
+                w[i][j] = w[i - 4][j] ^ t[j];
+            }
+        }
+        let mut round_keys = [[0u8; 16]; 11];
+        for r in 0..11 {
+            for c in 0..4 {
+                round_keys[r][4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
+            }
+        }
+        Aes128 { round_keys }
+    }
+
+    /// Encrypts one 16-byte block.
+    pub fn encrypt_block(&self, block: &[u8; 16]) -> [u8; 16] {
+        let mut state = *block;
+        add_round_key(&mut state, &self.round_keys[0]);
+        for r in 1..10 {
+            sub_bytes(&mut state);
+            shift_rows(&mut state);
+            mix_columns(&mut state);
+            add_round_key(&mut state, &self.round_keys[r]);
+        }
+        sub_bytes(&mut state);
+        shift_rows(&mut state);
+        add_round_key(&mut state, &self.round_keys[10]);
+        state
+    }
+
+    /// Counter-mode keystream encryption/decryption (symmetric): XORs
+    /// the keystream derived from `nonce` into `data`.
+    pub fn ctr_apply(&self, nonce: &[u8; 12], data: &mut [u8]) {
+        for (counter, chunk) in data.chunks_mut(16).enumerate() {
+            let mut block = [0u8; 16];
+            block[..12].copy_from_slice(nonce);
+            block[12..].copy_from_slice(&(counter as u32).to_be_bytes());
+            let ks = self.encrypt_block(&block);
+            for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+                *b ^= k;
+            }
+        }
+    }
+}
+
+fn add_round_key(state: &mut [u8; 16], key: &[u8; 16]) {
+    for (s, k) in state.iter_mut().zip(key) {
+        *s ^= k;
+    }
+}
+
+fn sub_bytes(state: &mut [u8; 16]) {
+    for b in state.iter_mut() {
+        *b = SBOX[*b as usize];
+    }
+}
+
+fn shift_rows(state: &mut [u8; 16]) {
+    // Column-major state: byte (row r, col c) at index 4c + r.
+    let old = *state;
+    for r in 1..4 {
+        for c in 0..4 {
+            state[4 * c + r] = old[4 * ((c + r) % 4) + r];
+        }
+    }
+}
+
+fn mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [
+            state[4 * c],
+            state[4 * c + 1],
+            state[4 * c + 2],
+            state[4 * c + 3],
+        ];
+        state[4 * c] = gf_mul(col[0], 2) ^ gf_mul(col[1], 3) ^ col[2] ^ col[3];
+        state[4 * c + 1] = col[0] ^ gf_mul(col[1], 2) ^ gf_mul(col[2], 3) ^ col[3];
+        state[4 * c + 2] = col[0] ^ col[1] ^ gf_mul(col[2], 2) ^ gf_mul(col[3], 3);
+        state[4 * c + 3] = gf_mul(col[0], 3) ^ col[1] ^ col[2] ^ gf_mul(col[3], 2);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sbox_known_entries() {
+        assert_eq!(SBOX[0x00], 0x63);
+        assert_eq!(SBOX[0x01], 0x7c);
+        assert_eq!(SBOX[0x53], 0xed);
+        assert_eq!(SBOX[0xff], 0x16);
+    }
+
+    #[test]
+    fn fips197_appendix_b_vector() {
+        let key = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let plain = [
+            0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37,
+            0x07, 0x34,
+        ];
+        let want = [
+            0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb, 0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a,
+            0x0b, 0x32,
+        ];
+        assert_eq!(Aes128::new(&key).encrypt_block(&plain), want);
+    }
+
+    #[test]
+    fn fips197_appendix_c_vector() {
+        let key: [u8; 16] = (0..16u8).collect::<Vec<_>>().try_into().unwrap();
+        let plain: [u8; 16] = (0..16u8)
+            .map(|i| i * 0x11)
+            .collect::<Vec<_>>()
+            .try_into()
+            .unwrap();
+        let want = [
+            0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4,
+            0xc5, 0x5a,
+        ];
+        assert_eq!(Aes128::new(&key).encrypt_block(&plain), want);
+    }
+
+    #[test]
+    fn ctr_roundtrip() {
+        let key = [7u8; 16];
+        let nonce = [9u8; 12];
+        let aes = Aes128::new(&key);
+        let mut data = b"sensor reading: 23.4 C, battery 87%".to_vec();
+        let original = data.clone();
+        aes.ctr_apply(&nonce, &mut data);
+        assert_ne!(data, original);
+        aes.ctr_apply(&nonce, &mut data);
+        assert_eq!(data, original);
+    }
+
+    #[test]
+    fn ctr_multiblock_keystream_differs_per_block() {
+        let aes = Aes128::new(&[1u8; 16]);
+        let mut data = vec![0u8; 48];
+        aes.ctr_apply(&[0u8; 12], &mut data);
+        assert_ne!(data[..16], data[16..32]);
+        assert_ne!(data[16..32], data[32..48]);
+    }
+}

@@ -1,0 +1,73 @@
+//! Node-lifetime comparison: the paper's introduction, quantified.
+//!
+//! Every implementation profile runs the same WSN duty cycle (one
+//! sealed telemetry frame per 15-minute round, ECDH re-key once a day)
+//! on a CR2032 coin cell; the only difference is the energy its point
+//! multiplications burn on the Cortex-M0+ model.
+//!
+//! Run: `cargo run --release --example node_lifetime`
+
+use ecc233::Profile;
+use wsn::{CryptoCosts, NodeConfig, Simulation};
+
+fn main() {
+    println!("--- WSN node lifetime by ECC implementation profile ---");
+    println!("(CR2032 ≈ 2340 J, 24-byte frame / 15-min round, daily re-key)\n");
+    println!(
+        "{:<22} {:>9} {:>9} {:>14} {:>12} {:>10}",
+        "profile", "kG [µJ]", "kP [µJ]", "rounds", "years", "re-keys"
+    );
+
+    let config = NodeConfig::default();
+    let max_rounds = 200_000_000;
+    let mut lifetimes = Vec::new();
+    for profile in Profile::ALL {
+        let costs = CryptoCosts::measure(profile);
+        let sim = Simulation::new(config, costs);
+        // The closed-form estimate (validated against the round-by-round
+        // simulation in the test suite) keeps this example fast.
+        let rounds = sim.analytic_rounds();
+        let years = rounds * 15.0 / 60.0 / 24.0 / 365.0 / 4.0; // 15-min rounds
+        println!(
+            "{:<22} {:>9.2} {:>9.2} {:>14.0} {:>12.2} {:>10.0}",
+            profile.label(),
+            costs.kg_uj,
+            costs.kp_uj,
+            rounds,
+            years,
+            rounds / config.rekey_interval as f64
+        );
+        lifetimes.push((profile, rounds));
+        let _ = max_rounds;
+    }
+
+    println!();
+    let ours = lifetimes[0].1;
+    let relic = lifetimes[2].1;
+    println!(
+        "at this duty cycle the radio dominates, so the ECC profile shifts lifetime by {:.1}%;",
+        (ours / relic - 1.0) * 100.0
+    );
+
+    // Re-key-heavy duty cycle: key agreement per frame (e.g. pairwise
+    // links to many neighbours).
+    println!("\nre-key-per-frame duty cycle (pairwise links):\n");
+    let config = NodeConfig {
+        rekey_interval: 1,
+        ..NodeConfig::default()
+    };
+    let mut heavy = Vec::new();
+    for profile in Profile::ALL {
+        let costs = CryptoCosts::measure(profile);
+        let rounds = Simulation::new(config, costs).analytic_rounds();
+        println!("{:<22} {:>14.0} rounds", profile.label(), rounds);
+        heavy.push(rounds);
+    }
+    println!(
+        "\nhere the paper's ~2.5x crypto-energy advantage buys x{:.2} node lifetime",
+        heavy[0] / heavy[2]
+    );
+    println!("(the rest of the round budget is radio) — the \"node lifetime is directly");
+    println!("influenced by the efficiency of its algorithms\" claim of the introduction,");
+    println!("in numbers.");
+}

@@ -1,0 +1,50 @@
+//! Quickstart: one fixed-point and one random-point multiplication on
+//! sect233k1, measured on the Cortex-M0+ cost model — the two numbers
+//! the paper's abstract leads with.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use ecc233::{Engine, Profile};
+use koblitz::{order, Int};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 232-bit scalar (any value below the group order n).
+    let k = Int::from_hex("1b2fd57a913c4e8f6a5d3c2b1a09f8e7d6c5b4a392817161514131211")?
+        .mod_positive(&order());
+
+    let engine = Engine::new(Profile::ThisWorkAsm);
+
+    // Fixed-point multiplication kG — key generation in a WSN node.
+    let kg = engine.mul_g(&k);
+    println!("kG = ({:x}, {:x})", kg.point.x(), kg.point.y());
+    println!(
+        "    {} cycles, {:.2} ms @48 MHz, {:.2} µJ, {:.1} µW   (paper: 20.63 µJ)",
+        kg.report.cycles,
+        kg.report.time_ms(),
+        kg.report.energy_uj(),
+        kg.report.average_power_uw()
+    );
+
+    // Random-point multiplication kP — the shared-secret step.
+    let p = koblitz::mul::mul_g(&Int::from(7i64));
+    let kp = engine.mul_point(&p, &k);
+    println!("kP = ({:x}, {:x})", kp.point.x(), kp.point.y());
+    println!(
+        "    {} cycles, {:.2} ms @48 MHz, {:.2} µJ, {:.1} µW   (paper: 34.16 µJ)",
+        kp.report.cycles,
+        kp.report.time_ms(),
+        kp.report.energy_uj(),
+        kp.report.average_power_uw()
+    );
+
+    // The same operations compute identical points under every profile;
+    // only the cost changes.
+    let relic = Engine::new(Profile::RelicStyle).mul_g(&k);
+    assert_eq!(relic.point, kg.point);
+    println!(
+        "\nRELIC-style baseline kG: {} cycles ({:.2}x ours — paper measured 2.98x)",
+        relic.report.cycles,
+        relic.report.cycles as f64 / kg.report.cycles as f64
+    );
+    Ok(())
+}

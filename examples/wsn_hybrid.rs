@@ -1,0 +1,74 @@
+//! The paper's motivating scenario end to end: two wireless sensor
+//! nodes establish a session key with ECDH over sect233k1 and then
+//! stream AES-128-CTR-encrypted telemetry — the "hybrid cryptosystem"
+//! of the introduction — with the energy budget of the key exchange
+//! accounted on the Cortex-M0+ cost model and translated into battery
+//! lifetime.
+//!
+//! Run: `cargo run --release --example wsn_hybrid`
+
+use ecc233::{Engine, Profile};
+use protocols::{Aes128, Keypair};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("--- WSN hybrid cryptosystem demo (sect233k1 + AES-128-CTR) ---\n");
+
+    // 1. Key establishment.
+    let node_a = Keypair::generate(b"node-a factory entropy");
+    let node_b = Keypair::generate(b"node-b factory entropy");
+    let secret_a = node_a.shared_secret(node_b.public())?;
+    let secret_b = node_b.shared_secret(node_a.public())?;
+    assert_eq!(secret_a, secret_b);
+    println!("nodes agree on a 256-bit shared secret via ECDH");
+
+    // 2. Telemetry under AES-128-CTR with the derived key.
+    let key: [u8; 16] = secret_a[..16].try_into()?;
+    let aes = Aes128::new(&key);
+    let mut frame = b"frame 0001: temp=23.4C rh=41% vbat=2.97V".to_vec();
+    let clear = frame.clone();
+    aes.ctr_apply(&[0u8; 12], &mut frame);
+    println!("encrypted frame: {}", hex(&frame));
+    aes.ctr_apply(&[0u8; 12], &mut frame);
+    assert_eq!(frame, clear);
+    println!("receiver decrypts: {:?}\n", String::from_utf8_lossy(&frame));
+
+    // 3. Energy accounting of the public-key part on the M0+ model.
+    //    Per node: one kG (key generation) + one kP (shared secret).
+    let engine = Engine::new(Profile::ThisWorkAsm);
+    let kg = engine.mul_g(&node_a.secret().to_int());
+    let kp = engine.mul_point(node_b.public(), &node_a.secret().to_int());
+    let per_node_uj = kg.report.energy_uj() + kp.report.energy_uj();
+    println!("per-node key-exchange energy on the Cortex-M0+ model:");
+    println!(
+        "  kG {:.2} µJ + kP {:.2} µJ = {:.2} µJ  (paper: 20.63 + 34.16 = 54.79 µJ)",
+        kg.report.energy_uj(),
+        kp.report.energy_uj(),
+        per_node_uj
+    );
+
+    // 4. Node-lifetime view: a CR2032 coin cell holds about 2 340 J.
+    let battery_j = 2340.0;
+    let exchanges = battery_j / (per_node_uj * 1e-6);
+    println!(
+        "\na CR2032 (~{battery_j} J) funds ≈ {exchanges:.2e} key exchanges — the\n\
+         public-key step is no longer the lifetime bottleneck, which is the\n\
+         paper's headline argument for ECC on this class of node."
+    );
+
+    // 5. Contrast with the RELIC-style baseline.
+    let relic = Engine::new(Profile::RelicStyle);
+    let relic_uj = relic.mul_g(&node_a.secret().to_int()).report.energy_uj()
+        + relic
+            .mul_point(node_b.public(), &node_a.secret().to_int())
+            .report
+            .energy_uj();
+    println!(
+        "\nRELIC-style baseline needs {relic_uj:.2} µJ per node ({:.1}x more).",
+        relic_uj / per_node_uj
+    );
+    Ok(())
+}
+
+fn hex(b: &[u8]) -> String {
+    b.iter().map(|x| format!("{x:02x}")).collect()
+}

@@ -1,0 +1,28 @@
+//! Umbrella crate for the reproduction of *"Ultra Low-Power implementation
+//! of ECC on the ARM Cortex-M0+"* (De Clercq, Uhsadel, Van Herrewege,
+//! Verbauwhede — DAC 2014).
+//!
+//! This crate re-exports the workspace members so that the examples and
+//! integration tests can address the whole system through one dependency:
+//!
+//! * [`m0plus`] — the Cortex-M0+ instruction-level cost & energy model.
+//! * [`gf2m`] — binary-field arithmetic in F₂²³³ (López-Dahab multipliers,
+//!   including the paper's *LD with fixed registers*).
+//! * [`koblitz`] — the sect233k1 curve layer (points, TNAF, point
+//!   multiplication).
+//! * [`primefield`] — the prime-curve baseline (secp160r1…secp256r1).
+//! * [`protocols`] — ECDH/ECDSA, SHA-256, AES-128 for the WSN scenario.
+//! * [`ecc233`] — the public engine API with selectable implementation
+//!   profiles and energy reports.
+//! * [`wsn`] — the sensor-network lifetime simulation that quantifies
+//!   the paper's motivating argument.
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the system inventory.
+
+pub use ecc233;
+pub use gf2m;
+pub use koblitz;
+pub use m0plus;
+pub use primefield;
+pub use protocols;
+pub use wsn;

@@ -1,0 +1,201 @@
+//! Property-based tests over the whole stack: field axioms, group-law
+//! invariants, recoding round-trips and protocol round-trips, with
+//! proptest-generated inputs.
+
+use gf2m::Fe;
+use koblitz::curve::generator;
+use koblitz::{mul, order, Int};
+use proptest::prelude::*;
+
+fn arb_fe() -> impl Strategy<Value = Fe> {
+    proptest::array::uniform8(any::<u32>()).prop_map(Fe::from_words_reduced)
+}
+
+fn arb_scalar() -> impl Strategy<Value = Int> {
+    proptest::collection::vec(any::<u8>(), 1..30)
+        .prop_map(|bytes| Int::from_be_bytes(&bytes).mod_positive(&order()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn field_addition_is_commutative_associative(a in arb_fe(), b in arb_fe(), c in arb_fe()) {
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!((a + b) + c, a + (b + c));
+        prop_assert_eq!(a + a, Fe::ZERO);
+    }
+
+    #[test]
+    fn field_multiplication_axioms(a in arb_fe(), b in arb_fe(), c in arb_fe()) {
+        prop_assert_eq!(a * b, b * a);
+        prop_assert_eq!((a * b) * c, a * (b * c));
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+        prop_assert_eq!(a * Fe::ONE, a);
+    }
+
+    #[test]
+    fn all_multipliers_agree(a in arb_fe(), b in arb_fe()) {
+        let want = gf2m::mul::mul_shift_and_add(a, b);
+        for (name, f) in gf2m::mul::ALL_MULTIPLIERS {
+            prop_assert_eq!(f(a, b), want, "{} disagrees", name);
+        }
+    }
+
+    #[test]
+    fn square_is_self_multiplication(a in arb_fe()) {
+        prop_assert_eq!(a.square(), a * a);
+    }
+
+    #[test]
+    fn inversion_is_exact(a in arb_fe()) {
+        if !a.is_zero() {
+            let inv = a.invert().expect("non-zero");
+            prop_assert_eq!(a * inv, Fe::ONE);
+            prop_assert_eq!(inv.invert().expect("non-zero"), a);
+        } else {
+            prop_assert_eq!(a.invert(), None);
+        }
+    }
+
+    #[test]
+    fn frobenius_is_additive(a in arb_fe(), b in arb_fe()) {
+        prop_assert_eq!((a + b).square(), a.square() + b.square());
+    }
+
+    #[test]
+    fn byte_roundtrip(a in arb_fe()) {
+        prop_assert_eq!(Fe::from_be_bytes(&a.to_be_bytes()), a);
+    }
+
+    #[test]
+    fn hex_roundtrip(a in arb_fe()) {
+        let s = format!("{a:x}");
+        prop_assert_eq!(Fe::from_hex(&s).expect("own output parses"), a);
+    }
+}
+
+proptest! {
+    // Group-law cases are slower (field inversions); fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn wtnaf_matches_double_and_add(k in arb_scalar()) {
+        let g = generator();
+        prop_assert_eq!(mul::mul_wtnaf(&g, &k, 4), g.mul_binary(&k));
+    }
+
+    #[test]
+    fn fixed_point_matches_random_point(k in arb_scalar()) {
+        prop_assert_eq!(
+            mul::mul_g(&k),
+            mul::mul_wtnaf(&generator(), &k, 4)
+        );
+    }
+
+    #[test]
+    fn ladder_matches_wtnaf(k in arb_scalar()) {
+        let g = generator();
+        prop_assert_eq!(mul::montgomery_ladder(&g, &k), mul::mul_wtnaf(&g, &k, 4));
+    }
+
+    #[test]
+    fn scalar_multiplication_distributes(a in arb_scalar(), b in arb_scalar()) {
+        let sum = (&a + &b).mod_positive(&order());
+        prop_assert_eq!(
+            mul::mul_g(&a).add(&mul::mul_g(&b)),
+            mul::mul_g(&sum)
+        );
+    }
+
+    #[test]
+    fn results_are_on_curve(k in arb_scalar()) {
+        prop_assert!(mul::mul_g(&k).is_on_curve());
+    }
+
+    #[test]
+    fn frobenius_commutes_with_scalar_multiplication(k in arb_scalar()) {
+        let g = generator();
+        prop_assert_eq!(
+            mul::mul_wtnaf(&g, &k, 4).frobenius(),
+            mul::mul_wtnaf(&g.frobenius(), &k, 4)
+        );
+    }
+
+    #[test]
+    fn negation_distributes(k in arb_scalar()) {
+        let g = generator();
+        let p = mul::mul_wtnaf(&g, &k, 4);
+        let n_minus_k = (&order() - &k).mod_positive(&order());
+        prop_assert_eq!(mul::mul_wtnaf(&g, &n_minus_k, 4), p.negated());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn tnaf_recoding_has_valid_digits(k in arb_scalar(), w in 2u32..=6) {
+        let digits = koblitz::tnaf::recode(&k, w);
+        prop_assert!(digits.len() <= koblitz::curve_m() + 6, "length {}", digits.len());
+        let bound = 1i16 << (w - 1);
+        for &d in &digits {
+            prop_assert!(d == 0 || (d % 2 != 0 && (d as i16).abs() < bound));
+        }
+        // Non-zero digits at least w apart.
+        let mut last: Option<usize> = None;
+        for (i, &d) in digits.iter().enumerate() {
+            if d != 0 {
+                if let Some(prev) = last {
+                    prop_assert!(i - prev >= w as usize);
+                }
+                last = Some(i);
+            }
+        }
+    }
+
+    #[test]
+    fn sha256_incremental_equals_oneshot(data in proptest::collection::vec(any::<u8>(), 0..300), split in 0usize..300) {
+        let split = split.min(data.len());
+        let mut h = protocols::Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), protocols::Sha256::digest(&data));
+    }
+
+    #[test]
+    fn aes_ctr_roundtrips(key in proptest::array::uniform16(any::<u8>()),
+                          nonce in proptest::array::uniform12(any::<u8>()),
+                          mut data in proptest::collection::vec(any::<u8>(), 0..100)) {
+        let aes = protocols::Aes128::new(&key);
+        let original = data.clone();
+        aes.ctr_apply(&nonce, &mut data);
+        aes.ctr_apply(&nonce, &mut data);
+        prop_assert_eq!(data, original);
+    }
+
+    #[test]
+    fn int_divrem_identity(a in proptest::collection::vec(any::<u32>(), 1..8),
+                           d in proptest::collection::vec(any::<u32>(), 1..6),
+                           neg_a in any::<bool>(), neg_d in any::<bool>()) {
+        let a = Int::from_limbs(neg_a, a);
+        let d = Int::from_limbs(neg_d, d);
+        if !d.is_zero() {
+            let (q, r) = a.divrem_floor(&d);
+            prop_assert_eq!(&(&q * &d) + &r, a);
+            // Floor: remainder has the divisor's sign (or zero).
+            prop_assert!(r.is_zero() || (r.is_negative() == d.is_negative()));
+        }
+    }
+
+    #[test]
+    fn affine_group_law_is_associative(a in 1u64..5000, b in 1u64..5000, c in 1u64..5000) {
+        let g = generator();
+        let p = g.mul_binary(&Int::from(a as i64));
+        let q = g.mul_binary(&Int::from(b as i64));
+        let r = g.mul_binary(&Int::from(c as i64));
+        prop_assert_eq!(p.add(&q).add(&r), p.add(&q.add(&r)));
+        let is_valid_point = p.add(&q).is_on_curve();
+        prop_assert!(is_valid_point);
+    }
+}

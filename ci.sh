@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# The full CI gate, runnable identically locally and in CI.
+#
+# The workspace has no third-party dependencies, so everything runs
+# with --offline: no registry or network access is needed (or allowed —
+# an accidental new dependency should fail here).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release (offline)"
+cargo build --workspace --release --offline
+
+echo "==> cargo test (offline)"
+cargo test --workspace --quiet --offline
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy -D warnings (offline)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> OK"

@@ -1,67 +1,40 @@
-//! Criterion micro-benchmarks of the portable F₂²³³ arithmetic: the
-//! host-side (wall-clock) counterpart of the paper's Tables 2/5/6.
-//! The multiplication-method comparison mirrors §3.3: on a modern host
-//! the three LD variants differ much less than on the M0+ (the whole
-//! point of the paper is that *memory traffic* dominates there), but
-//! the windowed methods must still beat shift-and-add.
+//! Micro-benchmarks of the portable F₂²³³ arithmetic: the host-side
+//! (wall-clock) counterpart of the paper's Tables 2/5/6. The
+//! multiplication-method comparison mirrors §3.3: on a modern host the
+//! three LD variants differ much less than on the M0+ (the whole point
+//! of the paper is that *memory traffic* dominates there), but the
+//! windowed methods must still beat shift-and-add.
+//!
+//! Run: `cargo bench -p bench --bench field_ops`
 
+use bench::timing;
 use bench::workloads::element;
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-fn bench_multipliers(c: &mut Criterion) {
+fn main() {
     let a = element(1);
     let b = element(2);
-    let mut group = c.benchmark_group("f2m_mul");
+    let g = timing::group("f2m_mul");
     for (name, f) in gf2m::mul::ALL_MULTIPLIERS {
-        group.bench_function(name, |bench| {
-            bench.iter(|| black_box(f(black_box(a), black_box(b))))
-        });
+        g.bench(name, || f(black_box(a), black_box(b)));
     }
-    group.finish();
-}
 
-fn bench_square(c: &mut Criterion) {
     let a = element(3);
-    let mut group = c.benchmark_group("f2m_sqr");
-    group.bench_function("table-based", |b| {
-        b.iter(|| black_box(black_box(a).square()))
+    let g = timing::group("f2m_sqr");
+    g.bench("table-based", || black_box(a).square());
+    g.bench("via-multiplication", || {
+        gf2m::sqr::square_by_mul(black_box(a))
     });
-    group.bench_function("via-multiplication", |b| {
-        b.iter(|| black_box(gf2m::sqr::square_by_mul(black_box(a))))
-    });
-    group.finish();
-}
 
-fn bench_inversion(c: &mut Criterion) {
     let a = element(4);
-    let mut group = c.benchmark_group("f2m_inv");
-    group.bench_function("eea-optimized", |b| {
-        b.iter(|| black_box(gf2m::inv::invert(black_box(a))))
-    });
-    group.bench_function("eea-simple", |b| {
-        b.iter(|| black_box(gf2m::inv::invert_simple(black_box(a))))
-    });
-    group.finish();
-}
+    let g = timing::group("f2m_inv");
+    g.bench("eea-optimized", || gf2m::inv::invert(black_box(a)));
+    g.bench("eea-simple", || gf2m::inv::invert_simple(black_box(a)));
 
-fn bench_reduction(c: &mut Criterion) {
     let a = element(5);
     let b = element(6);
     let product = gf2m::mul::mul_poly_ld(a.words(), b.words());
-    c.bench_function("f2m_reduce_trinomial", |bench| {
-        bench.iter(|| black_box(gf2m::reduce::reduce(black_box(product))))
+    timing::bench("f2m_reduce_trinomial", || {
+        gf2m::reduce::reduce(black_box(product))
     });
 }
-
-criterion_group! {
-    name = benches;
-    // Short measurement windows keep the workspace-wide bench run in
-    // minutes; increase for publication-grade confidence intervals.
-    config = Criterion::default()
-        .measurement_time(std::time::Duration::from_millis(1500))
-        .warm_up_time(std::time::Duration::from_millis(400))
-        .sample_size(30);
-    targets = bench_multipliers, bench_square, bench_inversion, bench_reduction
-}
-criterion_main!(benches);

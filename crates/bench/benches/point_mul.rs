@@ -1,38 +1,37 @@
-//! Criterion benchmarks of the point-multiplication algorithms — the
-//! wall-clock counterpart of Tables 4/6/7 — plus the prime-curve
-//! baseline for the §3.1 comparison.
+//! Benchmarks of the point-multiplication algorithms — the wall-clock
+//! counterpart of Tables 4/6/7 — plus the prime-curve baseline for the
+//! §3.1 comparison.
+//!
+//! Run: `cargo bench -p bench --bench point_mul`
 
+use bench::timing;
 use bench::workloads::scalar;
-use criterion::{criterion_group, criterion_main, Criterion};
 use koblitz::curve::generator;
 use std::hint::black_box;
 
-fn bench_koblitz(c: &mut Criterion) {
+fn main() {
     let g = generator();
     let k = scalar(1);
     // Warm the fixed-point table outside the timing loop.
     let _ = koblitz::mul::generator_table();
-    let mut group = c.benchmark_group("sect233k1");
-    group.bench_function("kP wTNAF w=4 (paper kP)", |b| {
-        b.iter(|| black_box(koblitz::mul::mul_wtnaf(black_box(&g), black_box(&k), 4)))
+    let grp = timing::group("sect233k1");
+    grp.bench("kP wTNAF w=4 (paper kP)", || {
+        koblitz::mul::mul_wtnaf(black_box(&g), black_box(&k), 4)
     });
-    group.bench_function("kG wTNAF w=6 offline table (paper kG)", |b| {
-        b.iter(|| black_box(koblitz::mul::mul_g(black_box(&k))))
+    grp.bench("kG wTNAF w=6 offline table (paper kG)", || {
+        koblitz::mul::mul_g(black_box(&k))
     });
-    group.bench_function("kP plain TNAF", |b| {
-        b.iter(|| black_box(koblitz::mul::mul_tnaf(black_box(&g), black_box(&k))))
+    grp.bench("kP plain TNAF", || {
+        koblitz::mul::mul_tnaf(black_box(&g), black_box(&k))
     });
-    group.bench_function("kP Montgomery ladder (Sec. 5 future work)", |b| {
-        b.iter(|| black_box(koblitz::mul::montgomery_ladder(black_box(&g), black_box(&k))))
+    grp.bench("kP Montgomery ladder (Sec. 5 future work)", || {
+        koblitz::mul::montgomery_ladder(black_box(&g), black_box(&k))
     });
-    group.bench_function("kP binary double-and-add (reference)", |b| {
-        b.iter(|| black_box(black_box(&g).mul_binary(black_box(&k))))
+    grp.bench("kP binary double-and-add (reference)", || {
+        black_box(&g).mul_binary(black_box(&k))
     });
-    group.finish();
-}
 
-fn bench_prime_baseline(c: &mut Criterion) {
-    let mut group = c.benchmark_group("prime_baseline");
+    let grp = timing::group("prime_baseline");
     for curve in primefield::curves::all() {
         let g = curve.generator();
         let mut k = [0u32; 8];
@@ -40,32 +39,14 @@ fn bench_prime_baseline(c: &mut Criterion) {
             *limb = 0x9E37_79B9u32.wrapping_mul(i as u32 + 1);
         }
         k[7] &= 0x0FFF_FFFF;
-        group.bench_function(curve.name, |b| {
-            b.iter(|| black_box(curve.mul(black_box(&g), black_box(&k))))
-        });
+        grp.bench(curve.name, || curve.mul(black_box(&g), black_box(&k)));
     }
-    group.finish();
-}
 
-fn bench_recoding(c: &mut Criterion) {
     let k = scalar(9);
-    let mut group = c.benchmark_group("tnaf_recode");
+    let grp = timing::group("tnaf_recode");
     for w in [1u32, 4, 6] {
-        group.bench_function(format!("w={w}"), |b| {
-            b.iter(|| black_box(koblitz::tnaf::recode(black_box(&k), w)))
+        grp.bench(&format!("w={w}"), || {
+            koblitz::tnaf::recode(black_box(&k), w)
         });
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    // Short measurement windows keep the workspace-wide bench run in
-    // minutes; increase for publication-grade confidence intervals.
-    config = Criterion::default()
-        .measurement_time(std::time::Duration::from_millis(1500))
-        .warm_up_time(std::time::Duration::from_millis(400))
-        .sample_size(30);
-    targets = bench_koblitz, bench_prime_baseline, bench_recoding
-}
-criterion_main!(benches);

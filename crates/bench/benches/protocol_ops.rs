@@ -1,65 +1,41 @@
-//! Criterion benchmarks of the WSN protocol layer (ECDH, ECDSA, the
-//! symmetric primitives) — the application-level view of the paper's
-//! kG/kP costs.
+//! Benchmarks of the WSN protocol layer (ECDH, ECDSA, the symmetric
+//! primitives) — the application-level view of the paper's kG/kP costs.
+//!
+//! Run: `cargo bench -p bench --bench protocol_ops`
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::timing;
 use protocols::{Aes128, Keypair, Sha256, SigningKey};
 use std::hint::black_box;
 
-fn bench_ecdh(c: &mut Criterion) {
+fn main() {
     let alice = Keypair::generate(b"alice");
     let bob = Keypair::generate(b"bob");
-    let mut group = c.benchmark_group("ecdh");
-    group.bench_function("keypair generation (kG)", |b| {
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            black_box(Keypair::generate(black_box(&i.to_be_bytes())))
-        })
+    let g = timing::group("ecdh");
+    let mut i = 0u64;
+    g.bench("keypair generation (kG)", || {
+        i += 1;
+        Keypair::generate(black_box(&i.to_be_bytes()))
     });
-    group.bench_function("shared secret (kP)", |b| {
-        b.iter(|| black_box(alice.shared_secret(black_box(bob.public()))))
+    g.bench("shared secret (kP)", || {
+        alice.shared_secret(black_box(bob.public()))
     });
-    group.finish();
-}
 
-fn bench_ecdsa(c: &mut Criterion) {
     let key = SigningKey::generate(b"signer");
     let msg = b"sensor frame 0421: 23.4 C";
     let sig = key.sign(msg);
-    let mut group = c.benchmark_group("ecdsa");
-    group.bench_function("sign (kG)", |b| b.iter(|| black_box(key.sign(black_box(msg)))));
-    group.bench_function("verify (kG + kP)", |b| {
-        b.iter(|| black_box(protocols::ecdsa::verify(key.public(), msg, &sig)))
+    let g = timing::group("ecdsa");
+    g.bench("sign (kG)", || key.sign(black_box(msg)));
+    g.bench("verify (kG + kP)", || {
+        protocols::ecdsa::verify(key.public(), msg, &sig)
     });
-    group.finish();
-}
 
-fn bench_symmetric(c: &mut Criterion) {
-    let mut group = c.benchmark_group("symmetric");
+    let g = timing::group("symmetric");
     let data = vec![0xA5u8; 1024];
-    group.bench_function("sha256 1KiB", |b| {
-        b.iter(|| black_box(Sha256::digest(black_box(&data))))
-    });
+    g.bench("sha256 1KiB", || Sha256::digest(black_box(&data)));
     let aes = Aes128::new(&[7u8; 16]);
-    group.bench_function("aes128-ctr 1KiB", |b| {
-        b.iter(|| {
-            let mut buf = data.clone();
-            aes.ctr_apply(&[1u8; 12], &mut buf);
-            black_box(buf)
-        })
+    g.bench("aes128-ctr 1KiB", || {
+        let mut buf = data.clone();
+        aes.ctr_apply(&[1u8; 12], &mut buf);
+        buf
     });
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    // Short measurement windows keep the workspace-wide bench run in
-    // minutes; increase for publication-grade confidence intervals.
-    config = Criterion::default()
-        .measurement_time(std::time::Duration::from_millis(1500))
-        .warm_up_time(std::time::Duration::from_millis(400))
-        .sample_size(30);
-    targets = bench_ecdh, bench_ecdsa, bench_symmetric
-}
-criterion_main!(benches);

@@ -28,9 +28,7 @@ fn register_budget() {
     println!("registers  mem ops   est. cycles   vs plain LD");
     let a = workloads::element(41);
     let b = workloads::element(42);
-    let base = counted::mul_ld_fixed_with_registers(a, b, 0)
-        .main
-        .cycles() as f64;
+    let base = counted::mul_ld_fixed_with_registers(a, b, 0).main.cycles() as f64;
     for regs in 0..=16 {
         let p = counted::mul_ld_fixed_with_registers(a, b, regs);
         println!(

@@ -1,13 +1,50 @@
 //! Exports the key reproduction numbers as JSON (for plotting and
-//! regression tracking), printed to stdout.
+//! regression tracking): printed to stdout, and also written to a
+//! versioned `BENCH_<n>.json` at the repository root (`n` = next free
+//! index). The document is deterministic — fixed key order, fixed
+//! seeds, no timestamps — so re-running on an unchanged tree produces a
+//! byte-identical file.
 //!
-//! Run: `cargo run --release -p bench --bin export_json > results.json`
+//! Run: `cargo run --release -p bench --bin export_json`
 
 use bench::workloads;
 use gf2m::modeled::Tier;
 use m0plus::Category;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Schema identifier for downstream consumers; bump when the document
+/// shape changes.
+const SCHEMA: &str = "ecc233-bench/1";
 
 fn main() {
+    let doc = render();
+    print!("{doc}");
+    let root = repo_root();
+    let path = next_free(&root);
+    std::fs::write(&path, &doc).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    eprintln!("wrote {}", path.display());
+}
+
+/// The repository root, resolved from the bench crate's manifest
+/// directory (crates/bench → two levels up).
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/bench has a grandparent")
+        .to_path_buf()
+}
+
+/// First `BENCH_<n>.json` that does not exist yet, starting at 1.
+fn next_free(root: &Path) -> PathBuf {
+    (1..)
+        .map(|n| root.join(format!("BENCH_{n}.json")))
+        .find(|p| !p.exists())
+        .expect("unbounded range")
+}
+
+fn render() -> String {
     let kp = workloads::average_kp(Tier::Asm, 1..3);
     let kg = workloads::average_kg(Tier::Asm, 1..3);
     let relic = workloads::average_relic(1..3);
@@ -35,26 +72,46 @@ fn main() {
         )
     };
 
-    println!("{{");
-    println!("  \"paper\": \"de Clercq et al., DAC 2014, 10.1145/2593069.2593238\",");
-    println!("  \"clock_hz\": {},", m0plus::CLOCK_HZ);
-    println!("{},", run_json("kp_this_work_asm", &kp));
-    println!("{},", run_json("kg_this_work_asm", &kg));
-    println!("{},", run_json("relic_style", &relic));
-    println!("  \"kernels\": {{");
-    println!("    \"mul_asm_cycles\": {mul_asm},");
-    println!("    \"mul_lut_asm_cycles\": {lut_asm},");
-    println!("    \"sqr_asm_cycles\": {sqr_asm},");
-    println!("    \"mul_c_cycles\": {mul_c},");
-    println!("    \"sqr_c_cycles\": {sqr_c},");
-    println!("    \"inv_cycles\": {},", inv.min(inv_c));
-    println!("    \"paper_mul_asm\": 3672,");
-    println!("    \"paper_sqr_asm\": 395");
-    println!("  }},");
-    println!("  \"paper_targets\": {{");
-    println!("    \"kp_cycles\": 2814827, \"kp_uj\": 34.16,");
-    println!("    \"kg_cycles\": 1864470, \"kg_uj\": 20.63,");
-    println!("    \"relic_kp_cycles\": 5621045");
-    println!("  }}");
-    println!("}}");
+    let mut out = String::new();
+    let w = &mut out;
+    writeln!(w, "{{").unwrap();
+    writeln!(w, "  \"schema\": \"{SCHEMA}\",").unwrap();
+    writeln!(
+        w,
+        "  \"paper\": \"de Clercq et al., DAC 2014, 10.1145/2593069.2593238\","
+    )
+    .unwrap();
+    writeln!(w, "  \"clock_hz\": {},", m0plus::CLOCK_HZ).unwrap();
+    writeln!(w, "{},", run_json("kp_this_work_asm", &kp)).unwrap();
+    writeln!(w, "{},", run_json("kg_this_work_asm", &kg)).unwrap();
+    writeln!(w, "{},", run_json("relic_style", &relic)).unwrap();
+    writeln!(w, "  \"kernels\": {{").unwrap();
+    writeln!(w, "    \"mul_asm_cycles\": {mul_asm},").unwrap();
+    writeln!(w, "    \"mul_lut_asm_cycles\": {lut_asm},").unwrap();
+    writeln!(w, "    \"sqr_asm_cycles\": {sqr_asm},").unwrap();
+    writeln!(w, "    \"mul_c_cycles\": {mul_c},").unwrap();
+    writeln!(w, "    \"sqr_c_cycles\": {sqr_c},").unwrap();
+    writeln!(w, "    \"inv_cycles\": {},", inv.min(inv_c)).unwrap();
+    writeln!(w, "    \"paper_mul_asm\": 3672,").unwrap();
+    writeln!(w, "    \"paper_sqr_asm\": 395").unwrap();
+    writeln!(w, "  }},").unwrap();
+    writeln!(w, "  \"kernel_flash\": {{").unwrap();
+    let flash = workloads::kernel_flash(Tier::Asm);
+    for (i, (name, fp)) in flash.iter().enumerate() {
+        let sep = if i + 1 == flash.len() { "" } else { "," };
+        writeln!(
+            w,
+            "    \"{name}\": {{ \"flash_bytes\": {}, \"instructions\": {}, \"calls\": {} }}{sep}",
+            fp.flash_bytes, fp.instructions, fp.calls
+        )
+        .unwrap();
+    }
+    writeln!(w, "  }},").unwrap();
+    writeln!(w, "  \"paper_targets\": {{").unwrap();
+    writeln!(w, "    \"kp_cycles\": 2814827, \"kp_uj\": 34.16,").unwrap();
+    writeln!(w, "    \"kg_cycles\": 1864470, \"kg_uj\": 20.63,").unwrap();
+    writeln!(w, "    \"relic_kp_cycles\": 5621045").unwrap();
+    writeln!(w, "  }}").unwrap();
+    writeln!(w, "}}").unwrap();
+    out
 }

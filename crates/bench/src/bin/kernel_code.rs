@@ -1,56 +1,66 @@
 //! Emits the paper's assembly kernels as genuine Cortex-M0+ (Thumb)
-//! machine code via the recording facility, reporting flash footprint
-//! and the instruction mix — the code-size side of the fully-unrolled
-//! design that the cycle tables don't show.
+//! machine code via the recording facility and `m0plus::backend`'s
+//! translator, reporting flash footprint and the leading disassembly —
+//! the code-size side of the fully-unrolled design that the cycle
+//! tables don't show.
 //!
 //! Run: `cargo run --release -p bench --bin kernel_code`
 
 use bench::workloads::element;
 use gf2m::modeled::{ModeledField, Tier};
-use m0plus::Instr;
+use m0plus::{backend, Instr, Recording};
 
 fn main() {
-    for (name, tier) in [("LD fixed registers (asm)", Tier::Asm), ("LD fixed registers (C)", Tier::C)] {
+    for (name, tier) in [
+        ("LD fixed registers (asm)", Tier::Asm),
+        ("LD fixed registers (C)", Tier::C),
+    ] {
         let mut f = ModeledField::new(tier);
-        let (a, b, z) = (f.alloc_init(element(1)), f.alloc_init(element(2)), f.alloc());
+        let (a, b, z) = (
+            f.alloc_init(element(1)),
+            f.alloc_init(element(2)),
+            f.alloc(),
+        );
         f.machine_mut().start_recording();
         f.mul(z, a, b);
-        let stream = f.machine_mut().take_recording();
-        report(name, &stream);
+        let recording = f.machine_mut().take_recording();
+        report(name, &recording);
     }
     // The squaring kernel.
     let mut f = ModeledField::new(Tier::Asm);
     let (a, z) = (f.alloc_init(element(3)), f.alloc());
     f.machine_mut().start_recording();
     f.sqr(z, a);
-    let stream = f.machine_mut().take_recording();
-    report("table squaring (asm)", &stream);
+    let recording = f.machine_mut().take_recording();
+    report("table squaring (asm)", &recording);
 }
 
-fn report(name: &str, stream: &[Instr]) {
-    let bytes: usize = stream.iter().map(|i| i.size_bytes()).sum();
-    let halfwords: Vec<u16> = stream.iter().flat_map(|i| i.encode()).collect();
-    // Validate: the emitted code decodes back to the same stream.
-    let mut offset = 0;
-    let mut decoded = Vec::new();
-    while offset < halfwords.len() {
-        let (instr, used) = Instr::decode(&halfwords[offset..])
-            .unwrap_or_else(|| panic!("undecodable emission at {offset}"));
-        decoded.push(instr);
-        offset += used;
-    }
-    assert_eq!(decoded, stream, "decode(encode(kernel)) identity");
-
+fn report(name: &str, recording: &Recording) {
+    let program = backend::translate(recording).expect("kernel assembles");
     println!("=== {name} ===");
-    println!("instructions executed: {}", stream.len());
-    println!("machine code: {} halfwords = {} bytes of flash (single pass; the", halfwords.len(), bytes);
-    println!("  real build reuses the 8x-unrolled j-blocks, so flash ~= one j-block x 8)");
-    print!("first 12 instructions: ");
-    println!();
-    for i in &stream[..12.min(stream.len())] {
-        let enc = i.encode();
-        let hex: String = enc.iter().map(|h| format!("{h:04x} ")).collect();
-        println!("  {hex:<12} {i}");
+    println!("instructions executed: {}", recording.steps.len());
+    println!(
+        "machine code: {} halfwords + {} literal-pool words = {} bytes of flash",
+        program.code.len(),
+        program.pool.len(),
+        program.size_bytes()
+    );
+    println!("  (single linear pass; the real build reuses the 8x-unrolled j-blocks,");
+    println!("  so resident flash ~= one j-block x 8)");
+    println!("first 12 instructions:");
+    let mut offset = 0;
+    for _ in 0..12 {
+        if offset >= program.code.len() {
+            break;
+        }
+        let (instr, used) = Instr::decode(&program.code[offset..])
+            .unwrap_or_else(|| panic!("undecodable emission at halfword {offset}"));
+        let hex: String = program.code[offset..offset + used]
+            .iter()
+            .map(|h| format!("{h:04x} "))
+            .collect();
+        println!("  {hex:<12} {instr}");
+        offset += used;
     }
     println!();
 }

@@ -1,4 +1,17 @@
-//! Regenerates the paper's Table 5. Run: cargo run --release -p bench --bin table5
+//! Regenerates the paper's Table 5.
+//!
+//! Run: `cargo run --release -p bench --bin table5 [-- --backend code|direct]`
+//!
+//! With `--backend code` the reproduction row is re-measured by
+//! assembling the recorded kernels to Thumb-16 and re-executing the
+//! machine code (identical cycle totals, plus flash footprints).
+
+use m0plus::Backend;
+
 fn main() {
-    print!("{}", bench::tables::table5());
+    print!("{}", bench::tables::table5_with(backend_from_args()));
+}
+
+fn backend_from_args() -> Backend {
+    bench::backend_from_args(std::env::args().skip(1))
 }

@@ -11,7 +11,7 @@ use ecc233::model;
 use gf2m::counted;
 use gf2m::formulas::Method;
 use gf2m::modeled::{accumulator_residency, Residency, Tier};
-use m0plus::{Category, EnergyModel, InstrClass, MeasurementRig, CLOCK_HZ};
+use m0plus::{Backend, Category, EnergyModel, InstrClass, MeasurementRig, CLOCK_HZ};
 use std::fmt::Write as _;
 
 fn header(title: &str) -> String {
@@ -22,7 +22,9 @@ fn header(title: &str) -> String {
 /// Table 1: the closed-form operation formulas, with this
 /// reproduction's measured (counted-tier) operation counts beside them.
 pub fn table1() -> String {
-    let mut out = header("Table 1. Estimated required operation formulas for field multiplication in F_2^233");
+    let mut out = header(
+        "Table 1. Estimated required operation formulas for field multiplication in F_2^233",
+    );
     out += "Method                         Read          Write         XOR\n";
     out += "A: LD                          16n^2+23n     8n^2+30n      8n^2+30n-7\n";
     out += "B: LD rotating registers       8n^2+39n-8    46n           8n^2+38n-7\n";
@@ -50,7 +52,9 @@ pub fn table1() -> String {
 /// Table 2: formulas evaluated at n = 8 plus the paper's cycle estimate,
 /// with measured counts and the derived improvement ratios.
 pub fn table2() -> String {
-    let mut out = header("Table 2. Estimated required operations for field multiplication in F_2^233 (n = 8)");
+    let mut out = header(
+        "Table 2. Estimated required operations for field multiplication in F_2^233 (n = 8)",
+    );
     out += "                                paper (formulas)                   measured (counted tier)\n";
     out += "Method                         Read  Write XOR   Shift Cycles | Read  Write XOR   Shift Cycles\n";
     let a = workloads::element(21);
@@ -105,7 +109,8 @@ pub fn table2() -> String {
 /// measurement rig.
 pub fn table3() -> String {
     let mut out = header("Table 3. The energy used per cycle for different instructions (48 MHz)");
-    out += "Instruction   paper [pJ]   rig (compensated) [pJ]   rig raw loop [pJ]   loop power [µW]\n";
+    out +=
+        "Instruction   paper [pJ]   rig (compensated) [pJ]   rig raw loop [pJ]   loop power [µW]\n";
     let rig = MeasurementRig::default();
     let paper = [
         (InstrClass::Ldr, 10.98),
@@ -158,7 +163,8 @@ pub fn table4() -> String {
         )
         .expect("write to string");
     }
-    out += "--- Cortex-M0+ rows: paper (measured on hardware) vs this reproduction (cost model) ---\n";
+    out +=
+        "--- Cortex-M0+ rows: paper (measured on hardware) vs this reproduction (cost model) ---\n";
     let relic = workloads::average_relic(1..3);
     let kg = workloads::average_kg(Tier::Asm, 1..3);
     let kp = workloads::average_kp(Tier::Asm, 1..3);
@@ -214,7 +220,10 @@ pub fn table4() -> String {
         writeln!(
             out,
             "{:<19} {:<21} {:<16} {:<9.1} {:<8.1}",
-            "Cortex-M0+ (model)", "prime double-and-add", name, ms,
+            "Cortex-M0+ (model)",
+            "prime double-and-add",
+            name,
+            ms,
             cycles as f64 * epc * 1e-6
         )
         .expect("write to string");
@@ -226,7 +235,17 @@ pub fn table4() -> String {
 /// Table 5: modular multiplication/squaring cycles across platforms;
 /// our row measured live.
 pub fn table5() -> String {
+    table5_with(Backend::Direct)
+}
+
+/// [`table5`] on an explicit execution backend. Under
+/// [`Backend::Code`] the reproduction row is re-measured from assembled
+/// Thumb-16 machine code and the kernel flash footprints are appended.
+pub fn table5_with(backend: Backend) -> String {
     let mut out = header("Table 5. Average cycle times for modular multiplication and squaring");
+    if backend == Backend::Code {
+        out += "(reproduction rows re-executed from assembled Thumb-16 via the code backend)\n";
+    }
     out += "Author                       Platform        word  Sqr    Mul    Field\n";
     for r in literature::table5_literature() {
         writeln!(
@@ -241,13 +260,24 @@ pub fn table5() -> String {
         )
         .expect("write to string");
     }
-    let (sqr, mul_main, _lut, _inv) = workloads::kernel_cycles(Tier::Asm);
+    let (sqr, mul_main, _lut, _inv) = workloads::kernel_cycles_with(Tier::Asm, backend);
     writeln!(
         out,
         "{:<28} {:<15} {:<5} {:<6} {:<6} F_2^233   (paper: Sqr 395 / Mul 3672)",
         "This work (reproduction)", "Cortex-M0+", 32, sqr, mul_main
     )
     .expect("write to string");
+    if backend == Backend::Code {
+        out += "\nKernel flash footprints (assembled fragments, per-kernel maxima over a\nfull kP + kG; the linearised trace — a looped build shares its j-blocks):\n";
+        for (name, fp) in workloads::kernel_flash(Tier::Asm) {
+            writeln!(
+                out,
+                "  {:<18} {:>8} B  ({} instrs, {} calls)",
+                name, fp.flash_bytes, fp.instructions, fp.calls
+            )
+            .expect("write to string");
+        }
+    }
 
     out += "\nOut-of-sample check: the generalised op-count model vs the cited rows\n";
     out += "(first-order; register pressure and compilers differ per platform):\n";
@@ -256,7 +286,12 @@ pub fn table5() -> String {
         writeln!(
             out,
             "{:<13} F_2^{:<5} {:>9} {:>7}   {:>5.2}  ({})",
-            r.platform, r.m_bits, r.predicted, r.cited, r.ratio(), r.source
+            r.platform,
+            r.m_bits,
+            r.predicted,
+            r.cited,
+            r.ratio(),
+            r.source
         )
         .expect("write to string");
     }
@@ -265,23 +300,56 @@ pub fn table5() -> String {
 
 /// Table 6: field-arithmetic cycles, C vs assembly, plus kP / kG totals.
 pub fn table6() -> String {
+    table6_with(Backend::Direct)
+}
+
+/// [`table6`] on an explicit execution backend ([`Backend::Code`]
+/// re-derives every measured number from assembled Thumb-16).
+pub fn table6_with(backend: Backend) -> String {
     let mut out = header("Table 6. Average cycle times for field arithmetic algorithms in F_2^233");
-    let (sqr_c, mul_c, _lut_c, inv_c) = workloads::kernel_cycles(Tier::C);
-    let (sqr_asm, mul_asm, _lut_asm, _) = workloads::kernel_cycles(Tier::Asm);
+    if backend == Backend::Code {
+        out += "(measured columns re-executed from assembled Thumb-16 via the code backend)\n";
+    }
+    let (sqr_c, mul_c, _lut_c, inv_c) = workloads::kernel_cycles_with(Tier::C, backend);
+    let (sqr_asm, mul_asm, _lut_asm, _) = workloads::kernel_cycles_with(Tier::Asm, backend);
     let rot_c = workloads::rotating_c_cycles();
-    let kp_c = workloads::average_kp(Tier::C, 5..6);
-    let kg_c = workloads::average_kg(Tier::C, 5..6);
-    let kp_asm = workloads::average_kp(Tier::Asm, 5..6);
-    let kg_asm = workloads::average_kg(Tier::Asm, 5..6);
+    let kp_c = workloads::average_kp_with(Tier::C, backend, 5..6);
+    let kg_c = workloads::average_kg_with(Tier::C, backend, 5..6);
+    let kp_asm = workloads::average_kp_with(Tier::Asm, backend, 5..6);
+    let kg_asm = workloads::average_kg_with(Tier::Asm, backend, 5..6);
     out += "Operation                     C (paper)      C (ours)    Asm (paper)   Asm (ours)\n";
     type Table6Row = (&'static str, Option<u64>, u64, Option<u64>, Option<u64>);
     let rows: [Table6Row; 6] = [
-        ("Modular squaring", Some(419), sqr_c, Some(395), Some(sqr_asm)),
+        (
+            "Modular squaring",
+            Some(419),
+            sqr_c,
+            Some(395),
+            Some(sqr_asm),
+        ),
         ("Inversion", Some(141_916), inv_c, None, None),
         ("LD rotating registers", Some(5_592), rot_c, None, None),
-        ("LD fixed registers", Some(5_964), mul_c, Some(3_672), Some(mul_asm)),
-        ("kP", Some(3_516_295), kp_c.report.cycles, Some(2_761_640), Some(kp_asm.report.cycles)),
-        ("kG", Some(2_494_757), kg_c.report.cycles, Some(1_864_470), Some(kg_asm.report.cycles)),
+        (
+            "LD fixed registers",
+            Some(5_964),
+            mul_c,
+            Some(3_672),
+            Some(mul_asm),
+        ),
+        (
+            "kP",
+            Some(3_516_295),
+            kp_c.report.cycles,
+            Some(2_761_640),
+            Some(kp_asm.report.cycles),
+        ),
+        (
+            "kG",
+            Some(2_494_757),
+            kg_c.report.cycles,
+            Some(1_864_470),
+            Some(kg_asm.report.cycles),
+        ),
     ];
     for (name, paper_c, ours_c, paper_asm, ours_asm) in rows {
         writeln!(
@@ -338,11 +406,7 @@ pub fn table7() -> String {
     writeln!(
         out,
         "{:<28} {:<11} {:<11} {:<11} {:<11}",
-        "Total",
-        2_814_827u64,
-        kp.report.cycles,
-        1_864_470u64,
-        kg.report.cycles
+        "Total", 2_814_827u64, kp.report.cycles, 1_864_470u64, kg.report.cycles
     )
     .expect("write to string");
     out
@@ -351,7 +415,8 @@ pub fn table7() -> String {
 /// Figure 1: the LD-with-fixed-registers data flow, rendered from the
 /// actual residency map of the assembly kernel.
 pub fn figure1() -> String {
-    let mut out = header("Figure 1. The proposed LD with fixed registers algorithm in F_2^m for n = 8");
+    let mut out =
+        header("Figure 1. The proposed LD with fixed registers algorithm in F_2^m for n = 8");
     out += "Accumulator vector C (16 words); ## = word in a register, .. = word in memory:\n\n  ";
     for idx in 0..16 {
         out += &format!("C{idx:<2}");

@@ -1,0 +1,95 @@
+//! Minimal wall-clock micro-benchmark harness.
+//!
+//! Replaces the external Criterion dependency so the workspace builds
+//! and benches offline. The method is the classic one: calibrate a
+//! batch size to a target duration, run several batches, report the
+//! *minimum* per-iteration time (the least-noise estimate — scheduler
+//! and frequency noise only ever add time).
+//!
+//! The `benches/*.rs` targets are plain `main`s on this module
+//! (`harness = false` in the manifest), run with `cargo bench`.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Per-batch measurement window. Short enough to keep a full
+/// workspace bench run in minutes; raise for tighter estimates.
+const BATCH_TARGET: Duration = Duration::from_millis(120);
+/// Batches per benchmark; the minimum over these is reported.
+const BATCHES: usize = 5;
+
+/// A named group of related benchmarks (mirrors the Criterion group
+/// structure the output replaced, so result labels stay comparable).
+pub struct Group {
+    name: &'static str,
+}
+
+/// Starts a benchmark group, printing its header.
+pub fn group(name: &'static str) -> Group {
+    println!("\n{name}");
+    Group { name }
+}
+
+impl Group {
+    /// Measures `f`, printing nanoseconds per iteration.
+    pub fn bench<T>(&self, name: &str, mut f: impl FnMut() -> T) {
+        // Calibrate: grow the batch until it fills the target window.
+        let mut batch: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= BATCH_TARGET {
+                break;
+            }
+            // At least double; jump straight to the target if the
+            // elapsed time is measurable.
+            let scaled = if elapsed.as_nanos() > 1000 {
+                (batch as u128 * BATCH_TARGET.as_nanos() / elapsed.as_nanos()) as u64 + 1
+            } else {
+                batch * 100
+            };
+            batch = scaled.max(batch * 2);
+        }
+        let mut best = f64::INFINITY;
+        for _ in 0..BATCHES {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let per_iter = t.elapsed().as_nanos() as f64 / batch as f64;
+            best = best.min(per_iter);
+        }
+        println!("  {}/{name:<42} {}", self.name, format_ns(best));
+    }
+}
+
+/// Measures a single unnamed benchmark (no group).
+pub fn bench<T>(name: &'static str, f: impl FnMut() -> T) {
+    println!();
+    Group { name: "bench" }.bench(name, f);
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:>10.1} ns/iter")
+    } else if ns < 1_000_000.0 {
+        format!("{:>10.2} us/iter", ns / 1_000.0)
+    } else {
+        format!("{:>10.3} ms/iter", ns / 1_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_scale() {
+        assert!(format_ns(12.3).contains("ns"));
+        assert!(format_ns(12_300.0).contains("us"));
+        assert!(format_ns(12_300_000.0).contains("ms"));
+    }
+}

@@ -1,11 +1,11 @@
 //! Workload generation and shared measurement helpers for the table
 //! regenerators.
 
-use gf2m::modeled::{ModeledField, Tier};
+use gf2m::modeled::{KernelFootprint, ModeledField, Tier};
 use gf2m::Fe;
 use koblitz::modeled::{ModeledMul, PointMulRun};
 use koblitz::{order, Int};
-use m0plus::Category;
+use m0plus::{Backend, Category};
 
 /// A deterministic full-size scalar (the paper averages over random
 /// scalars; the cost model is data-independent up to digit patterns, so
@@ -33,7 +33,15 @@ pub fn element(seed: u64) -> Fe {
 /// Cycle counts of the field kernels on one tier:
 /// `(sqr, mul_main, mul_lut, inversion)`.
 pub fn kernel_cycles(tier: Tier) -> (u64, u64, u64, u64) {
-    let mut f = ModeledField::new(tier);
+    kernel_cycles_with(tier, Backend::Direct)
+}
+
+/// [`kernel_cycles`] on an explicit execution backend. The totals are
+/// asserted identical across backends by the tier tests; regenerating a
+/// table with `--backend code` re-derives every number from assembled
+/// Thumb-16 machine code.
+pub fn kernel_cycles_with(tier: Tier, backend: Backend) -> (u64, u64, u64, u64) {
+    let mut f = ModeledField::new_with_backend(tier, backend);
     let a = f.alloc_init(element(1));
     let b = f.alloc_init(element(2));
     let z = f.alloc();
@@ -64,12 +72,31 @@ pub fn rotating_c_cycles() -> u64 {
     r.category_cycles(Category::Multiply)
 }
 
+/// Per-kernel flash footprints of one full kP + kG on the code backend
+/// (the code-size numbers the cycle tables can't show).
+pub fn kernel_flash(tier: Tier) -> Vec<(&'static str, KernelFootprint)> {
+    let mut mm = ModeledMul::with_backend(tier, Backend::Code);
+    let g = koblitz::generator();
+    mm.kp(&g, &scalar(1));
+    mm.kg(&scalar(1));
+    mm.field()
+        .flash_report()
+        .iter()
+        .map(|(&name, &fp)| (name, fp))
+        .collect()
+}
+
 /// Averaged modeled kP over `seeds` scalars.
 pub fn average_kp(tier: Tier, seeds: std::ops::Range<u64>) -> PointMulRun {
+    average_kp_with(tier, Backend::Direct, seeds)
+}
+
+/// [`average_kp`] on an explicit execution backend.
+pub fn average_kp_with(tier: Tier, backend: Backend, seeds: std::ops::Range<u64>) -> PointMulRun {
     let g = koblitz::generator();
     let runs: Vec<PointMulRun> = seeds
         .map(|s| {
-            let mut mm = ModeledMul::new(tier);
+            let mut mm = ModeledMul::with_backend(tier, backend);
             mm.kp(&g, &scalar(s))
         })
         .collect();
@@ -78,9 +105,14 @@ pub fn average_kp(tier: Tier, seeds: std::ops::Range<u64>) -> PointMulRun {
 
 /// Averaged modeled kG over `seeds` scalars.
 pub fn average_kg(tier: Tier, seeds: std::ops::Range<u64>) -> PointMulRun {
+    average_kg_with(tier, Backend::Direct, seeds)
+}
+
+/// [`average_kg`] on an explicit execution backend.
+pub fn average_kg_with(tier: Tier, backend: Backend, seeds: std::ops::Range<u64>) -> PointMulRun {
     let runs: Vec<PointMulRun> = seeds
         .map(|s| {
-            let mut mm = ModeledMul::new(tier);
+            let mut mm = ModeledMul::with_backend(tier, backend);
             mm.kg(&scalar(s))
         })
         .collect();

@@ -29,11 +29,36 @@ pub struct PlatformModel {
 /// The platforms of Table 5.
 pub fn platforms() -> Vec<PlatformModel> {
     vec![
-        PlatformModel { name: "ATMega128L", word_bits: 8, mem_cycles: 2, alu_cycles: 1 },
-        PlatformModel { name: "MSP430X", word_bits: 16, mem_cycles: 3, alu_cycles: 1 },
-        PlatformModel { name: "ARM7TDMI", word_bits: 32, mem_cycles: 3, alu_cycles: 1 },
-        PlatformModel { name: "PXA271", word_bits: 32, mem_cycles: 2, alu_cycles: 1 },
-        PlatformModel { name: "Cortex-M0+", word_bits: 32, mem_cycles: 2, alu_cycles: 1 },
+        PlatformModel {
+            name: "ATMega128L",
+            word_bits: 8,
+            mem_cycles: 2,
+            alu_cycles: 1,
+        },
+        PlatformModel {
+            name: "MSP430X",
+            word_bits: 16,
+            mem_cycles: 3,
+            alu_cycles: 1,
+        },
+        PlatformModel {
+            name: "ARM7TDMI",
+            word_bits: 32,
+            mem_cycles: 3,
+            alu_cycles: 1,
+        },
+        PlatformModel {
+            name: "PXA271",
+            word_bits: 32,
+            mem_cycles: 2,
+            alu_cycles: 1,
+        },
+        PlatformModel {
+            name: "Cortex-M0+",
+            word_bits: 32,
+            mem_cycles: 2,
+            alu_cycles: 1,
+        },
     ]
 }
 
@@ -54,7 +79,7 @@ pub fn ld_rotating_counts(m_bits: u32, word_bits: u32, w: u32) -> OpCounts {
     // Main loop with the rotating window: per outer pass, fill (n+1
     // reads), per k: x read + n T reads, spill 1 write + 1 slide read;
     // write back n; inter-pass shift over 2n memory words.
-    let main_reads = outer * ((n + 1) + n * (1 + n) + (n - 1)) ;
+    let main_reads = outer * ((n + 1) + n * (1 + n) + (n - 1));
     let main_writes = outer * (n + n) + two_n;
     let main_xors = outer * n * (1 + n);
     let main_shifts = outer * n + (outer - 1) * 2 * two_n;
@@ -71,8 +96,7 @@ pub fn ld_rotating_counts(m_bits: u32, word_bits: u32, w: u32) -> OpCounts {
 /// (window chosen as w = 4, the common choice across the cited work).
 pub fn predict_mul_cycles(platform: &PlatformModel, m_bits: u32) -> u64 {
     let ops = ld_rotating_counts(m_bits, platform.word_bits, 4);
-    platform.mem_cycles * (ops.reads + ops.writes)
-        + platform.alu_cycles * (ops.xors + ops.shifts)
+    platform.mem_cycles * (ops.reads + ops.writes) + platform.alu_cycles * (ops.xors + ops.shifts)
 }
 
 /// One predicted-vs-cited comparison row.

@@ -75,7 +75,8 @@ impl ModelRow {
 /// (assembly tier) and returns (cycles, mix).
 fn binary_mul_profile() -> (u64, ClassCounts) {
     let mut f = ModeledField::new(Tier::Asm);
-    let a = f.alloc_init(Fe::from_hex("1af129f22ff4149563a419c26bf50a4c9d6eefad6126").expect("const"));
+    let a =
+        f.alloc_init(Fe::from_hex("1af129f22ff4149563a419c26bf50a4c9d6eefad6126").expect("const"));
     let b = f.alloc_init(Fe::from_hex("5a67c427a8cd9bf18aeb9b56e0c11056fae6a3").expect("const"));
     let z = f.alloc();
     let snap = f.machine().snapshot();
@@ -203,10 +204,7 @@ pub fn binary_mul_mix() -> ClassCounts {
 /// Shares of the energy-relevant classes in a mix (for display).
 pub fn mix_shares(counts: &ClassCounts) -> Vec<(InstrClass, f64)> {
     let total = counts.total() as f64;
-    counts
-        .iter()
-        .map(|(c, n)| (c, n as f64 / total))
-        .collect()
+    counts.iter().map(|(c, n)| (c, n as f64 / total)).collect()
 }
 
 #[cfg(test)]

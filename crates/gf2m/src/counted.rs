@@ -465,7 +465,11 @@ mod tests {
         }
         // Full residency leaves only LUT reads and operand loads.
         let full = mul_ld_fixed_with_registers(a, b, 16);
-        assert!(full.main.writes < 10, "all-register writes: {}", full.main.writes);
+        assert!(
+            full.main.writes < 10,
+            "all-register writes: {}",
+            full.main.writes
+        );
     }
 
     #[test]

@@ -97,7 +97,10 @@ impl Fe {
     /// Returns an error for empty strings, non-hex digits, or values of
     /// 234 bits or more.
     pub fn from_hex(s: &str) -> Result<Fe, ParseFeError> {
-        let s = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")).unwrap_or(s);
+        let s = s
+            .strip_prefix("0x")
+            .or_else(|| s.strip_prefix("0X"))
+            .unwrap_or(s);
         if s.is_empty() {
             return Err(ParseFeError::Empty);
         }
@@ -348,16 +351,13 @@ mod tests {
         let too_big = format!("2{}", "0".repeat(58));
         assert_eq!(Fe::from_hex(&too_big), Err(ParseFeError::TooLarge));
         // 65 nibbles.
-        assert_eq!(
-            Fe::from_hex(&"1".repeat(65)),
-            Err(ParseFeError::TooLarge)
-        );
+        assert_eq!(Fe::from_hex(&"1".repeat(65)), Err(ParseFeError::TooLarge));
     }
 
     #[test]
     fn byte_roundtrip() {
-        let e = Fe::from_hex("1db537dece819b7f70f555a67c427a8cd9bf18aeb9b56e0c11056fae6a3")
-            .unwrap();
+        let e =
+            Fe::from_hex("1db537dece819b7f70f555a67c427a8cd9bf18aeb9b56e0c11056fae6a3").unwrap();
         let bytes = e.to_be_bytes();
         assert_eq!(Fe::from_be_bytes(&bytes), e);
         // One is the last byte.

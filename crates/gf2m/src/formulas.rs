@@ -104,10 +104,7 @@ mod tests {
     #[test]
     fn table2_row_a() {
         let a = Method::A.op_counts(N);
-        assert_eq!(
-            (a.reads, a.writes, a.xors, a.shifts),
-            (1208, 752, 745, 315)
-        );
+        assert_eq!((a.reads, a.writes, a.xors, a.shifts), (1208, 752, 745, 315));
         assert_eq!(a.cycles(), 4980);
     }
 
@@ -151,9 +148,6 @@ mod tests {
     fn xor_counts_of_a_and_c_match() {
         // Method C changes only *where* words live, not the arithmetic, so
         // its XOR column equals Method A's.
-        assert_eq!(
-            Method::A.op_counts(N).xors,
-            Method::C.op_counts(N).xors
-        );
+        assert_eq!(Method::A.op_counts(N).xors, Method::C.op_counts(N).xors);
     }
 }

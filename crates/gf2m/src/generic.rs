@@ -43,7 +43,10 @@ impl GenericField {
     /// Panics on an empty tap list, taps ≥ m, or unsorted taps.
     pub fn new(m: usize, taps: &[usize]) -> GenericField {
         assert!(!taps.is_empty(), "need at least one middle term");
-        assert!(taps.iter().all(|&t| t > 0 && t < m), "taps must be in (0, m)");
+        assert!(
+            taps.iter().all(|&t| t > 0 && t < m),
+            "taps must be in (0, m)"
+        );
         assert!(taps.windows(2).all(|w| w[0] > w[1]), "taps must descend");
         GenericField {
             m,

@@ -131,9 +131,7 @@ pub fn invert(a: Fe) -> Option<Fe> {
             let (_, t) = degree_tracked(&g2, N - 1);
             (t, ())
         };
-        let (_u_deg, done) = step(
-            &mut u, &mut g1, &mut u_top, &v, &g2, v_deg, v_top, g2_top,
-        );
+        let (_u_deg, done) = step(&mut u, &mut g1, &mut u_top, &v, &g2, v_deg, v_top, g2_top);
         if done {
             return Some(Fe(g1));
         }
@@ -150,9 +148,7 @@ pub fn invert(a: Fe) -> Option<Fe> {
             let (_, t) = degree_tracked(&g1, N - 1);
             (t, ())
         };
-        let (_v_deg, done) = step(
-            &mut v, &mut g2, &mut v_top, &u, &g1, u_deg, u_top, g1_top,
-        );
+        let (_v_deg, done) = step(&mut v, &mut g2, &mut v_top, &u, &g1, u_deg, u_top, g1_top);
         if done {
             return Some(Fe(g2));
         }

@@ -70,6 +70,9 @@ fn charged_degree(m: &mut Machine, base: m0plus::Addr, off: u32, top: usize) -> 
 }
 
 /// Offset of the shift temporary used by the variable-shift helper.
+/// Words 32..40 of the scratch area are beyond the imm5 range of
+/// T1 `LDR`/`STR` (0..=31 words), so the kernel keeps a dedicated base
+/// register (`r2`) pointing at this area.
 const TMP_OFF: u32 = 32;
 
 /// The paper's "variable field shift function": `tmp ← b << j`, as a
@@ -83,7 +86,7 @@ fn shift_to_temp(m: &mut Machine, b_off: u32, j: usize) {
     // Words below the shift distance are zero.
     m.movs_imm(Reg::R4, 0);
     for d in 0..ws {
-        m.str(Reg::R4, Reg::R0, TMP_OFF + d);
+        m.str(Reg::R4, Reg::R2, d);
     }
     for d in ws..N as u32 {
         m.ldr(Reg::R4, Reg::R0, b_off + d - ws);
@@ -95,7 +98,7 @@ fn shift_to_temp(m: &mut Machine, b_off: u32, j: usize) {
                 m.orrs(Reg::R4, Reg::R5);
             }
         }
-        m.str(Reg::R4, Reg::R0, TMP_OFF + d);
+        m.str(Reg::R4, Reg::R2, d);
         // Loop control of the helper (word counter, compare, branch).
         m.adds_imm(Reg::R6, 1);
         m.cmp_imm(Reg::R6, 8);
@@ -109,7 +112,7 @@ fn xor_temp(m: &mut Machine, a_off: u32) {
     m.bl();
     for d in 0..N as u32 {
         m.ldr(Reg::R4, Reg::R0, a_off + d);
-        m.ldr(Reg::R5, Reg::R0, TMP_OFF + d);
+        m.ldr(Reg::R5, Reg::R2, d);
         m.eors(Reg::R4, Reg::R5);
         m.str(Reg::R4, Reg::R0, a_off + d);
         m.adds_imm(Reg::R6, 1);
@@ -162,6 +165,7 @@ pub(crate) fn inv(m: &mut Machine, layout: &Layout, z: FeSlot, x: FeSlot) {
         m.stack_transfer(5);
         m.set_base(Reg::R0, scratch);
         m.set_base(Reg::R1, x.0);
+        m.set_base(Reg::R2, scratch.offset(TMP_OFF));
 
         // u ← x (8 load/store pairs), v ← f (literal pool), g1 ← 1,
         // g2 ← 0.

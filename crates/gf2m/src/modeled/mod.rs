@@ -29,7 +29,8 @@ mod sqr;
 mod support;
 
 use crate::Fe;
-use m0plus::{Addr, Category, Machine};
+use m0plus::{Addr, Backend, Category, Machine};
+use std::collections::BTreeMap;
 
 /// Which implementation tier a [`ModeledField`] runs (Table 6's columns,
 /// plus the RELIC-baseline style of §4.2.1).
@@ -50,6 +51,23 @@ pub enum Tier {
 /// A field element stored in machine RAM (eight words).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FeSlot(pub Addr);
+
+/// Aggregated code-backend footprint of one kernel entry point.
+///
+/// Only populated under [`Backend::Code`]: each routed kernel call
+/// assembles to real Thumb-16 and reports its flash size; the field
+/// keeps the per-kernel maximum (traces of the same kernel differ only
+/// by data-dependent branch outcomes, so the maximum is the flash a
+/// fully linearised build would need).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KernelFootprint {
+    /// Number of calls routed through the code backend.
+    pub calls: u64,
+    /// Largest assembled fragment (code + literal pool), in bytes.
+    pub flash_bytes: usize,
+    /// Largest replayed instruction count.
+    pub instructions: u64,
+}
 
 /// Storage class of an accumulator word in the assembly-tier
 /// fixed-register multiplier (exposed for rendering the paper's
@@ -119,6 +137,8 @@ pub(crate) struct Layout {
 pub struct ModeledField {
     machine: Machine,
     tier: Tier,
+    backend: Backend,
+    flash: BTreeMap<&'static str, KernelFootprint>,
     layout_lut: Addr,
     layout_frame: Addr,
     layout_sqr_table: Addr,
@@ -143,11 +163,7 @@ impl ModeledField {
 
     /// Creates a modeled field with a custom [`m0plus::EnergyModel`]
     /// (for sensitivity analysis of the §3.1 energy argument).
-    pub fn with_ram_and_model(
-        tier: Tier,
-        ram_words: usize,
-        model: m0plus::EnergyModel,
-    ) -> Self {
+    pub fn with_ram_and_model(tier: Tier, ram_words: usize, model: m0plus::EnergyModel) -> Self {
         let mut machine = Machine::with_model(ram_words, model);
         let lut = machine.alloc(16 * 8);
         let frame = machine.alloc(32);
@@ -159,6 +175,8 @@ impl ModeledField {
         ModeledField {
             machine,
             tier,
+            backend: Backend::default(),
+            flash: BTreeMap::new(),
             layout_lut: lut,
             layout_frame: frame,
             layout_sqr_table: sqr_table,
@@ -166,9 +184,54 @@ impl ModeledField {
         }
     }
 
+    /// Creates a modeled field of the given tier on the given execution
+    /// backend.
+    pub fn new_with_backend(tier: Tier, backend: Backend) -> Self {
+        let mut f = Self::new(tier);
+        f.backend = backend;
+        f
+    }
+
     /// The tier this field runs.
     pub fn tier(&self) -> Tier {
         self.tier
+    }
+
+    /// The execution backend the kernels run through.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// Switches the execution backend (takes effect from the next
+    /// kernel call; past accounting is unchanged).
+    pub fn set_backend(&mut self, backend: Backend) {
+        self.backend = backend;
+    }
+
+    /// Per-kernel flash footprints collected by the code backend
+    /// (empty under [`Backend::Direct`]).
+    pub fn flash_report(&self) -> &BTreeMap<&'static str, KernelFootprint> {
+        &self.flash
+    }
+
+    /// Routes one kernel call through the configured backend.
+    ///
+    /// Under [`Backend::Direct`] this just calls `f` on the machine.
+    /// Under [`Backend::Code`] the call is recorded, assembled to
+    /// Thumb-16, replayed from the machine code (asserting bit-for-bit
+    /// state agreement with the direct run) and its flash footprint
+    /// folded into [`ModeledField::flash_report`]. Curve layers use
+    /// this for their own charged code so *every* costed instruction in
+    /// a point multiplication can come from assembled machine code.
+    pub fn run_kernel<T>(&mut self, name: &'static str, f: impl FnOnce(&mut Machine) -> T) -> T {
+        let (out, run) = self.backend.run_kernel(&mut self.machine, name, f);
+        if let Some(run) = run {
+            let slot = self.flash.entry(name).or_default();
+            slot.calls += 1;
+            slot.flash_bytes = slot.flash_bytes.max(run.flash_bytes);
+            slot.instructions = slot.instructions.max(run.instructions);
+        }
+        out
     }
 
     /// Read access to the underlying machine (cycle/energy counters).
@@ -223,11 +286,17 @@ impl ModeledField {
         #[cfg(debug_assertions)]
         let expect = self.load(x) * self.load(y);
         let layout = self.layout();
-        match self.tier {
-            Tier::Asm => mul_asm::mul(&mut self.machine, &layout, z, x, y),
-            Tier::C => mul_c::mul_fixed(&mut self.machine, &layout, z, x, y),
-            Tier::RelicC => mul_c::mul_relic(&mut self.machine, &layout, z, x, y),
-        }
+        let tier = self.tier;
+        let name = match tier {
+            Tier::Asm => "mul_asm",
+            Tier::C => "mul_ld_fixed_c",
+            Tier::RelicC => "mul_relic_c",
+        };
+        self.run_kernel(name, |m| match tier {
+            Tier::Asm => mul_asm::mul(m, &layout, z, x, y),
+            Tier::C => mul_c::mul_fixed(m, &layout, z, x, y),
+            Tier::RelicC => mul_c::mul_relic(m, &layout, z, x, y),
+        });
         #[cfg(debug_assertions)]
         debug_assert_eq!(
             self.load(z),
@@ -242,7 +311,9 @@ impl ModeledField {
         #[cfg(debug_assertions)]
         let expect = self.load(x) * self.load(y);
         let layout = self.layout();
-        mul_c::mul_rotating(&mut self.machine, &layout, z, x, y);
+        self.run_kernel("mul_ld_rotating_c", |m| {
+            mul_c::mul_rotating(m, &layout, z, x, y)
+        });
         #[cfg(debug_assertions)]
         debug_assert_eq!(
             self.load(z),
@@ -256,11 +327,17 @@ impl ModeledField {
         #[cfg(debug_assertions)]
         let expect = self.load(x).square();
         let layout = self.layout();
-        match self.tier {
-            Tier::Asm => sqr::sqr_asm(&mut self.machine, &layout, z, x),
-            Tier::C => sqr::sqr_c(&mut self.machine, &layout, z, x),
-            Tier::RelicC => mul_c::sqr_relic(&mut self.machine, &layout, z, x),
-        }
+        let tier = self.tier;
+        let name = match tier {
+            Tier::Asm => "sqr_asm",
+            Tier::C => "sqr_c",
+            Tier::RelicC => "sqr_relic_c",
+        };
+        self.run_kernel(name, |m| match tier {
+            Tier::Asm => sqr::sqr_asm(m, &layout, z, x),
+            Tier::C => sqr::sqr_c(m, &layout, z, x),
+            Tier::RelicC => mul_c::sqr_relic(m, &layout, z, x),
+        });
         #[cfg(debug_assertions)]
         debug_assert_eq!(
             self.load(z),
@@ -281,7 +358,7 @@ impl ModeledField {
         // The paper implements inversion in C only (its Table 6 has no
         // assembly column entry for inversion), so both tiers share the
         // C kernel.
-        inv_c::inv(&mut self.machine, &layout, z, x);
+        self.run_kernel("inv_eea_c", |m| inv_c::inv(m, &layout, z, x));
         #[cfg(debug_assertions)]
         debug_assert_eq!(
             Some(self.load(z)),
@@ -359,28 +436,28 @@ impl ModeledField {
 
     /// Field addition (word-wise XOR) `z ← x + y`, charged to *Support*.
     pub fn add(&mut self, z: FeSlot, x: FeSlot, y: FeSlot) {
-        support::add(&mut self.machine, z, x, y);
+        self.run_kernel("fe_add", |m| support::add(m, z, x, y));
     }
 
     /// Copy `z ← x`, charged to *Support*.
     pub fn copy(&mut self, z: FeSlot, x: FeSlot) {
-        support::copy(&mut self.machine, z, x);
+        self.run_kernel("fe_copy", |m| support::copy(m, z, x));
     }
 
     /// Stores a compile-time constant into `slot` (literal-pool loads +
     /// stores), charged to *Support*.
     pub fn set_const(&mut self, slot: FeSlot, value: Fe) {
-        support::set_const(&mut self.machine, slot, value);
+        self.run_kernel("fe_set_const", |m| support::set_const(m, slot, value));
     }
 
     /// Tests `x == 0`, charged to *Support*.
     pub fn is_zero(&mut self, x: FeSlot) -> bool {
-        support::is_zero(&mut self.machine, x)
+        self.run_kernel("fe_is_zero", |m| support::is_zero(m, x))
     }
 
     /// Tests `x == y`, charged to *Support*.
     pub fn equal(&mut self, x: FeSlot, y: FeSlot) -> bool {
-        support::equal(&mut self.machine, x, y)
+        self.run_kernel("fe_equal", |m| support::equal(m, x, y))
     }
 
     /// Runs `f` with every charged instruction force-attributed to
@@ -508,6 +585,78 @@ mod tests {
         // the point-multiplication total much).
         let ratio = itoh as f64 / eea as f64;
         assert!((0.5..3.0).contains(&ratio), "itoh {itoh} vs eea {eea}");
+    }
+
+    /// Drives every routed kernel once and returns the results plus the
+    /// machine's final cycle count — the differential probe for the
+    /// backend-equivalence tests.
+    fn drive_all_kernels(f: &mut ModeledField) -> (Vec<Fe>, u64) {
+        let a = fe(21);
+        let b = fe(22);
+        let (sa, sb, sz) = (f.alloc_init(a), f.alloc_init(b), f.alloc());
+        let mut out = Vec::new();
+        f.mul(sz, sa, sb);
+        out.push(f.load(sz));
+        f.mul_rotating_c(sz, sa, sb);
+        out.push(f.load(sz));
+        f.sqr(sz, sa);
+        out.push(f.load(sz));
+        f.inv(sz, sa);
+        out.push(f.load(sz));
+        f.add(sz, sa, sb);
+        out.push(f.load(sz));
+        f.copy(sz, sb);
+        out.push(f.load(sz));
+        f.set_const(sz, a);
+        out.push(f.load(sz));
+        assert!(!f.is_zero(sz));
+        assert!(f.equal(sz, sa));
+        (out, f.machine().cycles())
+    }
+
+    #[test]
+    fn code_backend_matches_direct_for_every_kernel() {
+        for tier in [Tier::Asm, Tier::C, Tier::RelicC] {
+            let mut direct = ModeledField::new(tier);
+            let mut code = ModeledField::new_with_backend(tier, Backend::Code);
+            let (results_d, cycles_d) = drive_all_kernels(&mut direct);
+            let (results_c, cycles_c) = drive_all_kernels(&mut code);
+            assert_eq!(results_c, results_d, "{tier:?}: field results diverge");
+            assert_eq!(cycles_c, cycles_d, "{tier:?}: cycle totals diverge");
+            for cat in Category::ALL {
+                assert_eq!(
+                    code.machine().category_totals(cat),
+                    direct.machine().category_totals(cat),
+                    "{tier:?}/{cat}: category totals diverge"
+                );
+            }
+            assert!(direct.flash_report().is_empty());
+            let flash = code.flash_report();
+            for kernel in ["inv_eea_c", "fe_add", "fe_copy", "fe_set_const"] {
+                assert!(flash.contains_key(kernel), "{tier:?}: {kernel} missing");
+            }
+            for (kernel, fp) in flash {
+                assert!(fp.calls > 0 && fp.flash_bytes > 0, "{tier:?}: {kernel}");
+            }
+        }
+    }
+
+    #[test]
+    fn code_backend_reports_kernel_flash_footprints() {
+        let mut f = ModeledField::new_with_backend(Tier::Asm, Backend::Code);
+        let (sa, sb, sz) = (f.alloc_init(fe(31)), f.alloc_init(fe(32)), f.alloc());
+        f.mul(sz, sa, sb);
+        f.mul(sz, sz, sb);
+        let fp = f.flash_report()["mul_asm"];
+        assert_eq!(fp.calls, 2);
+        // The fully unrolled fixed-register multiplier linearises to a
+        // few thousand halfwords — sanity-bound it.
+        assert!(
+            (1_000..100_000).contains(&fp.flash_bytes),
+            "flash = {}",
+            fp.flash_bytes
+        );
+        assert!(fp.instructions > 500);
     }
 
     #[test]

@@ -400,8 +400,7 @@ mod tests {
         let runs: Vec<u64> = (0..3)
             .map(|i| {
                 let mut f = ModeledField::new(Tier::Asm);
-                let (sa, sb, sz) =
-                    (f.alloc_init(fe(i)), f.alloc_init(fe(i + 50)), f.alloc());
+                let (sa, sb, sz) = (f.alloc_init(fe(i)), f.alloc_init(fe(i + 50)), f.alloc());
                 let s = f.machine().snapshot();
                 f.mul(sz, sa, sb);
                 f.machine().report_since(&s).cycles

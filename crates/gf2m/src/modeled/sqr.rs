@@ -125,9 +125,12 @@ pub(crate) fn sqr_asm(m: &mut Machine, layout: &Layout, z: FeSlot, x: FeSlot) {
                 m.eors(Reg::R5, Reg::R7);
             }
             // Fold the four trinomial images.
-            for (delta, left, amount) in
-                [(8usize, true, 23u32), (7, false, 9), (5, true, 1), (4, false, 31)]
-            {
+            for (delta, left, amount) in [
+                (8usize, true, 23u32),
+                (7, false, 9),
+                (5, true, 1),
+                (4, false, 31),
+            ] {
                 let target = idx - delta;
                 if left {
                     m.lsls_imm(Reg::R4, Reg::R5, amount);
@@ -197,9 +200,12 @@ pub(crate) fn sqr_c(m: &mut Machine, layout: &Layout, z: FeSlot, x: FeSlot) {
         // compiler inlines it in the C build too).
         for idx in ((N as u32)..(2 * N) as u32).rev() {
             m.ldr_sp(Reg::R5, ACC + idx);
-            for (delta, left, amount) in
-                [(8u32, true, 23u32), (7, false, 9), (5, true, 1), (4, false, 31)]
-            {
+            for (delta, left, amount) in [
+                (8u32, true, 23u32),
+                (7, false, 9),
+                (5, true, 1),
+                (4, false, 31),
+            ] {
                 if left {
                     m.lsls_imm(Reg::R2, Reg::R5, amount);
                 } else {

@@ -373,7 +373,10 @@ mod tests {
     fn distributes_over_addition() {
         for seed in 0..10u64 {
             let (a, b, c) = (fe(seed), fe(seed + 5), fe(seed + 9));
-            assert_eq!(mul_ld_fixed(a, b + c), mul_ld_fixed(a, b) + mul_ld_fixed(a, c));
+            assert_eq!(
+                mul_ld_fixed(a, b + c),
+                mul_ld_fixed(a, b) + mul_ld_fixed(a, c)
+            );
         }
     }
 

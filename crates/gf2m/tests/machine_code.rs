@@ -2,9 +2,10 @@
 //! against the field arithmetic: the deepest level of the substrate
 //! (assembler → halfwords → executor → field semantics).
 
+use gf2m::modeled::{ModeledField, Tier};
 use gf2m::Fe;
 use m0plus::asm::Assembler;
-use m0plus::{execute, Cond, Instr, Machine, Reg};
+use m0plus::{backend, execute, Backend, Cond, Instr, Machine, Reg};
 
 fn fe(seed: u64) -> Fe {
     let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
@@ -23,16 +24,46 @@ fn fe(seed: u64) -> Fe {
 fn fe_add_program() -> m0plus::asm::Program {
     let mut a = Assembler::new();
     a.label("fe_add");
-    a.push(Instr::MovsImm { rd: Reg::R5, imm: 8 });
+    a.push(Instr::MovsImm {
+        rd: Reg::R5,
+        imm: 8,
+    });
     a.label("loop");
-    a.push(Instr::LdrImm { rt: Reg::R3, rn: Reg::R0, imm_words: 0 });
-    a.push(Instr::LdrImm { rt: Reg::R4, rn: Reg::R1, imm_words: 0 });
-    a.push(Instr::Eors { rdn: Reg::R3, rm: Reg::R4 });
-    a.push(Instr::StrImm { rt: Reg::R3, rn: Reg::R2, imm_words: 0 });
-    a.push(Instr::AddsImm8 { rdn: Reg::R0, imm: 1 });
-    a.push(Instr::AddsImm8 { rdn: Reg::R1, imm: 1 });
-    a.push(Instr::AddsImm8 { rdn: Reg::R2, imm: 1 });
-    a.push(Instr::SubsImm8 { rdn: Reg::R5, imm: 1 });
+    a.push(Instr::LdrImm {
+        rt: Reg::R3,
+        rn: Reg::R0,
+        imm_words: 0,
+    });
+    a.push(Instr::LdrImm {
+        rt: Reg::R4,
+        rn: Reg::R1,
+        imm_words: 0,
+    });
+    a.push(Instr::Eors {
+        rdn: Reg::R3,
+        rm: Reg::R4,
+    });
+    a.push(Instr::StrImm {
+        rt: Reg::R3,
+        rn: Reg::R2,
+        imm_words: 0,
+    });
+    a.push(Instr::AddsImm8 {
+        rdn: Reg::R0,
+        imm: 1,
+    });
+    a.push(Instr::AddsImm8 {
+        rdn: Reg::R1,
+        imm: 1,
+    });
+    a.push(Instr::AddsImm8 {
+        rdn: Reg::R2,
+        imm: 1,
+    });
+    a.push(Instr::SubsImm8 {
+        rdn: Reg::R5,
+        imm: 1,
+    });
     a.branch_if(Cond::Ne, "loop");
     a.push(Instr::Bx);
     a.assemble().expect("fe_add assembles")
@@ -103,16 +134,46 @@ fn assembled_double_addition_is_identity() {
     // the demo simple by reloading via the stack frame).
     a.push(Instr::Bx);
     a.label("fe_add");
-    a.push(Instr::MovsImm { rd: Reg::R5, imm: 8 });
+    a.push(Instr::MovsImm {
+        rd: Reg::R5,
+        imm: 8,
+    });
     a.label("loop");
-    a.push(Instr::LdrImm { rt: Reg::R3, rn: Reg::R0, imm_words: 0 });
-    a.push(Instr::LdrImm { rt: Reg::R4, rn: Reg::R1, imm_words: 0 });
-    a.push(Instr::Eors { rdn: Reg::R3, rm: Reg::R4 });
-    a.push(Instr::StrImm { rt: Reg::R3, rn: Reg::R2, imm_words: 0 });
-    a.push(Instr::AddsImm8 { rdn: Reg::R0, imm: 1 });
-    a.push(Instr::AddsImm8 { rdn: Reg::R1, imm: 1 });
-    a.push(Instr::AddsImm8 { rdn: Reg::R2, imm: 1 });
-    a.push(Instr::SubsImm8 { rdn: Reg::R5, imm: 1 });
+    a.push(Instr::LdrImm {
+        rt: Reg::R3,
+        rn: Reg::R0,
+        imm_words: 0,
+    });
+    a.push(Instr::LdrImm {
+        rt: Reg::R4,
+        rn: Reg::R1,
+        imm_words: 0,
+    });
+    a.push(Instr::Eors {
+        rdn: Reg::R3,
+        rm: Reg::R4,
+    });
+    a.push(Instr::StrImm {
+        rt: Reg::R3,
+        rn: Reg::R2,
+        imm_words: 0,
+    });
+    a.push(Instr::AddsImm8 {
+        rdn: Reg::R0,
+        imm: 1,
+    });
+    a.push(Instr::AddsImm8 {
+        rdn: Reg::R1,
+        imm: 1,
+    });
+    a.push(Instr::AddsImm8 {
+        rdn: Reg::R2,
+        imm: 1,
+    });
+    a.push(Instr::SubsImm8 {
+        rdn: Reg::R5,
+        imm: 1,
+    });
     a.branch_if(Cond::Ne, "loop");
     a.push(Instr::Bx);
     let program = a.assemble().expect("assembles");
@@ -138,4 +199,246 @@ fn assembled_double_addition_is_identity() {
     execute(&mut m, &program, "fe_add", 1000).expect("runs");
     let out2: [u32; 8] = m.read_slice(po2, 8).try_into().expect("8 words");
     assert_eq!(Fe::from_words_reduced(out2), x, "(a+b)+b = a");
+}
+
+/// The trinomial reduction (x^233 + x^74 + 1) as straight-line real
+/// assembly: r0 = &c (16 words, reduced in place). Word-level folding,
+/// high words walked downwards so the cascade resolves in one pass,
+/// then the partial top word (bits 233..255 of c[7]) and the 0x1FF
+/// mask.
+fn reduce_program() -> m0plus::asm::Program {
+    let mut a = Assembler::new();
+    a.label("reduce");
+    for i in (8..=15u32).rev() {
+        a.push(Instr::LdrImm {
+            rt: Reg::R3,
+            rn: Reg::R0,
+            imm_words: i,
+        });
+        // Bit j = 32i+k folds to j-233 (words i-8/i-7, shifts 23/9) and
+        // to j-159 (words i-5/i-4, shifts 1/31).
+        for (imm, left, dst) in [
+            (23, true, i - 8),
+            (9, false, i - 7),
+            (1, true, i - 5),
+            (31, false, i - 4),
+        ] {
+            a.push(if left {
+                Instr::LslsImm {
+                    rd: Reg::R4,
+                    rm: Reg::R3,
+                    imm,
+                }
+            } else {
+                Instr::LsrsImm {
+                    rd: Reg::R4,
+                    rm: Reg::R3,
+                    imm,
+                }
+            });
+            a.push(Instr::LdrImm {
+                rt: Reg::R5,
+                rn: Reg::R0,
+                imm_words: dst,
+            });
+            a.push(Instr::Eors {
+                rdn: Reg::R5,
+                rm: Reg::R4,
+            });
+            a.push(Instr::StrImm {
+                rt: Reg::R5,
+                rn: Reg::R0,
+                imm_words: dst,
+            });
+        }
+    }
+    // T = c[7] >> 9 holds bits 233.. of the partial top word:
+    // c[0] ^= T, c[2] ^= T << 10, c[3] ^= T >> 22, c[7] &= 0x1FF.
+    a.push(Instr::LdrImm {
+        rt: Reg::R3,
+        rn: Reg::R0,
+        imm_words: 7,
+    });
+    a.push(Instr::LsrsImm {
+        rd: Reg::R4,
+        rm: Reg::R3,
+        imm: 9,
+    });
+    a.push(Instr::LdrImm {
+        rt: Reg::R5,
+        rn: Reg::R0,
+        imm_words: 0,
+    });
+    a.push(Instr::Eors {
+        rdn: Reg::R5,
+        rm: Reg::R4,
+    });
+    a.push(Instr::StrImm {
+        rt: Reg::R5,
+        rn: Reg::R0,
+        imm_words: 0,
+    });
+    a.push(Instr::LslsImm {
+        rd: Reg::R6,
+        rm: Reg::R4,
+        imm: 10,
+    });
+    a.push(Instr::LdrImm {
+        rt: Reg::R5,
+        rn: Reg::R0,
+        imm_words: 2,
+    });
+    a.push(Instr::Eors {
+        rdn: Reg::R5,
+        rm: Reg::R6,
+    });
+    a.push(Instr::StrImm {
+        rt: Reg::R5,
+        rn: Reg::R0,
+        imm_words: 2,
+    });
+    a.push(Instr::LsrsImm {
+        rd: Reg::R6,
+        rm: Reg::R4,
+        imm: 22,
+    });
+    a.push(Instr::LdrImm {
+        rt: Reg::R5,
+        rn: Reg::R0,
+        imm_words: 3,
+    });
+    a.push(Instr::Eors {
+        rdn: Reg::R5,
+        rm: Reg::R6,
+    });
+    a.push(Instr::StrImm {
+        rt: Reg::R5,
+        rn: Reg::R0,
+        imm_words: 3,
+    });
+    a.push(Instr::MovsImm {
+        rd: Reg::R6,
+        imm: 1,
+    });
+    a.push(Instr::LslsImm {
+        rd: Reg::R6,
+        rm: Reg::R6,
+        imm: 9,
+    });
+    a.push(Instr::SubsImm8 {
+        rdn: Reg::R6,
+        imm: 1,
+    });
+    a.push(Instr::Ands {
+        rdn: Reg::R3,
+        rm: Reg::R6,
+    });
+    a.push(Instr::StrImm {
+        rt: Reg::R3,
+        rn: Reg::R0,
+        imm_words: 7,
+    });
+    a.push(Instr::Bx);
+    a.assemble().expect("reduce assembles")
+}
+
+/// A 16-word unreduced product within the degree range a real
+/// 233x233-bit product can reach.
+fn product(seed: u64) -> [u32; 16] {
+    let mut s = seed.wrapping_mul(0xD134_2543_DE82_EF95) | 1;
+    let mut c = [0u32; 16];
+    for x in c.iter_mut() {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        *x = (s >> 13) as u32;
+    }
+    c[14] &= (1 << 17) - 1;
+    c[15] = 0;
+    c
+}
+
+#[test]
+fn assembled_reduction_matches_the_word_level_reference() {
+    let program = reduce_program();
+    let mut cycles_seen = None;
+    for seed in 0..10u64 {
+        let c = product(seed);
+        let mut m = Machine::new(256);
+        let pc = m.alloc(16);
+        m.write_slice(pc, &c);
+        m.set_base(Reg::R0, pc);
+        let stats = execute(&mut m, &program, "reduce", 10_000).expect("runs");
+        let out: [u32; 8] = m.read_slice(pc, 8).try_into().expect("8 words");
+        assert_eq!(&out, gf2m::reduce::reduce(c).words(), "seed {seed}");
+        // Straight-line code: every halfword retires exactly once and
+        // the cycle count is data-independent.
+        assert_eq!(stats.instructions, program.code.len() as u64);
+        assert_eq!(*cycles_seen.get_or_insert(stats.cycles), stats.cycles);
+    }
+}
+
+#[test]
+fn assembled_multiplication_matches_the_field() {
+    // The recorded mul kernels of every tier, assembled to Thumb-16 and
+    // re-executed by the code backend (which asserts state equality
+    // with the direct run internally) must land on the portable product.
+    for tier in [Tier::Asm, Tier::C, Tier::RelicC] {
+        let mut f = ModeledField::new_with_backend(tier, Backend::Code);
+        for seed in [11u64, 12] {
+            let (x, y) = (fe(seed), fe(seed + 50));
+            let (sa, sb, sz) = (f.alloc_init(x), f.alloc_init(y), f.alloc());
+            f.mul(sz, sa, sb);
+            assert_eq!(f.load(sz), x * y, "{tier:?} seed {seed}");
+        }
+        let flash = f.flash_report();
+        assert_eq!(flash.len(), 1, "{tier:?}: exactly the mul kernel");
+        for fp in flash.values() {
+            assert_eq!(fp.calls, 2, "{tier:?}");
+            assert!(fp.flash_bytes > 0, "{tier:?}");
+        }
+    }
+}
+
+#[test]
+fn assembled_squaring_matches_the_field() {
+    for tier in [Tier::Asm, Tier::C] {
+        let mut f = ModeledField::new_with_backend(tier, Backend::Code);
+        let x = fe(21);
+        let (sa, sz) = (f.alloc_init(x), f.alloc());
+        f.sqr(sz, sa);
+        assert_eq!(f.load(sz), x.square(), "{tier:?}");
+    }
+}
+
+#[test]
+fn recorded_kernels_translate_to_real_thumb() {
+    // Record the asm-tier mul and sqr kernels, translate each to a
+    // `Program`, and check the encoding really is Thumb-16: every
+    // instruction re-decodes to itself, and the program size is the sum
+    // of the per-instruction sizes plus the literal pool.
+    let mut f = ModeledField::new(Tier::Asm);
+    let (sa, sb, sz) = (f.alloc_init(fe(31)), f.alloc_init(fe(32)), f.alloc());
+
+    f.machine_mut().start_recording();
+    f.mul(sz, sa, sb);
+    let mul_rec = f.machine_mut().take_recording();
+    f.machine_mut().start_recording();
+    f.sqr(sz, sa);
+    let sqr_rec = f.machine_mut().take_recording();
+
+    for (name, rec) in [("mul", mul_rec), ("sqr", sqr_rec)] {
+        let program = backend::translate(&rec).expect("kernel assembles");
+        let instr_bytes: usize = rec.steps.iter().map(|s| s.instr.size_bytes()).sum();
+        assert!(
+            program.size_bytes() >= instr_bytes,
+            "{name}: translated size covers the instruction stream"
+        );
+        for step in &rec.steps {
+            let enc = step.instr.encode();
+            let (decoded, used) = Instr::decode(&enc).expect("own encoding decodes");
+            assert_eq!(used, enc.len(), "{name}");
+            assert_eq!(decoded, step.instr, "{name}: decode(encode(i)) = i");
+        }
+    }
 }

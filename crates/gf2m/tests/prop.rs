@@ -1,98 +1,135 @@
-//! Property tests over the gf2m internals: tier agreement (counted and
-//! modeled vs portable), reduction against the bit-level oracle, and
-//! the register-budget ablation invariants.
+//! Randomised-input tests over the gf2m internals: tier agreement
+//! (counted and modeled vs portable), reduction against the bit-level
+//! oracle, and the register-budget ablation invariants.
+//!
+//! Inputs are drawn from the in-tree deterministic PRNG (fixed seeds,
+//! reproducible offline) — plain `#[test]` loops standing in for the
+//! former proptest strategies.
 
 use gf2m::modeled::{ModeledField, Tier};
 use gf2m::{counted, mul, reduce, Fe};
-use proptest::prelude::*;
+use prng::SplitMix64;
 
-fn arb_fe() -> impl Strategy<Value = Fe> {
-    proptest::array::uniform8(any::<u32>()).prop_map(Fe::from_words_reduced)
+fn fe(rng: &mut SplitMix64) -> Fe {
+    let mut w = [0u32; 8];
+    rng.fill_u32(&mut w);
+    Fe::from_words_reduced(w)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn counted_methods_compute_portable_products(a in arb_fe(), b in arb_fe()) {
+#[test]
+fn counted_methods_compute_portable_products() {
+    let mut rng = SplitMix64::new(0x6f2d_0001);
+    for case in 0..48 {
+        let (a, b) = (fe(&mut rng), fe(&mut rng));
         let want = a * b;
         for (m, p) in counted::all_methods(a, b) {
-            prop_assert_eq!(p.value, want, "{} diverged", m);
+            assert_eq!(p.value, want, "{m} diverged (case {case})");
         }
     }
+}
 
-    #[test]
-    fn counted_tallies_never_depend_on_data(a in arb_fe(), b in arb_fe()) {
-        // Data-independent cost is what makes the closed-form Table 1
-        // possible (and is also the timing-attack surface §5 discusses
-        // at the point level): compare against a fixed reference input.
-        let reference = counted::mul_ld_fixed(Fe::ONE, Fe::ONE);
-        let here = counted::mul_ld_fixed(a, b);
-        prop_assert_eq!(here.total(), reference.total());
+#[test]
+fn counted_tallies_never_depend_on_data() {
+    // Data-independent cost is what makes the closed-form Table 1
+    // possible (and is also the timing-attack surface §5 discusses
+    // at the point level): compare against a fixed reference input.
+    let mut rng = SplitMix64::new(0x6f2d_0002);
+    let reference = counted::mul_ld_fixed(Fe::ONE, Fe::ONE);
+    for case in 0..48 {
+        let here = counted::mul_ld_fixed(fe(&mut rng), fe(&mut rng));
+        assert_eq!(here.total(), reference.total(), "case {case}");
     }
+}
 
-    #[test]
-    fn reduction_matches_bitwise_oracle(words in proptest::collection::vec(any::<u32>(), 16)) {
-        let mut c: [u32; 16] = words.try_into().expect("16 words");
+#[test]
+fn reduction_matches_bitwise_oracle() {
+    let mut rng = SplitMix64::new(0x6f2d_0003);
+    for case in 0..48 {
+        let mut c = [0u32; 16];
+        rng.fill_u32(&mut c);
         // Stay within the degree range a real product can reach.
         c[14] &= (1 << 17) - 1;
         c[15] = 0;
-        prop_assert_eq!(reduce::reduce(c), reduce::reduce_bitwise(c));
+        assert_eq!(reduce::reduce(c), reduce::reduce_bitwise(c), "case {case}");
     }
+}
 
-    #[test]
-    fn register_budget_is_monotone(a in arb_fe(), b in arb_fe(), r in 0usize..16) {
+#[test]
+fn register_budget_is_monotone() {
+    let mut rng = SplitMix64::new(0x6f2d_0004);
+    for case in 0..48 {
+        let (a, b) = (fe(&mut rng), fe(&mut rng));
+        let r = rng.below(16) as usize;
         let lo = counted::mul_ld_fixed_with_registers(a, b, r);
         let hi = counted::mul_ld_fixed_with_registers(a, b, r + 1);
-        prop_assert!(hi.main.memory_ops() <= lo.main.memory_ops());
-        prop_assert_eq!(lo.value, a * b);
-        prop_assert_eq!(hi.value, lo.value);
+        assert!(hi.main.memory_ops() <= lo.main.memory_ops(), "case {case}");
+        assert_eq!(lo.value, a * b, "case {case}");
+        assert_eq!(hi.value, lo.value, "case {case}");
     }
+}
 
-    #[test]
-    fn itoh_tsujii_matches_eea(a in arb_fe()) {
-        prop_assert_eq!(gf2m::inv::invert_itoh_tsujii(a), gf2m::inv::invert(a));
-    }
-
-    #[test]
-    fn karatsuba_matches_comb_unreduced(a in arb_fe(), b in arb_fe()) {
-        prop_assert_eq!(
-            mul::mul_poly_karatsuba(a.words(), b.words()),
-            mul::mul_poly_comb(a.words(), b.words())
+#[test]
+fn itoh_tsujii_matches_eea() {
+    let mut rng = SplitMix64::new(0x6f2d_0005);
+    for case in 0..48 {
+        let a = fe(&mut rng);
+        assert_eq!(
+            gf2m::inv::invert_itoh_tsujii(a),
+            gf2m::inv::invert(a),
+            "case {case}"
         );
     }
 }
 
-proptest! {
-    // Modeled-tier cases execute a few thousand virtual instructions
-    // each; keep the case count moderate.
-    #![proptest_config(ProptestConfig::with_cases(8))]
+#[test]
+fn karatsuba_matches_comb_unreduced() {
+    let mut rng = SplitMix64::new(0x6f2d_0006);
+    for case in 0..48 {
+        let (a, b) = (fe(&mut rng), fe(&mut rng));
+        assert_eq!(
+            mul::mul_poly_karatsuba(a.words(), b.words()),
+            mul::mul_poly_comb(a.words(), b.words()),
+            "case {case}"
+        );
+    }
+}
 
-    #[test]
-    fn modeled_tiers_agree_with_portable(a in arb_fe(), b in arb_fe()) {
+// Modeled-tier cases execute a few thousand virtual instructions each;
+// keep the case count moderate.
+
+#[test]
+fn modeled_tiers_agree_with_portable() {
+    let mut rng = SplitMix64::new(0x6f2d_0007);
+    for case in 0..8 {
+        let (a, b) = (fe(&mut rng), fe(&mut rng));
         for tier in [Tier::Asm, Tier::C, Tier::RelicC] {
             let mut f = ModeledField::new(tier);
             let (sa, sb, sz) = (f.alloc_init(a), f.alloc_init(b), f.alloc());
             f.mul(sz, sa, sb);
-            prop_assert_eq!(f.load(sz), a * b, "{:?} mul", tier);
+            assert_eq!(f.load(sz), a * b, "{tier:?} mul (case {case})");
             f.sqr(sz, sa);
-            prop_assert_eq!(f.load(sz), a.square(), "{:?} sqr", tier);
+            assert_eq!(f.load(sz), a.square(), "{tier:?} sqr (case {case})");
             if !a.is_zero() {
                 f.inv(sz, sa);
-                prop_assert_eq!(Some(f.load(sz)), a.invert(), "{:?} inv", tier);
+                assert_eq!(Some(f.load(sz)), a.invert(), "{tier:?} inv (case {case})");
             }
         }
     }
+}
 
-    #[test]
-    fn modeled_cycle_counts_are_data_independent(a in arb_fe(), b in arb_fe()) {
-        let measure = |x: Fe, y: Fe| {
-            let mut f = ModeledField::new(Tier::Asm);
-            let (sx, sy, sz) = (f.alloc_init(x), f.alloc_init(y), f.alloc());
-            let snap = f.machine().snapshot();
-            f.mul(sz, sx, sy);
-            f.machine().report_since(&snap).cycles
-        };
-        prop_assert_eq!(measure(a, b), measure(Fe::ONE, Fe::ZERO));
+#[test]
+fn modeled_cycle_counts_are_data_independent() {
+    let mut rng = SplitMix64::new(0x6f2d_0008);
+    let measure = |x: Fe, y: Fe| {
+        let mut f = ModeledField::new(Tier::Asm);
+        let (sx, sy, sz) = (f.alloc_init(x), f.alloc_init(y), f.alloc());
+        let snap = f.machine().snapshot();
+        f.mul(sz, sx, sy);
+        f.machine().report_since(&snap).cycles
+    };
+    let reference = measure(Fe::ONE, Fe::ZERO);
+    for case in 0..8 {
+        let (a, b) = (fe(&mut rng), fe(&mut rng));
+        assert_eq!(measure(a, b), reference, "case {case}");
     }
 }

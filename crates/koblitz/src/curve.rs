@@ -395,10 +395,9 @@ mod tests {
         let n = order();
         assert_eq!(n.bits(), 232);
         // FIPS 186 lists the K-233 order in decimal.
-        let dec = Int::from_dec(
-            "3450873173395281893717377931138512760570940988862252126328087024741343",
-        )
-        .unwrap();
+        let dec =
+            Int::from_dec("3450873173395281893717377931138512760570940988862252126328087024741343")
+                .unwrap();
         assert_eq!(n, dec);
     }
 
@@ -517,10 +516,7 @@ mod tests {
         // Infinity.
         let inf = Affine::Infinity.to_compressed_bytes();
         assert_eq!(inf, [0u8; 31]);
-        assert_eq!(
-            Affine::from_compressed_bytes(&inf),
-            Ok(Affine::Infinity)
-        );
+        assert_eq!(Affine::from_compressed_bytes(&inf), Ok(Affine::Infinity));
     }
 
     #[test]
@@ -537,9 +533,7 @@ mod tests {
         let mut rejected = false;
         for v in 1u8..60 {
             probe[30] = v;
-            if Affine::from_compressed_bytes(&probe)
-                == Err(DecompressError::NotOnCurve)
-            {
+            if Affine::from_compressed_bytes(&probe) == Err(DecompressError::NotOnCurve) {
                 rejected = true;
                 break;
             }
@@ -630,7 +624,10 @@ mod tests {
         let p = Affine::new(Fe::ONE, Fe::ONE).expect("on curve");
         assert_eq!(p.halve(), None);
         // Sanity: it is an order-4-ish point: 2·(1,1) = (0,1).
-        assert_eq!(p.double(), Affine::new(Fe::ZERO, Fe::ONE).expect("on curve"));
+        assert_eq!(
+            p.double(),
+            Affine::new(Fe::ZERO, Fe::ONE).expect("on curve")
+        );
     }
 
     #[test]

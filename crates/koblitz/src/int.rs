@@ -124,7 +124,10 @@ impl Int {
             Some(rest) => (true, rest),
             None => (false, s),
         };
-        let s = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")).unwrap_or(s);
+        let s = s
+            .strip_prefix("0x")
+            .or_else(|| s.strip_prefix("0X"))
+            .unwrap_or(s);
         if s.is_empty() {
             return Err(ParseIntError::Empty);
         }
@@ -175,7 +178,10 @@ impl Int {
     /// Panics if the value is negative or needs more than `len` bytes.
     pub fn to_be_bytes_padded(&self, len: usize) -> Vec<u8> {
         assert!(!self.neg, "byte encoding is for non-negative values");
-        assert!(self.bits().div_ceil(8) <= len, "value needs more than {len} bytes");
+        assert!(
+            self.bits().div_ceil(8) <= len,
+            "value needs more than {len} bytes"
+        );
         let mut out = vec![0u8; len];
         for (i, byte) in out.iter_mut().rev().enumerate() {
             let limb = self.mag.get(i / 4).copied().unwrap_or(0);
@@ -492,9 +498,7 @@ impl std::ops::Add for &Int {
         } else {
             match Int::cmp_mag(&self.mag, &rhs.mag) {
                 Ordering::Equal => Int::zero(),
-                Ordering::Greater => {
-                    Int::from_limbs(self.neg, Int::sub_mag(&self.mag, &rhs.mag))
-                }
+                Ordering::Greater => Int::from_limbs(self.neg, Int::sub_mag(&self.mag, &rhs.mag)),
                 Ordering::Less => Int::from_limbs(rhs.neg, Int::sub_mag(&rhs.mag, &self.mag)),
             }
         }
@@ -569,8 +573,8 @@ mod tests {
 
     #[test]
     fn hex_and_dec_roundtrip() {
-        let v = Int::from_hex("8000000000000000000000000000069d5bb915bcd46efb1ad5f173abdf")
-            .unwrap();
+        let v =
+            Int::from_hex("8000000000000000000000000000069d5bb915bcd46efb1ad5f173abdf").unwrap();
         assert_eq!(
             v.to_hex(),
             "8000000000000000000000000000069d5bb915bcd46efb1ad5f173abdf"
@@ -691,7 +695,10 @@ mod tests {
         assert!(!int(8).is_odd());
         assert!(!Int::zero().is_odd());
         assert_eq!(int(-42).to_i64(), -42);
-        assert_eq!(Int::from_hex("7fffffffffffffff").unwrap().to_i64(), i64::MAX);
+        assert_eq!(
+            Int::from_hex("7fffffffffffffff").unwrap().to_i64(),
+            i64::MAX
+        );
     }
 
     #[test]
@@ -712,6 +719,9 @@ mod tests {
     #[test]
     fn from_be_bytes_matches_hex() {
         let bytes = [0x01u8, 0x02, 0x03, 0x04];
-        assert_eq!(Int::from_be_bytes(&bytes), Int::from_hex("1020304").unwrap());
+        assert_eq!(
+            Int::from_be_bytes(&bytes),
+            Int::from_hex("1020304").unwrap()
+        );
     }
 }

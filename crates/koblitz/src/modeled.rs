@@ -24,7 +24,7 @@ use crate::mul::{KG_WINDOW, KP_WINDOW};
 use crate::tnaf;
 use gf2m::modeled::{FeSlot, ModeledField, Tier};
 use gf2m::Fe;
-use m0plus::{Category, Cond, Reg, RunReport};
+use m0plus::{Backend, Category, Cond, Reg, RunReport};
 
 /// A López-Dahab projective point held in machine RAM.
 #[derive(Debug, Clone, Copy)]
@@ -68,6 +68,16 @@ impl ModeledMul {
     /// Creates a modeled multiplier on the given implementation tier.
     pub fn new(tier: Tier) -> Self {
         Self::with_field(ModeledField::with_ram(tier, 64 * 1024))
+    }
+
+    /// Creates a modeled multiplier on the given tier and execution
+    /// backend. Under [`Backend::Code`] every charged kernel — field
+    /// arithmetic, bignum recoding passes, digit dispatch, ladder
+    /// swaps — is assembled to Thumb-16 and replayed from machine code.
+    pub fn with_backend(tier: Tier, backend: Backend) -> Self {
+        let mut f = ModeledField::with_ram(tier, 64 * 1024);
+        f.set_backend(backend);
+        Self::with_field(f)
     }
 
     /// Creates a modeled multiplier with a custom energy model (energy
@@ -129,20 +139,21 @@ impl ModeledMul {
     /// a called helper): the building block of the recoding loop.
     fn charge_bn_pass(&mut self, per_word: u32) {
         let s = self.bn_scratch;
-        let m = self.f.machine_mut();
-        m.bl();
-        m.set_base(Reg::R0, s.0);
-        for i in 0..16u32 {
-            m.ldr(Reg::R4, Reg::R0, i % 8);
-            for _ in 0..per_word.saturating_sub(5) {
-                m.lsrs_imm(Reg::R5, Reg::R4, 1);
+        self.f.run_kernel("bn_pass", |m| {
+            m.bl();
+            m.set_base(Reg::R0, s.0);
+            for i in 0..16u32 {
+                m.ldr(Reg::R4, Reg::R0, i % 8);
+                for _ in 0..per_word.saturating_sub(5) {
+                    m.lsrs_imm(Reg::R5, Reg::R4, 1);
+                }
+                m.str(Reg::R4, Reg::R0, i % 8);
+                m.adds_imm(Reg::R6, 1);
+                m.cmp_imm(Reg::R6, 16);
+                m.b_cond(Cond::Ne);
             }
-            m.str(Reg::R4, Reg::R0, i % 8);
-            m.adds_imm(Reg::R6, 1);
-            m.cmp_imm(Reg::R6, 16);
-            m.b_cond(Cond::Ne);
-        }
-        m.bx();
+            m.bx();
+        });
     }
 
     /// Charges an `a_words × b_words` limb schoolbook multi-precision
@@ -150,33 +161,34 @@ impl ModeledMul {
     /// plus recombination per limb product).
     fn charge_bn_mul(&mut self, a_words: u32, b_words: u32) {
         let s = self.bn_scratch;
-        let m = self.f.machine_mut();
-        m.bl();
-        m.set_base(Reg::R0, s.0);
-        for i in 0..a_words {
-            m.ldr(Reg::R4, Reg::R0, i % 8);
-            for _ in 0..b_words {
-                m.uxth(Reg::R5, Reg::R4);
-                m.lsrs_imm(Reg::R6, Reg::R4, 16);
-                m.muls(Reg::R5, Reg::R5);
-                m.muls(Reg::R6, Reg::R6);
-                m.uxth(Reg::R7, Reg::R4);
-                m.muls(Reg::R7, Reg::R4);
-                m.lsrs_imm(Reg::R3, Reg::R4, 16);
-                m.muls(Reg::R3, Reg::R4);
-                m.lsls_imm(Reg::R7, Reg::R7, 16);
-                m.adds(Reg::R5, Reg::R5, Reg::R7);
-                m.adcs(Reg::R6, Reg::R3);
-                m.ldr(Reg::R7, Reg::R0, (i + 1) % 8);
-                m.adds(Reg::R7, Reg::R7, Reg::R5);
-                m.str(Reg::R7, Reg::R0, (i + 1) % 8);
-                m.adcs(Reg::R6, Reg::R6);
+        self.f.run_kernel("bn_mul", |m| {
+            m.bl();
+            m.set_base(Reg::R0, s.0);
+            for i in 0..a_words {
+                m.ldr(Reg::R4, Reg::R0, i % 8);
+                for _ in 0..b_words {
+                    m.uxth(Reg::R5, Reg::R4);
+                    m.lsrs_imm(Reg::R6, Reg::R4, 16);
+                    m.muls(Reg::R5, Reg::R5);
+                    m.muls(Reg::R6, Reg::R6);
+                    m.uxth(Reg::R7, Reg::R4);
+                    m.muls(Reg::R7, Reg::R4);
+                    m.lsrs_imm(Reg::R3, Reg::R4, 16);
+                    m.muls(Reg::R3, Reg::R4);
+                    m.lsls_imm(Reg::R7, Reg::R7, 16);
+                    m.adds(Reg::R5, Reg::R5, Reg::R7);
+                    m.adcs(Reg::R6, Reg::R3);
+                    m.ldr(Reg::R7, Reg::R0, (i + 1) % 8);
+                    m.adds(Reg::R7, Reg::R7, Reg::R5);
+                    m.str(Reg::R7, Reg::R0, (i + 1) % 8);
+                    m.adcs(Reg::R6, Reg::R6);
+                }
+                m.adds_imm(Reg::R2, 1);
+                m.cmp_imm(Reg::R2, 8);
+                m.b_cond(Cond::Ne);
             }
-            m.adds_imm(Reg::R2, 1);
-            m.cmp_imm(Reg::R2, 8);
-            m.b_cond(Cond::Ne);
-        }
-        m.bx();
+            m.bx();
+        });
     }
 
     /// Computes the width-w TNAF of `k` portably while charging the
@@ -207,13 +219,12 @@ impl ModeledMul {
         self.charge_bn_pass(7);
         // Digit loop.
         for &d in &digits {
-            {
-                let m = self.f.machine_mut();
+            self.f.run_kernel("tnaf_digit_parity", |m| {
                 m.ldr(Reg::R4, Reg::R0, 0);
                 m.movs_imm(Reg::R5, 1);
                 m.ands(Reg::R4, Reg::R5);
                 m.b_cond(Cond::Ne);
-            }
+            });
             if d != 0 {
                 // u = (r0 + r1·t_w) mods 2^w, then subtract the
                 // representative from both components.
@@ -327,12 +338,13 @@ impl ModeledMul {
     /// Per-digit dispatch overhead (digit fetch, compare, branch),
     /// charged to *Support*.
     fn charge_digit_dispatch(&mut self) {
-        let m = self.f.machine_mut();
-        m.in_category(Category::Support, |m| {
-            m.ldr(Reg::R4, Reg::R0, 0);
-            m.cmp_imm(Reg::R4, 0);
-            m.b_cond(Cond::Ne);
-            m.b_cond(Cond::Mi);
+        self.f.run_kernel("digit_dispatch", |m| {
+            m.in_category(Category::Support, |m| {
+                m.ldr(Reg::R4, Reg::R0, 0);
+                m.cmp_imm(Reg::R4, 0);
+                m.b_cond(Cond::Ne);
+                m.b_cond(Cond::Mi);
+            });
         });
     }
 
@@ -439,7 +451,8 @@ impl ModeledMul {
             running = Some(slot);
         }
         let inv_slot = self.f.alloc();
-        self.f.inv(inv_slot, *prods.last().expect("table is non-empty"));
+        self.f
+            .inv(inv_slot, *prods.last().expect("table is non-empty"));
         let scratch = self.tmp[9];
         for idx in (0..pending.len()).rev() {
             let (i, pt) = pending[idx];
@@ -531,7 +544,10 @@ impl ModeledMul {
         let result = self.main_loop(&digits);
         let report = self.f.machine().report_since(&snap);
         let expect = crate::mul::mul_wtnaf(p, k, w);
-        assert_eq!(result, expect, "modeled multiplication diverged from portable");
+        assert_eq!(
+            result, expect,
+            "modeled multiplication diverged from portable"
+        );
         PointMulRun { result, report }
     }
 
@@ -601,8 +617,7 @@ impl ModeledMul {
                 (x2, z2, x1, z1)
             };
             // Charge the constant-time conditional swap (4 masked moves).
-            {
-                let m = self.f.machine_mut();
+            self.f.run_kernel("ladder_cswap", |m| {
                 m.in_category(m0plus::Category::Support, |m| {
                     for _ in 0..4 {
                         m.eors(Reg::R4, Reg::R5);
@@ -610,7 +625,7 @@ impl ModeledMul {
                         m.eors(Reg::R5, Reg::R4);
                     }
                 });
-            }
+            });
             // madd(ax,az, dx,dz; xp):
             self.f.mul(t1, ax, dz); // T = X1·Z2
             self.f.mul(t2, dx, az); // U = X2·Z1
@@ -619,7 +634,7 @@ impl ModeledMul {
             self.f.mul(t3, t1, t2); // T·U
             self.f.mul(t1, xp, az); // x·Z'
             self.f.add(ax, t1, t3); // X' = x·Z' + T·U
-            // mdouble(dx,dz):
+                                    // mdouble(dx,dz):
             self.f.sqr(t1, dx); // X²
             self.f.sqr(t2, dz); // Z²
             self.f.mul(dz, t1, t2); // Z' = X²Z²
@@ -687,9 +702,9 @@ fn recover_y(p: &Affine, x1: Fe, z1: Fe, x2: Fe, z2: Fe) -> Affine {
     }
     let x1a = x1 * z1.invert().expect("z1 != 0");
     let x2a = x2 * z2.invert().expect("z2 != 0");
-    let y = (x1a + xp) * ((x1a + xp) * (x2a + xp) + xp.square() + yp)
-        * xp.invert().expect("x != 0")
-        + yp;
+    let y =
+        (x1a + xp) * ((x1a + xp) * (x2a + xp) + xp.square() + yp) * xp.invert().expect("x != 0")
+            + yp;
     Affine::Point { x: x1a, y }
 }
 
@@ -700,7 +715,9 @@ mod tests {
 
     fn scalar(seed: u64) -> Int {
         let hex = format!("{:016x}", seed.wrapping_mul(0xA24B_AED4_963E_E407));
-        Int::from_hex(&hex.repeat(4)).unwrap().mod_positive(&order())
+        Int::from_hex(&hex.repeat(4))
+            .unwrap()
+            .mod_positive(&order())
     }
 
     #[test]
@@ -753,10 +770,7 @@ mod tests {
         let mut mm = ModeledMul::new(Tier::Asm);
         let run = mm.kp(&generator(), &scalar(5));
         for c in Category::ALL {
-            assert!(
-                run.report.category_cycles(c) > 0,
-                "{c} should have cycles"
-            );
+            assert!(run.report.category_cycles(c) > 0, "{c} should have cycles");
         }
         // Multiply dominates, as in Table 7.
         assert!(
@@ -804,6 +818,54 @@ mod tests {
         let kp = mm.kp(&g, &scalar(33));
         assert!(cycles[0] > kp.report.cycles);
         assert!(cycles[0] < 3 * kp.report.cycles);
+    }
+
+    #[test]
+    fn code_backend_full_kp_matches_direct_bit_for_bit() {
+        // The tentpole acceptance check: a complete kP — recoding,
+        // online window table, main loop, final conversion — executes
+        // from assembled Thumb-16 machine code with *exactly* the
+        // cycle, energy and per-category totals of the direct tier.
+        let g = generator();
+        let k = scalar(9);
+        let mut direct = ModeledMul::new(Tier::Asm);
+        let run_d = direct.kp(&g, &k);
+        let mut code = ModeledMul::with_backend(Tier::Asm, Backend::Code);
+        let run_c = code.kp(&g, &k);
+        assert_eq!(run_c.result, run_d.result, "points diverge");
+        assert_eq!(run_c.report.cycles, run_d.report.cycles, "cycles diverge");
+        assert_eq!(
+            run_c.report.energy_pj.to_bits(),
+            run_d.report.energy_pj.to_bits(),
+            "energy diverges"
+        );
+        for c in Category::ALL {
+            assert_eq!(
+                run_c.report.category_cycles(c),
+                run_d.report.category_cycles(c),
+                "{c} cycles diverge"
+            );
+        }
+        // The code backend also measured per-kernel flash footprints.
+        let flash = code.field().flash_report();
+        for kernel in ["mul_asm", "sqr_asm", "inv_eea_c", "bn_mul", "bn_pass"] {
+            assert!(
+                flash.contains_key(kernel),
+                "{kernel} missing from flash report"
+            );
+        }
+        assert!(direct.field().flash_report().is_empty());
+    }
+
+    #[test]
+    fn code_backend_kg_matches_direct_cycles() {
+        let k = scalar(10);
+        let mut direct = ModeledMul::new(Tier::C);
+        let run_d = direct.kg(&k);
+        let mut code = ModeledMul::with_backend(Tier::C, Backend::Code);
+        let run_c = code.kg(&k);
+        assert_eq!(run_c.result, run_d.result);
+        assert_eq!(run_c.report.cycles, run_d.report.cycles);
     }
 
     #[test]

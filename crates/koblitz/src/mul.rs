@@ -248,9 +248,9 @@ pub fn montgomery_ladder(p: &Affine, k: &Int) -> Affine {
     }
     let x1a = x1 * z1.invert().expect("z1 != 0");
     let x2a = x2 * z2.invert().expect("z2 != 0");
-    let t = (x1a + xp) * ((x1a + xp) * (x2a + xp) + xp.square() + yp)
-        * xp.invert().expect("x != 0")
-        + yp;
+    let t =
+        (x1a + xp) * ((x1a + xp) * (x2a + xp) + xp.square() + yp) * xp.invert().expect("x != 0")
+            + yp;
     Affine::Point { x: x1a, y: t }
 }
 
@@ -260,7 +260,9 @@ mod tests {
 
     fn scalar(seed: u64) -> Int {
         let hex = format!("{:016x}", seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-        Int::from_hex(&hex.repeat(4)).unwrap().mod_positive(&order())
+        Int::from_hex(&hex.repeat(4))
+            .unwrap()
+            .mod_positive(&order())
     }
 
     #[test]
@@ -402,8 +404,7 @@ mod tests {
         let u1 = Int::from(5i64);
         let g5 = mul_g(&u1);
         let neg_scalar = (&order() - &u1).mod_positive(&order());
-        assert!(double_multiply(&u1, &neg_scalar, &generator())
-            .is_infinity());
+        assert!(double_multiply(&u1, &neg_scalar, &generator()).is_infinity());
         let _ = g5;
     }
 

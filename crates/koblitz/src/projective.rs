@@ -75,7 +75,11 @@ impl LdPoint {
         let y1sq = self.y.square();
         // Y3 = b·Z1⁴·Z3 + X3·(a·Z3 + Y1² + b·Z1⁴), a = 0.
         let y3 = bz4 * z3 + x3 * (y1sq + bz4);
-        LdPoint { x: x3, y: y3, z: z3 }
+        LdPoint {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
     }
 
     /// Mixed addition: `self` (LD) + `other` (affine), a = 0
@@ -112,7 +116,11 @@ impl LdPoint {
         let f = x3 + x2 * z3;
         let g = (x2 + y2) * z3.square();
         let y3 = (e + z3) * f + g;
-        LdPoint { x: x3, y: y3, z: z3 }
+        LdPoint {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
     }
 
     /// The Frobenius endomorphism in LD coordinates:
@@ -192,10 +200,7 @@ mod tests {
         assert!(gp.add_affine(&g.negated()).is_infinity());
         // P + O and O + P.
         assert_eq!(gp.add_affine(&Affine::Infinity).to_affine(), g);
-        assert_eq!(
-            LdPoint::INFINITY.add_affine(&g).to_affine(),
-            g
-        );
+        assert_eq!(LdPoint::INFINITY.add_affine(&g).to_affine(), g);
     }
 
     #[test]

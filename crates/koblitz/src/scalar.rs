@@ -113,7 +113,10 @@ mod tests {
     fn canonical_range() {
         assert_eq!(Scalar::new(order()), Scalar::zero());
         assert_eq!(Scalar::new(&order() + &Int::one()), Scalar::one());
-        assert_eq!(Scalar::new(Int::from(-1i64)), Scalar::new(&order() - &Int::one()));
+        assert_eq!(
+            Scalar::new(Int::from(-1i64)),
+            Scalar::new(&order() - &Int::one())
+        );
     }
 
     #[test]

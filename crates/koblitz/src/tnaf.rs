@@ -92,7 +92,13 @@ pub fn constants() -> &'static TauConstants {
         let s0 = if MU == -1 { &d0 - &d1 } else { &d0 + &d1 };
         let s1 = d1.negated();
         let norm = zt_norm(&d0, &d1);
-        TauConstants { d0, d1, s0, s1, norm }
+        TauConstants {
+            d0,
+            d1,
+            s0,
+            s1,
+            norm,
+        }
     })
 }
 
@@ -168,7 +174,11 @@ pub fn tnaf(mut r0: Int, mut r1: Int) -> Vec<i8> {
         digits.push(u);
         // (r0, r1) ← (r1 + μ·r0/2, −r0/2).
         let half = r0.half_exact();
-        let signed_half = if MU == -1 { half.negated() } else { half.clone() };
+        let signed_half = if MU == -1 {
+            half.negated()
+        } else {
+            half.clone()
+        };
         r0 = &r1 + &signed_half;
         r1 = half.negated();
     }
@@ -256,7 +266,11 @@ pub fn wtnaf(mut r0: Int, mut r1: Int, w: u32) -> Vec<i8> {
         };
         digits.push(u);
         let half = r0.half_exact();
-        let signed_half = if MU == -1 { half.negated() } else { half.clone() };
+        let signed_half = if MU == -1 {
+            half.negated()
+        } else {
+            half.clone()
+        };
         r0 = &r1 + &signed_half;
         r1 = half.negated();
     }
@@ -438,11 +452,7 @@ mod tests {
             &order() - &Int::one(),
         ] {
             let (r0, r1) = partmod(&k);
-            assert_eq!(
-                apply_zt(&r0, &r1, &g),
-                g.mul_binary(&k),
-                "k = {k}"
-            );
+            assert_eq!(apply_zt(&r0, &r1, &g), g.mul_binary(&k), "k = {k}");
         }
     }
 
@@ -470,7 +480,11 @@ mod tests {
             let k = k.mod_positive(&order());
             for w in [1u32, 4, 6] {
                 let digits = recode(&k, w);
-                assert_eq!(eval_digits(&digits, &g, w), g.mul_binary(&k), "seed {seed} w={w}");
+                assert_eq!(
+                    eval_digits(&digits, &g, w),
+                    g.mul_binary(&k),
+                    "seed {seed} w={w}"
+                );
                 assert!(digits.len() <= crate::curve_m() + 6);
             }
         }
@@ -479,7 +493,9 @@ mod tests {
     #[test]
     fn recode_density_matches_theory() {
         // Expected non-zero density of a width-w TNAF is 1/(w+1).
-        let k = Int::from_hex(&"a5".repeat(29)).unwrap().mod_positive(&order());
+        let k = Int::from_hex(&"a5".repeat(29))
+            .unwrap()
+            .mod_positive(&order());
         for w in [4u32, 6] {
             let digits = recode(&k, w);
             let nz = digits.iter().filter(|&&d| d != 0).count() as f64;

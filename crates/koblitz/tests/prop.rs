@@ -1,15 +1,27 @@
-//! Property tests over the koblitz internals: the ℤ[τ] machinery with
-//! arbitrary (including negative) inputs, bignum laws, and projective
-//! versus affine group-law agreement.
+//! Randomised-input tests over the koblitz internals: the ℤ[τ]
+//! machinery with arbitrary (including negative) inputs, bignum laws,
+//! and projective versus affine group-law agreement.
+//!
+//! Inputs are drawn from the in-tree deterministic PRNG (fixed seeds,
+//! reproducible offline) — plain `#[test]` loops standing in for the
+//! former proptest strategies.
 
 use koblitz::curve::{generator, Affine};
 use koblitz::projective::LdPoint;
 use koblitz::{tnaf, Int};
-use proptest::prelude::*;
+use prng::SplitMix64;
 
-fn arb_int(limbs: usize) -> impl Strategy<Value = Int> {
-    (proptest::collection::vec(any::<u32>(), 1..=limbs), any::<bool>())
-        .prop_map(|(mag, neg)| Int::from_limbs(neg, mag))
+/// An arbitrary signed integer of 1..=`limbs` random limbs.
+fn int(rng: &mut SplitMix64, limbs: u64) -> Int {
+    let n = rng.below(limbs) + 1;
+    let mag: Vec<u32> = (0..n).map(|_| rng.next_u32()).collect();
+    let neg = rng.below(2) == 1;
+    Int::from_limbs(neg, mag)
+}
+
+/// A signed value in `-bound..bound`.
+fn small(rng: &mut SplitMix64, bound: i64) -> Int {
+    Int::from(rng.below(2 * bound as u64) as i64 - bound)
 }
 
 fn apply_zt(r0: &Int, r1: &Int, p: &Affine) -> Affine {
@@ -24,56 +36,74 @@ fn apply_zt(r0: &Int, r1: &Int, p: &Affine) -> Affine {
     part(r0, p).add(&part(r1, &p.frobenius()))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn int_ring_laws(a in arb_int(6), b in arb_int(6), c in arb_int(6)) {
-        prop_assert_eq!(&a + &b, &b + &a);
-        prop_assert_eq!(&a * &b, &b * &a);
-        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
-        prop_assert_eq!(&(&a * &b) * &c, &a * &(&b * &c));
-        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
-        prop_assert_eq!(&a - &a, Int::zero());
+#[test]
+fn int_ring_laws() {
+    let mut rng = SplitMix64::new(0x0b17_0001);
+    for case in 0..64 {
+        let (a, b, c) = (int(&mut rng, 6), int(&mut rng, 6), int(&mut rng, 6));
+        assert_eq!(&a + &b, &b + &a, "case {case}");
+        assert_eq!(&a * &b, &b * &a, "case {case}");
+        assert_eq!(&(&a + &b) + &c, &a + &(&b + &c), "case {case}");
+        assert_eq!(&(&a * &b) * &c, &a * &(&b * &c), "case {case}");
+        assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c), "case {case}");
+        assert_eq!(&a - &a, Int::zero(), "case {case}");
     }
+}
 
-    #[test]
-    fn int_divrem_round_bounds(a in arb_int(8), d in arb_int(5)) {
-        prop_assume!(!d.is_zero());
+#[test]
+fn int_divrem_round_bounds() {
+    let mut rng = SplitMix64::new(0x0b17_0002);
+    let mut cases = 0;
+    while cases < 64 {
+        let a = int(&mut rng, 8);
+        let d = int(&mut rng, 5);
+        if d.is_zero() {
+            continue;
+        }
+        cases += 1;
         let (q, r) = a.divrem_round(&d);
-        prop_assert_eq!(&(&q * &d) + &r, a);
+        assert_eq!(&(&q * &d) + &r, a);
         // |r| ≤ |d|/2 (with the half-open convention at the boundary).
         let two_r = r.abs().shl(1);
         let bound = &d.abs() + &Int::one();
-        prop_assert!(two_r <= bound, "2|r| = {} vs |d|+1 = {}", two_r, bound);
+        assert!(two_r <= bound, "2|r| = {two_r} vs |d|+1 = {bound}");
     }
+}
 
-    #[test]
-    fn zt_norm_is_multiplicative(a0 in -1000i64..1000, a1 in -1000i64..1000,
-                                 b0 in -1000i64..1000, b1 in -1000i64..1000) {
-        let (a0, a1) = (Int::from(a0), Int::from(a1));
-        let (b0, b1) = (Int::from(b0), Int::from(b1));
+#[test]
+fn zt_norm_is_multiplicative() {
+    let mut rng = SplitMix64::new(0x0b17_0003);
+    for case in 0..64 {
+        let (a0, a1) = (small(&mut rng, 1000), small(&mut rng, 1000));
+        let (b0, b1) = (small(&mut rng, 1000), small(&mut rng, 1000));
         let (c0, c1) = tnaf::zt_mul(&a0, &a1, &b0, &b1);
-        prop_assert_eq!(
+        assert_eq!(
             tnaf::zt_norm(&c0, &c1),
-            &tnaf::zt_norm(&a0, &a1) * &tnaf::zt_norm(&b0, &b1)
+            &tnaf::zt_norm(&a0, &a1) * &tnaf::zt_norm(&b0, &b1),
+            "case {case}"
         );
     }
+}
 
-    #[test]
-    fn wtnaf_digit_constraints_hold_for_arbitrary_zt_elements(
-        r0 in arb_int(3), r1 in arb_int(3), w in 3u32..=6
-    ) {
+#[test]
+fn wtnaf_digit_constraints_hold_for_arbitrary_zt_elements() {
+    let mut rng = SplitMix64::new(0x0b17_0004);
+    for case in 0..64 {
+        let (r0, r1) = (int(&mut rng, 3), int(&mut rng, 3));
+        let w = 3 + rng.below(4) as u32; // 3..=6
         let digits = tnaf::wtnaf(r0, r1, w);
         let bound = 1i16 << (w - 1);
         for &d in &digits {
-            prop_assert!(d == 0 || (d % 2 != 0 && (d as i16).abs() < bound));
+            assert!(
+                d == 0 || (d % 2 != 0 && (d as i16).abs() < bound),
+                "case {case}"
+            );
         }
         let mut last: Option<usize> = None;
         for (i, &d) in digits.iter().enumerate() {
             if d != 0 {
                 if let Some(prev) = last {
-                    prop_assert!(i - prev >= w as usize, "spacing violation at {i}");
+                    assert!(i - prev >= w as usize, "spacing violation at {i}");
                 }
                 last = Some(i);
             }
@@ -81,16 +111,14 @@ proptest! {
     }
 }
 
-proptest! {
-    // Group-law cases run field inversions; keep the case count small.
-    #![proptest_config(ProptestConfig::with_cases(10))]
+// Group-law cases run field inversions; keep the case count small.
 
-    #[test]
-    fn tnaf_of_small_zt_elements_evaluates_correctly(
-        r0 in -2000i64..2000, r1 in -2000i64..2000
-    ) {
-        let g = generator();
-        let (r0, r1) = (Int::from(r0), Int::from(r1));
+#[test]
+fn tnaf_of_small_zt_elements_evaluates_correctly() {
+    let mut rng = SplitMix64::new(0x0b17_0005);
+    let g = generator();
+    for case in 0..10 {
+        let (r0, r1) = (small(&mut rng, 2000), small(&mut rng, 2000));
         let want = apply_zt(&r0, &r1, &g);
         let digits = tnaf::tnaf(r0, r1);
         let mut acc = Affine::Infinity;
@@ -102,36 +130,49 @@ proptest! {
                 acc = acc.add(&g.negated());
             }
         }
-        prop_assert_eq!(acc, want);
+        assert_eq!(acc, want, "case {case}");
     }
+}
 
-    #[test]
-    fn projective_chain_matches_affine_chain(ops in proptest::collection::vec(any::<bool>(), 1..12)) {
-        // A random walk of doublings and additions executed in both
-        // coordinate systems must land on the same point.
-        let g = generator();
-        let q = g.mul_binary(&Int::from(3i64));
+#[test]
+fn projective_chain_matches_affine_chain() {
+    // A random walk of doublings and additions executed in both
+    // coordinate systems must land on the same point.
+    let mut rng = SplitMix64::new(0x0b17_0006);
+    let g = generator();
+    let q = g.mul_binary(&Int::from(3i64));
+    for case in 0..10 {
+        let len = 1 + rng.below(11) as usize;
         let mut ld = LdPoint::from_affine(&g);
         let mut affine = g;
-        for &double in &ops {
-            if double {
+        for step in 0..len {
+            if rng.below(2) == 1 {
                 ld = ld.double();
                 affine = affine.double();
             } else {
                 ld = ld.add_affine(&q);
                 affine = affine.add(&q);
             }
-            prop_assert_eq!(ld.to_affine(), affine);
+            assert_eq!(ld.to_affine(), affine, "case {case} step {step}");
         }
     }
+}
 
-    #[test]
-    fn partmod_output_is_always_short(k_limbs in proptest::collection::vec(any::<u32>(), 1..8)) {
-        let k = Int::from_limbs(false, k_limbs).mod_positive(&koblitz::order());
+#[test]
+fn partmod_output_is_always_short() {
+    let mut rng = SplitMix64::new(0x0b17_0007);
+    for case in 0..10 {
+        let n = 1 + rng.below(7);
+        let limbs: Vec<u32> = (0..n).map(|_| rng.next_u32()).collect();
+        let k = Int::from_limbs(false, limbs).mod_positive(&koblitz::order());
         let (r0, r1) = tnaf::partmod(&k);
-        prop_assert!(r0.bits() <= 121, "r0 bits {}", r0.bits());
-        prop_assert!(r1.bits() <= 121, "r1 bits {}", r1.bits());
+        assert!(r0.bits() <= 121, "r0 bits {} (case {case})", r0.bits());
+        assert!(r1.bits() <= 121, "r1 bits {} (case {case})", r1.bits());
         let digits = tnaf::tnaf(r0, r1);
-        prop_assert!(digits.len() <= koblitz::curve_m() + 6, "length {}", digits.len());
+        assert!(
+            digits.len() <= koblitz::curve_m() + 6,
+            "length {} (case {case})",
+            digits.len()
+        );
     }
 }

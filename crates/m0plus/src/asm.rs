@@ -290,9 +290,15 @@ mod tests {
     #[test]
     fn forward_and_backward_branches_resolve() {
         let mut a = Assembler::new();
-        a.push(Instr::MovsImm { rd: Reg::R0, imm: 3 });
+        a.push(Instr::MovsImm {
+            rd: Reg::R0,
+            imm: 3,
+        });
         a.label("loop");
-        a.push(Instr::SubsImm8 { rdn: Reg::R0, imm: 1 });
+        a.push(Instr::SubsImm8 {
+            rdn: Reg::R0,
+            imm: 1,
+        });
         a.branch_if(Cond::Ne, "loop");
         a.branch("end");
         a.push(Instr::Nop); // skipped
@@ -319,7 +325,10 @@ mod tests {
         b.push(Instr::Nop);
         b.label("x");
         b.push(Instr::Nop);
-        assert_eq!(b.assemble().err(), Some(AsmError::DuplicateLabel("x".into())));
+        assert_eq!(
+            b.assemble().err(),
+            Some(AsmError::DuplicateLabel("x".into()))
+        );
     }
 
     #[test]

@@ -1,0 +1,350 @@
+//! The execution-backend abstraction unifying the two ways a modeled
+//! kernel can run:
+//!
+//! * [`Backend::Direct`] — today's call-per-instruction costed machine:
+//!   the kernel's Rust driver calls one [`Machine`] method per Thumb
+//!   instruction and the machine charges as it goes.
+//! * [`Backend::Code`] — the kernel is first *recorded* (see
+//!   [`Machine::start_recording`]), the captured trace is assembled into
+//!   real Thumb-16 halfwords with [`crate::asm`], and the machine code
+//!   is then re-executed through [`crate::exec`] with identical
+//!   cost/energy/category accounting. Every published cycle count
+//!   becomes reproducible from the exact halfwords a Cortex-M0+ would
+//!   fetch, and any divergence between the two substrates is a hard
+//!   panic instead of a latent modeling bug.
+//!
+//! # How a recorded trace becomes a program
+//!
+//! The kernels drive control flow from the host, so a recording is the
+//! *linearised* instruction stream: a loop that ran five times appears
+//! five times. Every control-flow instruction in the trace therefore
+//! transfers to the instruction right after it:
+//!
+//! * `B<cond>` → `branch_if` to a label on the next instruction (taken
+//!   and fall-through paths coincide; the charged cost still depends on
+//!   the replayed flags, which match the recording bit-for-bit);
+//! * `B` → `branch` to the next instruction;
+//! * `BL` → `call` of the next instruction (the host return stack grows
+//!   harmlessly; kernel `BL`/`BX` pairs are cost markers, not balanced
+//!   calls);
+//! * `BX lr` → encoded as a `branch` to the next instruction, because a
+//!   real `BX` would pop a return address the linear trace never pushed.
+//!   `B` and `BX` share the cost class ([`InstrClass::BranchTaken`])
+//!   and the 2-byte footprint, so accounting is unchanged.
+//!
+//! Literal loads carry their pool values in the recording; un-costed
+//! host register writes ([`Machine::set_reg`] argument setup) are
+//! captured with their stream positions and reapplied by a replay hook,
+//! as is the per-instruction [`Category`] attribution.
+//!
+//! [`InstrClass::BranchTaken`]: crate::InstrClass::BranchTaken
+//! [`Category`]: crate::Category
+
+use crate::asm::{AsmError, Assembler, Program};
+use crate::exec;
+use crate::isa::Instr;
+use crate::machine::{Machine, Recording};
+
+/// Which execution substrate runs a modeled kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Backend {
+    /// Call-per-instruction costed machine methods (the historic tier).
+    #[default]
+    Direct,
+    /// Record → assemble to Thumb-16 → re-execute from the machine
+    /// code, asserting bit-for-bit agreement with the direct tier.
+    Code,
+}
+
+impl Backend {
+    /// Parses a CLI flag value (`"direct"` / `"code"`).
+    pub fn parse(s: &str) -> Option<Backend> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "direct" => Some(Backend::Direct),
+            "code" => Some(Backend::Code),
+            _ => None,
+        }
+    }
+
+    /// The flag spelling of this backend.
+    pub const fn label(self) -> &'static str {
+        match self {
+            Backend::Direct => "direct",
+            Backend::Code => "code",
+        }
+    }
+
+    /// Runs a kernel closure on `machine` through this backend.
+    ///
+    /// `Direct` simply calls the closure. `Code` records it on a shadow
+    /// machine, assembles the trace, replays the machine code on
+    /// `machine`, asserts full state equality against the shadow, and
+    /// returns the [`KernelRun`] describing the assembled code.
+    ///
+    /// # Panics
+    ///
+    /// Under `Code`, panics if the trace does not assemble, does not
+    /// replay, or replays to any different machine state (registers,
+    /// flags, memory, cycles, energy, instruction mix or category
+    /// totals).
+    pub fn run_kernel<T>(
+        self,
+        machine: &mut Machine,
+        name: &str,
+        f: impl FnOnce(&mut Machine) -> T,
+    ) -> (T, Option<KernelRun>) {
+        match self {
+            Backend::Direct => (f(machine), None),
+            Backend::Code => {
+                let (out, run) = run_recorded(machine, name, f);
+                (out, Some(run))
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// What the code backend learned from assembling and replaying one
+/// kernel call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KernelRun {
+    /// Flash footprint of the assembled fragment (code + literal pool),
+    /// in bytes.
+    pub flash_bytes: usize,
+    /// Instructions retired by the replay.
+    pub instructions: u64,
+    /// Cycles charged by the replay.
+    pub cycles: u64,
+}
+
+/// Assembles a [`Recording`] into an executable [`Program`] using the
+/// linear-trace translation described in the [module docs](self).
+///
+/// # Errors
+///
+/// Propagates assembler failures (cannot happen for traces produced by
+/// [`Machine::start_recording`]: all branch offsets are −1/0).
+pub fn translate(recording: &Recording) -> Result<Program, AsmError> {
+    let mut a = Assembler::new();
+    for (i, step) in recording.steps.iter().enumerate() {
+        let next = format!("L{i}");
+        match step.instr {
+            Instr::BCond { cond } => {
+                a.branch_if(cond, &next);
+                a.label(&next);
+            }
+            // A linear trace cannot pop a return address it never
+            // pushed, so BX lr is emitted as the cost-identical B.
+            Instr::B | Instr::Bx => {
+                a.branch(&next);
+                a.label(&next);
+            }
+            Instr::Bl => {
+                a.call(&next);
+                a.label(&next);
+            }
+            Instr::LdrLit { rt, .. } => {
+                let value = step
+                    .literal
+                    .expect("LdrLit recorded without its literal value");
+                a.load_literal(rt, value);
+            }
+            other => a.push(other),
+        }
+    }
+    a.assemble()
+}
+
+/// The code-backend pipeline for one kernel call: record the closure on
+/// a shadow clone of `machine`, assemble the trace to Thumb-16, replay
+/// the machine code on `machine` itself (reapplying per-step categories
+/// and positioned un-costed register writes through the fragment
+/// executor's hook), and assert that the replayed machine is
+/// bit-for-bit identical to the shadow.
+///
+/// Returns the closure's result (computed during recording — provably
+/// equal under the state assertion) and the [`KernelRun`].
+///
+/// # Panics
+///
+/// Panics (with `name` in the message) on assembly failure, replay
+/// failure, literal-pool overflow or any state divergence.
+pub fn run_recorded<T>(
+    machine: &mut Machine,
+    name: &str,
+    f: impl FnOnce(&mut Machine) -> T,
+) -> (T, KernelRun) {
+    let mut shadow = machine.clone();
+    shadow.start_recording();
+    let out = f(&mut shadow);
+    let recording = shadow.take_recording();
+
+    let program = translate(&recording)
+        .unwrap_or_else(|e| panic!("kernel {name}: trace does not assemble: {e}"));
+    assert!(
+        program.pool.len() <= 256,
+        "kernel {name}: literal pool ({} slots) overflows the imm8 index",
+        program.pool.len()
+    );
+
+    let saved_override = machine.category_override();
+    let steps = &recording.steps;
+    let writes = &recording.reg_writes;
+    let mut cursor = 0usize;
+    let stats = exec::execute_fragment(machine, &program, steps.len() as u64 + 1, |m, idx| {
+        while cursor < writes.len() && writes[cursor].at <= idx {
+            m.set_reg(writes[cursor].reg, writes[cursor].value);
+            cursor += 1;
+        }
+        m.set_category_override(Some(steps[idx].category));
+    })
+    .unwrap_or_else(|e| panic!("kernel {name}: machine-code replay failed: {e}"));
+    // Register writes recorded after the last costed instruction.
+    for w in &writes[cursor..] {
+        machine.set_reg(w.reg, w.value);
+    }
+    machine.set_category_override(saved_override);
+
+    assert_eq!(
+        stats.instructions,
+        steps.len() as u64,
+        "kernel {name}: replay retired a different instruction count"
+    );
+    machine.assert_same_state(&shadow, name);
+
+    (
+        out,
+        KernelRun {
+            flash_bytes: program.size_bytes(),
+            instructions: stats.instructions,
+            cycles: stats.cycles,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Category, Cond, Reg};
+
+    /// A representative kernel: literals, loops with both branch
+    /// outcomes, memory traffic, category scopes, a BL/BX cost-marker
+    /// pair, a nine-register stack transfer and mid-stream un-costed
+    /// argument setup.
+    fn kernel(m: &mut Machine, buf: crate::Addr) -> u32 {
+        m.in_category(Category::Multiply, |m| {
+            m.bl();
+            m.stack_transfer(8);
+            m.ldr_const(Reg::R0, buf.to_base_register_value());
+            m.ldr_const(Reg::R1, 0xA5A5_0001);
+            m.movs_imm(Reg::R2, 4);
+            loop {
+                m.str(Reg::R1, Reg::R0, 0);
+                m.ldr(Reg::R3, Reg::R0, 0);
+                m.eors(Reg::R1, Reg::R3);
+                m.adds_imm(Reg::R0, 1);
+                m.subs_imm(Reg::R2, 1);
+                if !m.b_cond(Cond::Ne) {
+                    break;
+                }
+            }
+        });
+        m.set_base(Reg::R4, buf); // mid-stream AAPCS-style setup
+        m.in_category(Category::Square, |m| {
+            m.ldr(Reg::R5, Reg::R4, 2);
+            m.stack_transfer(8);
+            m.bx();
+        });
+        m.reg(Reg::R5)
+    }
+
+    fn fresh() -> (Machine, crate::Addr) {
+        let mut m = Machine::new(64);
+        let buf = m.alloc(8);
+        m.write_slice(buf, &[9, 9, 9, 9, 9, 9, 9, 9]);
+        (m, buf)
+    }
+
+    #[test]
+    fn code_backend_matches_direct_exactly() {
+        let (mut direct, buf_d) = fresh();
+        let out_d = kernel(&mut direct, buf_d);
+
+        let (mut code, buf_c) = fresh();
+        let (out_c, run) = Backend::Code.run_kernel(&mut code, "test-kernel", |m| kernel(m, buf_c));
+        let run = run.expect("code backend reports a KernelRun");
+
+        assert_eq!(out_c, out_d);
+        code.assert_same_state(&direct, "code vs direct");
+        assert_eq!(run.cycles, direct.cycles());
+        assert!(run.flash_bytes > 0);
+        assert!(run.instructions > 10);
+    }
+
+    #[test]
+    fn direct_backend_reports_no_kernel_run() {
+        let (mut m, buf) = fresh();
+        let (_, run) = Backend::Direct.run_kernel(&mut m, "k", |m| kernel(m, buf));
+        assert!(run.is_none());
+    }
+
+    #[test]
+    fn translate_produces_decodable_code_with_a_pool() {
+        let (mut m, buf) = fresh();
+        m.start_recording();
+        kernel(&mut m, buf);
+        let rec = m.take_recording();
+        let p = translate(&rec).expect("assembles");
+        assert_eq!(p.pool.len(), 2, "two distinct literals");
+        // Every halfword decodes (the disassembler stops at the first
+        // failure, so a full-length walk proves decodability).
+        let listing = crate::isa::disassemble(&p.code);
+        assert!(!listing.contains("<undecodable>"), "{listing}");
+        assert_eq!(p.size_bytes(), 2 * p.code.len() + 4 * p.pool.len());
+    }
+
+    #[test]
+    fn empty_recording_replays_to_nothing() {
+        let mut m = Machine::new(16);
+        let before = m.cycles();
+        let (out, run) = Backend::Code.run_kernel(&mut m, "empty", |m| {
+            m.set_reg(Reg::R7, 42); // un-costed only
+            7u32
+        });
+        assert_eq!(out, 7);
+        assert_eq!(m.cycles(), before);
+        assert_eq!(m.reg(Reg::R7), 42, "trailing reg write reapplied");
+        assert_eq!(run.unwrap().instructions, 0);
+    }
+
+    #[test]
+    fn backend_parse_and_labels() {
+        assert_eq!(Backend::parse("code"), Some(Backend::Code));
+        assert_eq!(Backend::parse("DIRECT"), Some(Backend::Direct));
+        assert_eq!(Backend::parse("fast"), None);
+        assert_eq!(Backend::default(), Backend::Direct);
+        assert_eq!(format!("{}", Backend::Code), "code");
+    }
+
+    #[test]
+    fn category_attribution_survives_replay() {
+        let (mut direct, buf_d) = fresh();
+        kernel(&mut direct, buf_d);
+        let (mut code, buf_c) = fresh();
+        Backend::Code.run_kernel(&mut code, "cat", |m| kernel(m, buf_c));
+        for c in Category::ALL {
+            assert_eq!(
+                code.category_totals(c).cycles,
+                direct.category_totals(c).cycles,
+                "{c}"
+            );
+        }
+        assert!(code.category_totals(Category::Multiply).cycles > 0);
+        assert!(code.category_totals(Category::Square).cycles > 0);
+    }
+}

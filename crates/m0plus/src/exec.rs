@@ -84,10 +84,8 @@ pub fn execute(
         }
         let hw = program.code[pc];
         let window = &program.code[pc..(pc + 2).min(program.code.len())];
-        let (instr, width) = Instr::decode(window).ok_or(ExecError::InvalidInstruction {
-            pc,
-            halfword: hw,
-        })?;
+        let (instr, width) =
+            Instr::decode(window).ok_or(ExecError::InvalidInstruction { pc, halfword: hw })?;
         steps += 1;
 
         match instr {
@@ -121,10 +119,10 @@ pub fn execute(
             }
             Instr::LdrLit { rt, imm_words } => {
                 let slot = imm_words as usize;
-                let value = *program.pool.get(slot).ok_or(ExecError::BadLiteral {
-                    pc,
-                    slot,
-                })?;
+                let value = *program
+                    .pool
+                    .get(slot)
+                    .ok_or(ExecError::BadLiteral { pc, slot })?;
                 machine.ldr_const(rt, value);
                 pc += 1;
             }
@@ -139,6 +137,98 @@ pub fn execute(
         }
     }
 
+    Ok(ExecStats {
+        instructions: steps,
+        cycles: machine.cycles() - start_cycles,
+    })
+}
+
+/// Runs an assembled code *fragment* on `machine`, starting at the first
+/// halfword and completing when the program counter reaches the end of
+/// the code image (the normal exit for linearised kernel traces, which
+/// carry no outermost `BX lr`).
+///
+/// `hook` is called with the machine and the index of the instruction
+/// about to retire; the code backend uses it to reapply per-step
+/// category attribution and positioned un-costed register writes.
+///
+/// # Errors
+///
+/// Propagates decode, literal and runaway-loop failures; the machine
+/// state reflects everything executed up to the error.
+pub fn execute_fragment(
+    machine: &mut Machine,
+    program: &Program,
+    max_steps: u64,
+    mut hook: impl FnMut(&mut Machine, usize),
+) -> Result<ExecStats, ExecError> {
+    let mut pc = 0usize;
+    let mut call_stack: Vec<usize> = Vec::new();
+    let mut steps = 0u64;
+    let start_cycles = machine.cycles();
+
+    while pc < program.code.len() {
+        if steps >= max_steps {
+            return Err(ExecError::StepLimit);
+        }
+        let hw = program.code[pc];
+        let window = &program.code[pc..(pc + 2).min(program.code.len())];
+        let (instr, width) =
+            Instr::decode(window).ok_or(ExecError::InvalidInstruction { pc, halfword: hw })?;
+        hook(machine, steps as usize);
+        steps += 1;
+
+        match instr {
+            Instr::BCond { cond } => {
+                let taken = machine.b_cond(cond);
+                if taken {
+                    let rel = (hw & 0xFF) as i8 as i64;
+                    pc = (pc as i64 + 2 + rel) as usize;
+                } else {
+                    pc += 1;
+                }
+            }
+            Instr::B => {
+                machine.b();
+                let rel = ((hw & 0x7FF) as i16) << 5 >> 5;
+                pc = (pc as i64 + 2 + rel as i64) as usize;
+            }
+            Instr::Bl => {
+                machine.bl();
+                let rel = decode_bl(program.code[pc], program.code[pc + 1]) as i64;
+                call_stack.push(pc + 2);
+                pc = (pc as i64 + 2 + rel) as usize;
+            }
+            Instr::Bx => {
+                machine.bx();
+                match call_stack.pop() {
+                    Some(ret) => pc = ret,
+                    None => break,
+                }
+            }
+            Instr::LdrLit { rt, imm_words } => {
+                let slot = imm_words as usize;
+                let value = *program
+                    .pool
+                    .get(slot)
+                    .ok_or(ExecError::BadLiteral { pc, slot })?;
+                machine.ldr_const(rt, value);
+                pc += 1;
+            }
+            Instr::Push { reg_count } | Instr::Pop { reg_count } => {
+                machine.stack_transfer(reg_count);
+                pc += width;
+            }
+            other => {
+                dispatch(machine, other);
+                pc += width;
+            }
+        }
+    }
+
+    if pc > program.code.len() {
+        return Err(ExecError::PcOutOfRange(pc));
+    }
     Ok(ExecStats {
         instructions: steps,
         cycles: machine.cycles() - start_cycles,
@@ -199,11 +289,23 @@ mod tests {
         let p2 = {
             let mut a = Assembler::new();
             a.label("entry");
-            a.push(Instr::MovsImm { rd: Reg::R0, imm: 5 });
-            a.push(Instr::MovsImm { rd: Reg::R1, imm: 0 });
+            a.push(Instr::MovsImm {
+                rd: Reg::R0,
+                imm: 5,
+            });
+            a.push(Instr::MovsImm {
+                rd: Reg::R1,
+                imm: 0,
+            });
             a.label("loop");
-            a.push(Instr::AddsImm8 { rdn: Reg::R1, imm: 2 });
-            a.push(Instr::SubsImm8 { rdn: Reg::R0, imm: 1 });
+            a.push(Instr::AddsImm8 {
+                rdn: Reg::R1,
+                imm: 2,
+            });
+            a.push(Instr::SubsImm8 {
+                rdn: Reg::R0,
+                imm: 1,
+            });
             a.branch_if(Cond::Ne, "loop");
             a.push(Instr::Bx);
             a.assemble().expect("assembles")
@@ -225,11 +327,28 @@ mod tests {
         let mut a = Assembler::new();
         a.label("memcpy");
         a.label("loop");
-        a.push(Instr::LdrImm { rt: Reg::R3, rn: Reg::R0, imm_words: 0 });
-        a.push(Instr::StrImm { rt: Reg::R3, rn: Reg::R1, imm_words: 0 });
-        a.push(Instr::AddsImm8 { rdn: Reg::R0, imm: 1 });
-        a.push(Instr::AddsImm8 { rdn: Reg::R1, imm: 1 });
-        a.push(Instr::SubsImm8 { rdn: Reg::R2, imm: 1 });
+        a.push(Instr::LdrImm {
+            rt: Reg::R3,
+            rn: Reg::R0,
+            imm_words: 0,
+        });
+        a.push(Instr::StrImm {
+            rt: Reg::R3,
+            rn: Reg::R1,
+            imm_words: 0,
+        });
+        a.push(Instr::AddsImm8 {
+            rdn: Reg::R0,
+            imm: 1,
+        });
+        a.push(Instr::AddsImm8 {
+            rdn: Reg::R1,
+            imm: 1,
+        });
+        a.push(Instr::SubsImm8 {
+            rdn: Reg::R2,
+            imm: 1,
+        });
         a.branch_if(Cond::Ne, "loop");
         a.push(Instr::Bx);
         let p = a.assemble().expect("assembles");
@@ -251,12 +370,19 @@ mod tests {
         // double: adds r0, r0; bx lr
         let mut a = Assembler::new();
         a.label("main");
-        a.push(Instr::MovsImm { rd: Reg::R0, imm: 1 });
+        a.push(Instr::MovsImm {
+            rd: Reg::R0,
+            imm: 1,
+        });
         a.call("double");
         a.call("double");
         a.push(Instr::Bx);
         a.label("double");
-        a.push(Instr::AddsReg { rd: Reg::R0, rn: Reg::R0, rm: Reg::R0 });
+        a.push(Instr::AddsReg {
+            rd: Reg::R0,
+            rn: Reg::R0,
+            rm: Reg::R0,
+        });
         a.push(Instr::Bx);
         let p = a.assemble().expect("assembles");
 
@@ -273,7 +399,10 @@ mod tests {
         a.label("entry");
         a.load_literal(Reg::R0, 0x1234_5678);
         a.load_literal(Reg::R1, 0x1FF);
-        a.push(Instr::Ands { rdn: Reg::R0, rm: Reg::R1 });
+        a.push(Instr::Ands {
+            rdn: Reg::R0,
+            rm: Reg::R1,
+        });
         a.push(Instr::Bx);
         let p = a.assemble().expect("assembles");
         let mut m = Machine::new(64);
@@ -288,10 +417,7 @@ mod tests {
         a.branch("spin");
         let p = a.assemble().expect("assembles");
         let mut m = Machine::new(16);
-        assert_eq!(
-            execute(&mut m, &p, "spin", 50),
-            Err(ExecError::StepLimit)
-        );
+        assert_eq!(execute(&mut m, &p, "spin", 50), Err(ExecError::StepLimit));
     }
 
     #[test]
@@ -367,14 +493,45 @@ mod tests {
         // 2-word add with carry: r0 = &a, r1 = &b, r2 = &out.
         let mut a = Assembler::new();
         a.label("add64");
-        a.push(Instr::LdrImm { rt: Reg::R3, rn: Reg::R0, imm_words: 0 });
-        a.push(Instr::LdrImm { rt: Reg::R4, rn: Reg::R1, imm_words: 0 });
-        a.push(Instr::AddsReg { rd: Reg::R3, rn: Reg::R3, rm: Reg::R4 });
-        a.push(Instr::StrImm { rt: Reg::R3, rn: Reg::R2, imm_words: 0 });
-        a.push(Instr::LdrImm { rt: Reg::R3, rn: Reg::R0, imm_words: 1 });
-        a.push(Instr::LdrImm { rt: Reg::R4, rn: Reg::R1, imm_words: 1 });
-        a.push(Instr::Adcs { rdn: Reg::R3, rm: Reg::R4 });
-        a.push(Instr::StrImm { rt: Reg::R3, rn: Reg::R2, imm_words: 1 });
+        a.push(Instr::LdrImm {
+            rt: Reg::R3,
+            rn: Reg::R0,
+            imm_words: 0,
+        });
+        a.push(Instr::LdrImm {
+            rt: Reg::R4,
+            rn: Reg::R1,
+            imm_words: 0,
+        });
+        a.push(Instr::AddsReg {
+            rd: Reg::R3,
+            rn: Reg::R3,
+            rm: Reg::R4,
+        });
+        a.push(Instr::StrImm {
+            rt: Reg::R3,
+            rn: Reg::R2,
+            imm_words: 0,
+        });
+        a.push(Instr::LdrImm {
+            rt: Reg::R3,
+            rn: Reg::R0,
+            imm_words: 1,
+        });
+        a.push(Instr::LdrImm {
+            rt: Reg::R4,
+            rn: Reg::R1,
+            imm_words: 1,
+        });
+        a.push(Instr::Adcs {
+            rdn: Reg::R3,
+            rm: Reg::R4,
+        });
+        a.push(Instr::StrImm {
+            rt: Reg::R3,
+            rn: Reg::R2,
+            imm_words: 1,
+        });
         a.push(Instr::Bx);
         let p = a.assemble().expect("assembles");
 

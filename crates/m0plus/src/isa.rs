@@ -26,43 +26,151 @@ use std::fmt;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[allow(missing_docs)]
 pub enum Instr {
-    LslsImm { rd: Reg, rm: Reg, imm: u32 },
-    LsrsImm { rd: Reg, rm: Reg, imm: u32 },
-    AsrsImm { rd: Reg, rm: Reg, imm: u32 },
-    AddsReg { rd: Reg, rn: Reg, rm: Reg },
-    SubsReg { rd: Reg, rn: Reg, rm: Reg },
-    MovsImm { rd: Reg, imm: u8 },
-    CmpImm { rn: Reg, imm: u8 },
-    AddsImm8 { rdn: Reg, imm: u8 },
-    SubsImm8 { rdn: Reg, imm: u8 },
+    LslsImm {
+        rd: Reg,
+        rm: Reg,
+        imm: u32,
+    },
+    LsrsImm {
+        rd: Reg,
+        rm: Reg,
+        imm: u32,
+    },
+    AsrsImm {
+        rd: Reg,
+        rm: Reg,
+        imm: u32,
+    },
+    AddsReg {
+        rd: Reg,
+        rn: Reg,
+        rm: Reg,
+    },
+    SubsReg {
+        rd: Reg,
+        rn: Reg,
+        rm: Reg,
+    },
+    MovsImm {
+        rd: Reg,
+        imm: u8,
+    },
+    CmpImm {
+        rn: Reg,
+        imm: u8,
+    },
+    AddsImm8 {
+        rdn: Reg,
+        imm: u8,
+    },
+    SubsImm8 {
+        rdn: Reg,
+        imm: u8,
+    },
     /// Data-processing register group (opcode 010000xxxx).
-    Ands { rdn: Reg, rm: Reg },
-    Eors { rdn: Reg, rm: Reg },
-    LslsReg { rdn: Reg, rm: Reg },
-    LsrsReg { rdn: Reg, rm: Reg },
-    Adcs { rdn: Reg, rm: Reg },
-    Sbcs { rdn: Reg, rm: Reg },
-    Tst { rn: Reg, rm: Reg },
-    Rsbs { rd: Reg, rn: Reg },
-    CmpReg { rn: Reg, rm: Reg },
-    Orrs { rdn: Reg, rm: Reg },
-    Muls { rdn: Reg, rm: Reg },
-    Bics { rdn: Reg, rm: Reg },
-    Mvns { rd: Reg, rm: Reg },
+    Ands {
+        rdn: Reg,
+        rm: Reg,
+    },
+    Eors {
+        rdn: Reg,
+        rm: Reg,
+    },
+    LslsReg {
+        rdn: Reg,
+        rm: Reg,
+    },
+    LsrsReg {
+        rdn: Reg,
+        rm: Reg,
+    },
+    Adcs {
+        rdn: Reg,
+        rm: Reg,
+    },
+    Sbcs {
+        rdn: Reg,
+        rm: Reg,
+    },
+    Tst {
+        rn: Reg,
+        rm: Reg,
+    },
+    Rsbs {
+        rd: Reg,
+        rn: Reg,
+    },
+    CmpReg {
+        rn: Reg,
+        rm: Reg,
+    },
+    Orrs {
+        rdn: Reg,
+        rm: Reg,
+    },
+    Muls {
+        rdn: Reg,
+        rm: Reg,
+    },
+    Bics {
+        rdn: Reg,
+        rm: Reg,
+    },
+    Mvns {
+        rd: Reg,
+        rm: Reg,
+    },
     /// `MOV rd, rm` — the hi-register-capable move.
-    Mov { rd: Reg, rm: Reg },
-    LdrImm { rt: Reg, rn: Reg, imm_words: u32 },
-    StrImm { rt: Reg, rn: Reg, imm_words: u32 },
-    LdrReg { rt: Reg, rn: Reg, rm: Reg },
-    StrReg { rt: Reg, rn: Reg, rm: Reg },
-    LdrSp { rt: Reg, imm_words: u32 },
-    StrSp { rt: Reg, imm_words: u32 },
+    Mov {
+        rd: Reg,
+        rm: Reg,
+    },
+    LdrImm {
+        rt: Reg,
+        rn: Reg,
+        imm_words: u32,
+    },
+    StrImm {
+        rt: Reg,
+        rn: Reg,
+        imm_words: u32,
+    },
+    LdrReg {
+        rt: Reg,
+        rn: Reg,
+        rm: Reg,
+    },
+    StrReg {
+        rt: Reg,
+        rn: Reg,
+        rm: Reg,
+    },
+    LdrSp {
+        rt: Reg,
+        imm_words: u32,
+    },
+    StrSp {
+        rt: Reg,
+        imm_words: u32,
+    },
     /// PC-relative literal load (how `ldr_const` reaches the pool).
-    LdrLit { rt: Reg, imm_words: u32 },
-    Uxth { rd: Reg, rm: Reg },
-    Push { reg_count: usize },
-    Pop { reg_count: usize },
-    BCond { cond: Cond },
+    LdrLit {
+        rt: Reg,
+        imm_words: u32,
+    },
+    Uxth {
+        rd: Reg,
+        rm: Reg,
+    },
+    Push {
+        reg_count: usize,
+    },
+    Pop {
+        reg_count: usize,
+    },
+    BCond {
+        cond: Cond,
+    },
     B,
     Bl,
     Bx,
@@ -159,26 +267,64 @@ impl Instr {
                 one(0b01000110 << 8 | (d >> 3) << 7 | m << 3 | (d & 7))
             }
             StrImm { rt, rn, imm_words } => {
+                assert!(
+                    imm_words <= 31,
+                    "STR word offset {imm_words} exceeds the T1 imm5 range"
+                );
                 one(0b01100 << 11 | (imm_words as u16) << 6 | lo(rn) << 3 | lo(rt))
             }
             LdrImm { rt, rn, imm_words } => {
+                assert!(
+                    imm_words <= 31,
+                    "LDR word offset {imm_words} exceeds the T1 imm5 range"
+                );
                 one(0b01101 << 11 | (imm_words as u16) << 6 | lo(rn) << 3 | lo(rt))
             }
             StrReg { rt, rn, rm } => one(0b0101000 << 9 | lo(rm) << 6 | lo(rn) << 3 | lo(rt)),
             LdrReg { rt, rn, rm } => one(0b0101100 << 9 | lo(rm) << 6 | lo(rn) << 3 | lo(rt)),
-            StrSp { rt, imm_words } => one(0b10010 << 11 | lo(rt) << 8 | imm_words as u16),
-            LdrSp { rt, imm_words } => one(0b10011 << 11 | lo(rt) << 8 | imm_words as u16),
-            LdrLit { rt, imm_words } => one(0b01001 << 11 | lo(rt) << 8 | imm_words as u16),
+            StrSp { rt, imm_words } => {
+                assert!(
+                    imm_words <= 255,
+                    "STR sp-relative word offset {imm_words} exceeds the T1 imm8 range"
+                );
+                one(0b10010 << 11 | lo(rt) << 8 | imm_words as u16)
+            }
+            LdrSp { rt, imm_words } => {
+                assert!(
+                    imm_words <= 255,
+                    "LDR sp-relative word offset {imm_words} exceeds the T1 imm8 range"
+                );
+                one(0b10011 << 11 | lo(rt) << 8 | imm_words as u16)
+            }
+            LdrLit { rt, imm_words } => {
+                assert!(
+                    imm_words <= 255,
+                    "literal-pool word index {imm_words} exceeds the T1 imm8 range"
+                );
+                one(0b01001 << 11 | lo(rt) << 8 | imm_words as u16)
+            }
             Uxth { rd, rm } => one(0b1011001010 << 6 | lo(rm) << 3 | lo(rd)),
             Push { reg_count } => {
-                // r4.. upward plus lr for the paper's prologues.
-                let mask = ((1u16 << reg_count.min(4)) - 1) << 4;
-                let m_bit = u16::from(reg_count > 4) << 8;
+                // r0.. upward in the low-byte register list, plus LR via
+                // the M bit for the ninth register (the paper's prologues
+                // push up to {r4-r11, lr}, i.e. nine registers). The count
+                // must survive encode→decode, which reads it back as
+                // popcount(list) + M.
+                assert!(
+                    (1..=9).contains(&reg_count),
+                    "PUSH register count {reg_count} not encodable in one T1 halfword"
+                );
+                let mask = (1u16 << reg_count.min(8)) - 1;
+                let m_bit = u16::from(reg_count > 8) << 8;
                 one(0b1011010 << 9 | m_bit | mask)
             }
             Pop { reg_count } => {
-                let mask = ((1u16 << reg_count.min(4)) - 1) << 4;
-                let p_bit = u16::from(reg_count > 4) << 8;
+                assert!(
+                    (1..=9).contains(&reg_count),
+                    "POP register count {reg_count} not encodable in one T1 halfword"
+                );
+                let mask = (1u16 << reg_count.min(8)) - 1;
+                let p_bit = u16::from(reg_count > 8) << 8;
                 one(0b1011110 << 9 | p_bit | mask)
             }
             BCond { cond } => one(0b1101 << 12 | cond_bits(cond) << 8),
@@ -528,38 +674,143 @@ mod tests {
     fn roundtrip_every_16bit_form() {
         use Instr::*;
         let samples = vec![
-            LslsImm { rd: Reg::R1, rm: Reg::R2, imm: 7 },
-            LsrsImm { rd: Reg::R3, rm: Reg::R4, imm: 28 },
-            AsrsImm { rd: Reg::R5, rm: Reg::R6, imm: 3 },
-            AddsReg { rd: Reg::R0, rn: Reg::R1, rm: Reg::R2 },
-            SubsReg { rd: Reg::R3, rn: Reg::R4, rm: Reg::R5 },
-            MovsImm { rd: Reg::R7, imm: 200 },
-            CmpImm { rn: Reg::R0, imm: 16 },
-            AddsImm8 { rdn: Reg::R6, imm: 56 },
-            SubsImm8 { rdn: Reg::R2, imm: 1 },
-            Ands { rdn: Reg::R1, rm: Reg::R2 },
-            Eors { rdn: Reg::R3, rm: Reg::R4 },
-            LslsReg { rdn: Reg::R5, rm: Reg::R6 },
-            LsrsReg { rdn: Reg::R7, rm: Reg::R0 },
-            Adcs { rdn: Reg::R1, rm: Reg::R2 },
-            Sbcs { rdn: Reg::R3, rm: Reg::R4 },
-            Tst { rn: Reg::R5, rm: Reg::R6 },
-            Rsbs { rd: Reg::R7, rn: Reg::R0 },
-            CmpReg { rn: Reg::R1, rm: Reg::R2 },
-            Orrs { rdn: Reg::R3, rm: Reg::R4 },
-            Muls { rdn: Reg::R5, rm: Reg::R6 },
-            Bics { rdn: Reg::R7, rm: Reg::R0 },
-            Mvns { rd: Reg::R1, rm: Reg::R2 },
-            Mov { rd: Reg::R8, rm: Reg::R7 },
-            Mov { rd: Reg::R3, rm: Reg::R12 },
-            LdrImm { rt: Reg::R0, rn: Reg::R1, imm_words: 31 },
-            StrImm { rt: Reg::R2, rn: Reg::R3, imm_words: 0 },
-            LdrReg { rt: Reg::R4, rn: Reg::R5, rm: Reg::R6 },
-            StrReg { rt: Reg::R7, rn: Reg::R0, rm: Reg::R1 },
-            LdrSp { rt: Reg::R2, imm_words: 15 },
-            StrSp { rt: Reg::R3, imm_words: 8 },
-            LdrLit { rt: Reg::R4, imm_words: 12 },
-            Uxth { rd: Reg::R5, rm: Reg::R6 },
+            LslsImm {
+                rd: Reg::R1,
+                rm: Reg::R2,
+                imm: 7,
+            },
+            LsrsImm {
+                rd: Reg::R3,
+                rm: Reg::R4,
+                imm: 28,
+            },
+            AsrsImm {
+                rd: Reg::R5,
+                rm: Reg::R6,
+                imm: 3,
+            },
+            AddsReg {
+                rd: Reg::R0,
+                rn: Reg::R1,
+                rm: Reg::R2,
+            },
+            SubsReg {
+                rd: Reg::R3,
+                rn: Reg::R4,
+                rm: Reg::R5,
+            },
+            MovsImm {
+                rd: Reg::R7,
+                imm: 200,
+            },
+            CmpImm {
+                rn: Reg::R0,
+                imm: 16,
+            },
+            AddsImm8 {
+                rdn: Reg::R6,
+                imm: 56,
+            },
+            SubsImm8 {
+                rdn: Reg::R2,
+                imm: 1,
+            },
+            Ands {
+                rdn: Reg::R1,
+                rm: Reg::R2,
+            },
+            Eors {
+                rdn: Reg::R3,
+                rm: Reg::R4,
+            },
+            LslsReg {
+                rdn: Reg::R5,
+                rm: Reg::R6,
+            },
+            LsrsReg {
+                rdn: Reg::R7,
+                rm: Reg::R0,
+            },
+            Adcs {
+                rdn: Reg::R1,
+                rm: Reg::R2,
+            },
+            Sbcs {
+                rdn: Reg::R3,
+                rm: Reg::R4,
+            },
+            Tst {
+                rn: Reg::R5,
+                rm: Reg::R6,
+            },
+            Rsbs {
+                rd: Reg::R7,
+                rn: Reg::R0,
+            },
+            CmpReg {
+                rn: Reg::R1,
+                rm: Reg::R2,
+            },
+            Orrs {
+                rdn: Reg::R3,
+                rm: Reg::R4,
+            },
+            Muls {
+                rdn: Reg::R5,
+                rm: Reg::R6,
+            },
+            Bics {
+                rdn: Reg::R7,
+                rm: Reg::R0,
+            },
+            Mvns {
+                rd: Reg::R1,
+                rm: Reg::R2,
+            },
+            Mov {
+                rd: Reg::R8,
+                rm: Reg::R7,
+            },
+            Mov {
+                rd: Reg::R3,
+                rm: Reg::R12,
+            },
+            LdrImm {
+                rt: Reg::R0,
+                rn: Reg::R1,
+                imm_words: 31,
+            },
+            StrImm {
+                rt: Reg::R2,
+                rn: Reg::R3,
+                imm_words: 0,
+            },
+            LdrReg {
+                rt: Reg::R4,
+                rn: Reg::R5,
+                rm: Reg::R6,
+            },
+            StrReg {
+                rt: Reg::R7,
+                rn: Reg::R0,
+                rm: Reg::R1,
+            },
+            LdrSp {
+                rt: Reg::R2,
+                imm_words: 15,
+            },
+            StrSp {
+                rt: Reg::R3,
+                imm_words: 8,
+            },
+            LdrLit {
+                rt: Reg::R4,
+                imm_words: 12,
+            },
+            Uxth {
+                rd: Reg::R5,
+                rm: Reg::R6,
+            },
             BCond { cond: Cond::Ne },
             BCond { cond: Cond::Ge },
             B,
@@ -568,9 +819,8 @@ mod tests {
         ];
         for instr in samples {
             let code = instr.encode();
-            let (decoded, used) = Instr::decode(&code).unwrap_or_else(|| {
-                panic!("decode failed for {instr} ({:04x?})", code)
-            });
+            let (decoded, used) = Instr::decode(&code)
+                .unwrap_or_else(|| panic!("decode failed for {instr} ({:04x?})", code));
             assert_eq!(used, code.len());
             assert_eq!(decoded, instr, "roundtrip of {instr}");
         }
@@ -589,14 +839,22 @@ mod tests {
 
     #[test]
     fn push_pop_roundtrip_register_counts() {
-        for n in 1..=5 {
+        // The kernels use up to stack_transfer(8); 9 is the
+        // architectural maximum ({r0-r7, lr}) of the T1 encoding.
+        for n in 1..=9 {
             let p = Instr::Push { reg_count: n };
             let (d, _) = Instr::decode(&p.encode()).expect("decodes");
-            assert_eq!(d, p);
+            assert_eq!(d, p, "push {n}");
             let q = Instr::Pop { reg_count: n };
             let (d, _) = Instr::decode(&q.encode()).expect("decodes");
-            assert_eq!(d, q);
+            assert_eq!(d, q, "pop {n}");
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "not encodable")]
+    fn push_of_ten_registers_is_rejected() {
+        let _ = Instr::Push { reg_count: 10 }.encode();
     }
 
     #[test]
@@ -632,14 +890,30 @@ mod tests {
             }
         );
         assert_eq!(s, "ldr r5, [r4, #12]");
-        assert_eq!(format!("{}", Instr::Mov { rd: Reg::R9, rm: Reg::R7 }), "mov r9, r7");
+        assert_eq!(
+            format!(
+                "{}",
+                Instr::Mov {
+                    rd: Reg::R9,
+                    rm: Reg::R7
+                }
+            ),
+            "mov r9, r7"
+        );
     }
 
     #[test]
     fn disassembly_listing() {
         let code: Vec<u16> = [
-            Instr::MovsImm { rd: Reg::R0, imm: 8 },
-            Instr::LdrImm { rt: Reg::R1, rn: Reg::R0, imm_words: 2 },
+            Instr::MovsImm {
+                rd: Reg::R0,
+                imm: 8,
+            },
+            Instr::LdrImm {
+                rt: Reg::R1,
+                rn: Reg::R0,
+                imm_words: 2,
+            },
             Instr::Bx,
         ]
         .iter()

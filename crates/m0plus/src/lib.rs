@@ -43,6 +43,7 @@
 //! ```
 
 pub mod asm;
+pub mod backend;
 pub mod cost;
 pub mod energy;
 pub mod exec;
@@ -52,11 +53,12 @@ pub mod profile;
 pub mod report;
 pub mod rig;
 
+pub use backend::{Backend, KernelRun};
 pub use cost::InstrClass;
 pub use energy::EnergyModel;
-pub use exec::{execute, ExecError, ExecStats};
+pub use exec::{execute, execute_fragment, ExecError, ExecStats};
 pub use isa::Instr;
-pub use machine::{Addr, Cond, Machine, Reg};
+pub use machine::{Addr, Cond, Machine, RecordedSetReg, RecordedStep, Recording, Reg};
 pub use profile::{Category, CategoryTotals};
 pub use report::{ClassCounts, RunReport, Snapshot};
 pub use rig::MeasurementRig;

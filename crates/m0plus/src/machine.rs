@@ -159,12 +159,64 @@ pub enum Cond {
     Le,
 }
 
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 struct Flags {
     n: bool,
     z: bool,
     c: bool,
     v: bool,
+}
+
+/// One instruction captured by [`Machine::start_recording`]: the
+/// decodable [`Instr`], the [`Category`] its cost was attributed to, and
+/// (for literal-pool loads) the constant value, which the encoding's
+/// imm8 slot index cannot carry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecordedStep {
+    /// The instruction as it would appear in the code image.
+    pub instr: Instr,
+    /// The effective category the charge went to (override and stack
+    /// already resolved).
+    pub category: Category,
+    /// The pool constant for `LdrLit`; `None` for everything else.
+    pub literal: Option<u32>,
+}
+
+/// An un-costed host register write ([`Machine::set_reg`] /
+/// [`Machine::set_base`]) interleaved with a recording — the AAPCS-style
+/// argument setup kernels perform mid-stream. Replaying a recording must
+/// reapply these at the same positions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordedSetReg {
+    /// Number of costed instructions retired before this write.
+    pub at: usize,
+    /// The register written.
+    pub reg: Reg,
+    /// The value written.
+    pub value: u32,
+}
+
+/// A complete instruction-stream capture: every costed instruction in
+/// order plus the positioned un-costed register writes. This is what the
+/// code backend assembles into real Thumb-16 halfwords and re-executes.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Recording {
+    /// The costed instructions, in execution order.
+    pub steps: Vec<RecordedStep>,
+    /// Un-costed register writes, ordered by [`RecordedSetReg::at`].
+    pub reg_writes: Vec<RecordedSetReg>,
+}
+
+impl Recording {
+    /// Number of costed instructions captured.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether nothing costed was captured.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
 }
 
 /// The instrumented Cortex-M0+ model. See the [module docs](self).
@@ -181,7 +233,7 @@ pub struct Machine {
     category_stack: Vec<Category>,
     category_override: Option<Category>,
     by_category: Vec<CategoryTotals>,
-    recording: Option<Vec<Instr>>,
+    recording: Option<Recording>,
 }
 
 impl Machine {
@@ -244,9 +296,18 @@ impl Machine {
         self.regs[r.index()]
     }
 
-    /// Sets register `r` without charging cycles (setup only).
+    /// Sets register `r` without charging cycles (setup only). With
+    /// recording active the write is captured as a positioned
+    /// [`RecordedSetReg`] so a replay can reapply it.
     pub fn set_reg(&mut self, r: Reg, value: u32) {
         self.regs[r.index()] = value;
+        if let Some(rec) = self.recording.as_mut() {
+            rec.reg_writes.push(RecordedSetReg {
+                at: rec.steps.len(),
+                reg: r,
+                value,
+            });
+        }
     }
 
     /// Points register `r` at `addr` without charging cycles. Kernels use
@@ -301,6 +362,47 @@ impl Machine {
             by_category: vec![CategoryTotals::default(); Category::ALL.len()],
         };
         RunReport::from_delta(&zero, &self.snapshot(), crate::CLOCK_HZ)
+    }
+
+    /// Asserts that `self` and `other` agree on every piece of
+    /// architectural and accounting state: registers, flags, memory,
+    /// allocation break, cycles, bitwise-identical energy, per-class
+    /// counts and per-category totals. The code backend uses this to
+    /// prove a machine-code replay equivalent to the direct tier.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with `context` in the message) on the first divergence.
+    pub fn assert_same_state(&self, other: &Machine, context: &str) {
+        assert_eq!(self.regs, other.regs, "{context}: registers diverged");
+        assert_eq!(self.flags, other.flags, "{context}: flags diverged");
+        assert_eq!(self.brk, other.brk, "{context}: heap break diverged");
+        assert_eq!(
+            self.cycles, other.cycles,
+            "{context}: cycle totals diverged"
+        );
+        assert_eq!(
+            self.energy_pj.to_bits(),
+            other.energy_pj.to_bits(),
+            "{context}: energy diverged ({} pJ vs {} pJ)",
+            self.energy_pj,
+            other.energy_pj
+        );
+        assert_eq!(
+            self.counts, other.counts,
+            "{context}: instruction mix diverged"
+        );
+        for (i, c) in Category::ALL.iter().enumerate() {
+            let a = self.by_category[i];
+            let b = other.by_category[i];
+            assert_eq!(a.cycles, b.cycles, "{context}: {c} cycles diverged");
+            assert_eq!(
+                a.energy_pj.to_bits(),
+                b.energy_pj.to_bits(),
+                "{context}: {c} energy diverged"
+            );
+        }
+        assert_eq!(self.mem, other.mem, "{context}: memory diverged");
     }
 
     // ------------------------------------------------------------------
@@ -364,19 +466,30 @@ impl Machine {
     // ------------------------------------------------------------------
 
     /// Starts capturing every executed instruction as a decodable
-    /// [`Instr`] (see [`crate::isa`]). Replaces any previous capture.
+    /// [`Instr`] (see [`crate::isa`]) together with its attributed
+    /// category, literal values and interleaved un-costed register
+    /// writes. Replaces any previous capture.
     pub fn start_recording(&mut self) {
-        self.recording = Some(Vec::new());
+        self.recording = Some(Recording::default());
     }
 
-    /// Stops capturing and returns the instruction stream.
-    pub fn take_recording(&mut self) -> Vec<Instr> {
+    /// Stops capturing and returns the captured [`Recording`].
+    pub fn take_recording(&mut self) -> Recording {
         self.recording.take().unwrap_or_default()
     }
 
     fn rec(&mut self, instr: Instr) {
-        if let Some(buf) = self.recording.as_mut() {
-            buf.push(instr);
+        self.rec_with(instr, None);
+    }
+
+    fn rec_with(&mut self, instr: Instr, literal: Option<u32>) {
+        let category = self.current_category();
+        if let Some(rec) = self.recording.as_mut() {
+            rec.steps.push(RecordedStep {
+                instr,
+                category,
+                literal,
+            });
         }
     }
 
@@ -420,7 +533,11 @@ impl Machine {
         let addr = (base + off_words) as usize;
         let value = self.mem[addr];
         self.regs[Self::lo(rt)] = value;
-        self.rec(Instr::LdrImm { rt, rn, imm_words: off_words });
+        self.rec(Instr::LdrImm {
+            rt,
+            rn,
+            imm_words: off_words,
+        });
         self.record(InstrClass::Ldr);
     }
 
@@ -429,7 +546,11 @@ impl Machine {
         let base = self.regs[Self::lo(rn)];
         let addr = (base + off_words) as usize;
         self.mem[addr] = self.regs[Self::lo(rt)];
-        self.rec(Instr::StrImm { rt, rn, imm_words: off_words });
+        self.rec(Instr::StrImm {
+            rt,
+            rn,
+            imm_words: off_words,
+        });
         self.record(InstrClass::Str);
     }
 
@@ -442,7 +563,10 @@ impl Machine {
         let addr = (base + off_words) as usize;
         let value = self.mem[addr];
         self.regs[Self::lo(rt)] = value;
-        self.rec(Instr::LdrSp { rt, imm_words: off_words });
+        self.rec(Instr::LdrSp {
+            rt,
+            imm_words: off_words,
+        });
         self.record(InstrClass::Ldr);
     }
 
@@ -451,7 +575,10 @@ impl Machine {
         let base = self.regs[Reg::Sp.index()];
         let addr = (base + off_words) as usize;
         self.mem[addr] = self.regs[Self::lo(rt)];
-        self.rec(Instr::StrSp { rt, imm_words: off_words });
+        self.rec(Instr::StrSp {
+            rt,
+            imm_words: off_words,
+        });
         self.record(InstrClass::Str);
     }
 
@@ -490,7 +617,15 @@ impl Machine {
     /// `LDR`, which is what this helper charges (2 cycles).
     pub fn ldr_const(&mut self, rd: Reg, value: u32) {
         self.regs[Self::lo(rd)] = value;
-        self.rec(Instr::LdrLit { rt: rd, imm_words: 0 });
+        // The slot index is assigned at assembly time; the recording
+        // carries the value so the assembler can build the pool.
+        self.rec_with(
+            Instr::LdrLit {
+                rt: rd,
+                imm_words: 0,
+            },
+            Some(value),
+        );
         self.record(InstrClass::Ldr);
     }
 
@@ -1071,15 +1206,44 @@ mod tests {
         assert_eq!(stream.len(), 7);
         // Every recorded instruction round-trips through its encoding
         // and reports the class that was charged.
-        for instr in &stream {
+        for step in &stream.steps {
+            let instr = step.instr;
             let code = instr.encode();
-            let (decoded, _) = crate::isa::Instr::decode(&code)
-                .unwrap_or_else(|| panic!("decode of {instr}"));
-            assert_eq!(decoded, *instr);
+            let (decoded, _) =
+                crate::isa::Instr::decode(&code).unwrap_or_else(|| panic!("decode of {instr}"));
+            assert_eq!(decoded, instr);
+            assert_eq!(step.category, Category::Support);
         }
-        assert_eq!(stream[0].class(), InstrClass::Mov);
-        assert_eq!(stream[1].class(), InstrClass::Str);
-        assert_eq!(stream[6].class(), InstrClass::BranchTaken);
+        assert_eq!(stream.steps[0].instr.class(), InstrClass::Mov);
+        assert_eq!(stream.steps[1].instr.class(), InstrClass::Str);
+        assert_eq!(stream.steps[6].instr.class(), InstrClass::BranchTaken);
+    }
+
+    #[test]
+    fn recording_captures_literals_categories_and_reg_writes() {
+        let mut m = machine();
+        let a = m.alloc(4);
+        m.start_recording();
+        m.in_category(Category::Multiply, |m| {
+            m.ldr_const(Reg::R1, 0xDEAD_BEEF);
+        });
+        m.set_base(Reg::R0, a);
+        m.movs_imm(Reg::R2, 3);
+        let rec = m.take_recording();
+        assert_eq!(rec.len(), 2);
+        assert_eq!(rec.steps[0].literal, Some(0xDEAD_BEEF));
+        assert_eq!(rec.steps[0].category, Category::Multiply);
+        assert_eq!(rec.steps[1].literal, None);
+        assert_eq!(rec.steps[1].category, Category::Support);
+        // The set_base landed between the two costed instructions.
+        assert_eq!(
+            rec.reg_writes,
+            vec![RecordedSetReg {
+                at: 1,
+                reg: Reg::R0,
+                value: a.to_base_register_value()
+            }]
+        );
     }
 
     #[test]
@@ -1091,7 +1255,10 @@ mod tests {
         m.movs_imm(Reg::R0, 2);
         assert_eq!(m.take_recording().len(), 1);
         m.movs_imm(Reg::R0, 3);
-        assert!(m.take_recording().is_empty(), "take stops recording");
+        m.set_reg(Reg::R1, 9);
+        let rec = m.take_recording();
+        assert!(rec.is_empty(), "take stops recording");
+        assert!(rec.reg_writes.is_empty(), "take stops reg-write capture");
     }
 
     #[test]

@@ -194,10 +194,7 @@ mod tests {
         assert_eq!(c.count(InstrClass::Ldr), 2);
         assert_eq!(c.total(), 3);
         let nonzero: Vec<_> = c.iter().collect();
-        assert_eq!(
-            nonzero,
-            vec![(InstrClass::Ldr, 2), (InstrClass::Eor, 1)]
-        );
+        assert_eq!(nonzero, vec![(InstrClass::Ldr, 2), (InstrClass::Eor, 1)]);
     }
 
     #[test]

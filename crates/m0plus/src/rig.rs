@@ -48,10 +48,7 @@ impl MeasurementRig {
     /// Panics if either parameter is zero.
     pub fn new(iterations: u32, unroll: u32) -> Self {
         assert!(iterations > 0 && unroll > 0);
-        MeasurementRig {
-            iterations,
-            unroll,
-        }
+        MeasurementRig { iterations, unroll }
     }
 
     /// Runs the measurement loop for `class` and returns the reading.

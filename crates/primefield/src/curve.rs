@@ -174,7 +174,11 @@ impl Curve {
         let g4 = f.add(&g2, &g2);
         let g8 = f.add(&g4, &g4);
         let y3 = f.sub(&f.mont_mul(&alpha, &t6), &g8);
-        Jacobian { x: x3, y: y3, z: z3 }
+        Jacobian {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
     }
 
     /// Mixed addition: Jacobian + affine (11M + 3S class).
@@ -215,7 +219,11 @@ impl Curve {
         let t = f.sub(&v, &x3);
         let y3 = f.sub(&f.mont_mul(&r, &t), &f.mont_mul(&p.y, &hhh));
         let z3 = f.mont_mul(&p.z, &h);
-        Jacobian { x: x3, y: y3, z: z3 }
+        Jacobian {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
     }
 
     /// Scalar multiplication by binary double-and-add over the scalar's

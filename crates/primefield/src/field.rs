@@ -92,7 +92,12 @@ impl PrimeField {
         // R = 2^(32L): reduce by repeated subtraction from the top.
         // Start with 1 and double 32L times mod p.
         r[0] = 1;
-        let mut field = PrimeField { limbs, p, r2: [0; MAX_LIMBS], n0 };
+        let mut field = PrimeField {
+            limbs,
+            p,
+            r2: [0; MAX_LIMBS],
+            n0,
+        };
         for _ in 0..32 * limbs {
             field.double_mod(&mut r);
         }
@@ -262,7 +267,10 @@ impl PrimeField {
 ///
 /// Panics on invalid hex or values over 256 bits.
 pub fn parse_hex(s: &str) -> Limbs {
-    let s = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")).unwrap_or(s);
+    let s = s
+        .strip_prefix("0x")
+        .or_else(|| s.strip_prefix("0X"))
+        .unwrap_or(s);
     assert!(s.len() <= 64, "value exceeds 256 bits");
     let mut out = [0u32; MAX_LIMBS];
     for c in s.chars() {

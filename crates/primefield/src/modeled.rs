@@ -132,7 +132,9 @@ pub fn comba_product(m: &mut Machine, a: &[u32], b: &[u32]) -> (Vec<u32>, RunRep
 /// (NIST-prime folding, about 10 cycles per product limb).
 pub fn field_mul_cycles(limbs: usize) -> u64 {
     let mut m = Machine::new(4096);
-    let a: Vec<u32> = (0..limbs as u32).map(|i| 0x9E37_79B9u32.wrapping_mul(i + 1)).collect();
+    let a: Vec<u32> = (0..limbs as u32)
+        .map(|i| 0x9E37_79B9u32.wrapping_mul(i + 1))
+        .collect();
     let (_, report) = comba_product(&mut m, &a, &a);
     // Reduction: one pass of load/fold/store over the 2L product limbs.
     let snap = m.snapshot();
@@ -168,7 +170,9 @@ pub fn point_mul_cycles(limbs: usize) -> u64 {
 /// heavy where binary arithmetic is XOR/shift heavy).
 pub fn field_mul_mix(limbs: usize) -> m0plus::ClassCounts {
     let mut m = Machine::new(4096);
-    let a: Vec<u32> = (0..limbs as u32).map(|i| 0x85EB_CA6Bu32.wrapping_mul(i + 3)).collect();
+    let a: Vec<u32> = (0..limbs as u32)
+        .map(|i| 0x85EB_CA6Bu32.wrapping_mul(i + 3))
+        .collect();
     let (_, report) = comba_product(&mut m, &a, &a);
     report.counts
 }
@@ -235,9 +239,6 @@ mod tests {
         // our modeled kernel is hand-scheduled so it lands below, but in
         // the millions.
         let cycles = point_mul_cycles(6);
-        assert!(
-            (1_500_000..15_000_000).contains(&cycles),
-            "got {cycles}"
-        );
+        assert!((1_500_000..15_000_000).contains(&cycles), "got {cycles}");
     }
 }

@@ -152,9 +152,6 @@ mod tests {
                 return;
             }
         }
-        assert_eq!(
-            alice.shared_secret(&bad),
-            Err(EcdhError::InvalidPublicKey)
-        );
+        assert_eq!(alice.shared_secret(&bad), Err(EcdhError::InvalidPublicKey));
     }
 }

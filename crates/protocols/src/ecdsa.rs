@@ -89,9 +89,7 @@ impl SigningKey {
             let point = mul::mul_g(&k.to_int());
             let r = match point {
                 Affine::Infinity => continue,
-                Affine::Point { x, .. } => {
-                    Scalar::new(Int::from_be_bytes(&x.to_be_bytes()))
-                }
+                Affine::Point { x, .. } => Scalar::new(Int::from_be_bytes(&x.to_be_bytes())),
             };
             if r.is_zero() {
                 continue;

@@ -34,6 +34,6 @@ pub mod node;
 pub mod sim;
 
 pub use energy::{CryptoCosts, RadioModel};
-pub use node::{NodeConfig, SensorNode};
 pub use network::{FleetReport, Network};
+pub use node::{NodeConfig, SensorNode};
 pub use sim::{Outcome, Simulation};

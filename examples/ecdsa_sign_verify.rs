@@ -21,7 +21,10 @@ fn main() {
     for frame in frames {
         let sig = key.sign(frame.as_bytes());
         let ok = ecdsa::verify(key.public(), frame.as_bytes(), &sig).is_ok();
-        println!("{frame:<30} sig.r = {:>10}…  verified: {ok}", short(&sig.r.to_string()));
+        println!(
+            "{frame:<30} sig.r = {:>10}…  verified: {ok}",
+            short(&sig.r.to_string())
+        );
         assert!(ok);
     }
 

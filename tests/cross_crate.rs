@@ -92,12 +92,7 @@ fn ecdsa_signature_survives_engine_roundtrip() {
 fn engine_reports_are_consistent() {
     let e = Engine::new(Profile::ThisWorkAsm);
     let m = e.mul_g(&scalar(2));
-    let by_cat: u64 = m
-        .report
-        .by_category
-        .iter()
-        .map(|(_, t)| t.cycles)
-        .sum();
+    let by_cat: u64 = m.report.by_category.iter().map(|(_, t)| t.cycles).sum();
     assert_eq!(by_cat, m.report.cycles, "categories partition the total");
     // Energy/time/power consistency: P = E / t.
     let p = m.report.energy_uj() * 1e-6 / (m.report.time_ms() * 1e-3) * 1e6;

@@ -50,10 +50,9 @@ fn speedup_over_relic() {
     let ours = Engine::new(Profile::ThisWorkAsm);
     let relic = Engine::new(Profile::RelicStyle);
     let g = koblitz::generator();
-    let kp_ratio = relic.mul_point(&g, &k).report.cycles as f64
-        / ours.mul_point(&g, &k).report.cycles as f64;
-    let kg_ratio =
-        relic.mul_g(&k).report.cycles as f64 / ours.mul_g(&k).report.cycles as f64;
+    let kp_ratio =
+        relic.mul_point(&g, &k).report.cycles as f64 / ours.mul_point(&g, &k).report.cycles as f64;
+    let kg_ratio = relic.mul_g(&k).report.cycles as f64 / ours.mul_g(&k).report.cycles as f64;
     assert!((1.4..2.6).contains(&kp_ratio), "kP speedup {kp_ratio:.2}");
     assert!((2.1..3.9).contains(&kg_ratio), "kG speedup {kg_ratio:.2}");
 }
@@ -106,7 +105,10 @@ fn table7_shape_for_kp() {
     // Multiply dominates everything; TNAF precomputation and Square are
     // the next band (their relative order flips within ±10% between the
     // paper and the model); LUT generation and inversion follow.
-    assert!(multiply > tnaf_pre && multiply > square, "Multiply dominates");
+    assert!(
+        multiply > tnaf_pre && multiply > square,
+        "Multiply dominates"
+    );
     assert!(
         tnaf_pre > mul_pre && square > mul_pre && mul_pre > inversion,
         "band ordering"
@@ -154,7 +156,10 @@ fn table6_orderings() {
     assert!(sqr_asm < sqr_c, "sqr {sqr_asm} vs {sqr_c}");
     assert!(mul_asm < mul_c, "mul {mul_asm} vs {mul_c}");
     // Near the paper's absolute numbers.
-    assert!((mul_asm as f64 / 3672.0 - 1.0).abs() < 0.12, "mul {mul_asm}");
+    assert!(
+        (mul_asm as f64 / 3672.0 - 1.0).abs() < 0.12,
+        "mul {mul_asm}"
+    );
     assert!((sqr_asm as f64 / 395.0 - 1.0).abs() < 0.12, "sqr {sqr_asm}");
     assert!((mul_c as f64 / 5964.0 - 1.0).abs() < 0.15, "mul C {mul_c}");
     assert!((inv_c as f64 / 141_916.0 - 1.0).abs() < 0.45, "inv {inv_c}");

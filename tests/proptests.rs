@@ -1,201 +1,314 @@
-//! Property-based tests over the whole stack: field axioms, group-law
-//! invariants, recoding round-trips and protocol round-trips, with
-//! proptest-generated inputs.
+//! Randomised-input tests over the whole stack: field axioms, group-law
+//! invariants, recoding round-trips and protocol round-trips.
+//!
+//! Inputs are drawn from the in-tree deterministic PRNG (fixed seeds,
+//! reproducible offline) — plain `#[test]` loops standing in for the
+//! former proptest strategies.
 
 use gf2m::Fe;
 use koblitz::curve::generator;
 use koblitz::{mul, order, Int};
-use proptest::prelude::*;
+use prng::SplitMix64;
 
-fn arb_fe() -> impl Strategy<Value = Fe> {
-    proptest::array::uniform8(any::<u32>()).prop_map(Fe::from_words_reduced)
+fn fe(rng: &mut SplitMix64) -> Fe {
+    let mut w = [0u32; 8];
+    rng.fill_u32(&mut w);
+    Fe::from_words_reduced(w)
 }
 
-fn arb_scalar() -> impl Strategy<Value = Int> {
-    proptest::collection::vec(any::<u8>(), 1..30)
-        .prop_map(|bytes| Int::from_be_bytes(&bytes).mod_positive(&order()))
+fn scalar(rng: &mut SplitMix64) -> Int {
+    let n = 1 + rng.below(29) as usize;
+    let mut bytes = vec![0u8; n];
+    rng.fill_bytes(&mut bytes);
+    Int::from_be_bytes(&bytes).mod_positive(&order())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn field_addition_is_commutative_associative(a in arb_fe(), b in arb_fe(), c in arb_fe()) {
-        prop_assert_eq!(a + b, b + a);
-        prop_assert_eq!((a + b) + c, a + (b + c));
-        prop_assert_eq!(a + a, Fe::ZERO);
+#[test]
+fn field_addition_is_commutative_associative() {
+    let mut rng = SplitMix64::new(0xf0f0_0001);
+    for case in 0..64 {
+        let (a, b, c) = (fe(&mut rng), fe(&mut rng), fe(&mut rng));
+        assert_eq!(a + b, b + a, "case {case}");
+        assert_eq!((a + b) + c, a + (b + c), "case {case}");
+        assert_eq!(a + a, Fe::ZERO, "case {case}");
     }
+}
 
-    #[test]
-    fn field_multiplication_axioms(a in arb_fe(), b in arb_fe(), c in arb_fe()) {
-        prop_assert_eq!(a * b, b * a);
-        prop_assert_eq!((a * b) * c, a * (b * c));
-        prop_assert_eq!(a * (b + c), a * b + a * c);
-        prop_assert_eq!(a * Fe::ONE, a);
+#[test]
+fn field_multiplication_axioms() {
+    let mut rng = SplitMix64::new(0xf0f0_0002);
+    for case in 0..64 {
+        let (a, b, c) = (fe(&mut rng), fe(&mut rng), fe(&mut rng));
+        assert_eq!(a * b, b * a, "case {case}");
+        assert_eq!((a * b) * c, a * (b * c), "case {case}");
+        assert_eq!(a * (b + c), a * b + a * c, "case {case}");
+        assert_eq!(a * Fe::ONE, a, "case {case}");
     }
+}
 
-    #[test]
-    fn all_multipliers_agree(a in arb_fe(), b in arb_fe()) {
+#[test]
+fn all_multipliers_agree() {
+    let mut rng = SplitMix64::new(0xf0f0_0003);
+    for case in 0..64 {
+        let (a, b) = (fe(&mut rng), fe(&mut rng));
         let want = gf2m::mul::mul_shift_and_add(a, b);
         for (name, f) in gf2m::mul::ALL_MULTIPLIERS {
-            prop_assert_eq!(f(a, b), want, "{} disagrees", name);
+            assert_eq!(f(a, b), want, "{name} disagrees (case {case})");
         }
     }
+}
 
-    #[test]
-    fn square_is_self_multiplication(a in arb_fe()) {
-        prop_assert_eq!(a.square(), a * a);
+#[test]
+fn square_is_self_multiplication() {
+    let mut rng = SplitMix64::new(0xf0f0_0004);
+    for case in 0..64 {
+        let a = fe(&mut rng);
+        assert_eq!(a.square(), a * a, "case {case}");
     }
+}
 
-    #[test]
-    fn inversion_is_exact(a in arb_fe()) {
+#[test]
+fn inversion_is_exact() {
+    let mut rng = SplitMix64::new(0xf0f0_0005);
+    for case in 0..64 {
+        let a = fe(&mut rng);
         if !a.is_zero() {
             let inv = a.invert().expect("non-zero");
-            prop_assert_eq!(a * inv, Fe::ONE);
-            prop_assert_eq!(inv.invert().expect("non-zero"), a);
+            assert_eq!(a * inv, Fe::ONE, "case {case}");
+            assert_eq!(inv.invert().expect("non-zero"), a, "case {case}");
         } else {
-            prop_assert_eq!(a.invert(), None);
+            assert_eq!(a.invert(), None, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn frobenius_is_additive(a in arb_fe(), b in arb_fe()) {
-        prop_assert_eq!((a + b).square(), a.square() + b.square());
-    }
-
-    #[test]
-    fn byte_roundtrip(a in arb_fe()) {
-        prop_assert_eq!(Fe::from_be_bytes(&a.to_be_bytes()), a);
-    }
-
-    #[test]
-    fn hex_roundtrip(a in arb_fe()) {
-        let s = format!("{a:x}");
-        prop_assert_eq!(Fe::from_hex(&s).expect("own output parses"), a);
+#[test]
+fn frobenius_is_additive() {
+    let mut rng = SplitMix64::new(0xf0f0_0006);
+    for case in 0..64 {
+        let (a, b) = (fe(&mut rng), fe(&mut rng));
+        assert_eq!((a + b).square(), a.square() + b.square(), "case {case}");
     }
 }
 
-proptest! {
-    // Group-law cases are slower (field inversions); fewer cases.
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    #[test]
-    fn wtnaf_matches_double_and_add(k in arb_scalar()) {
-        let g = generator();
-        prop_assert_eq!(mul::mul_wtnaf(&g, &k, 4), g.mul_binary(&k));
+#[test]
+fn byte_roundtrip() {
+    let mut rng = SplitMix64::new(0xf0f0_0007);
+    for case in 0..64 {
+        let a = fe(&mut rng);
+        assert_eq!(Fe::from_be_bytes(&a.to_be_bytes()), a, "case {case}");
     }
+}
 
-    #[test]
-    fn fixed_point_matches_random_point(k in arb_scalar()) {
-        prop_assert_eq!(
+#[test]
+fn hex_roundtrip() {
+    let mut rng = SplitMix64::new(0xf0f0_0008);
+    for case in 0..64 {
+        let a = fe(&mut rng);
+        let s = format!("{a:x}");
+        assert_eq!(
+            Fe::from_hex(&s).expect("own output parses"),
+            a,
+            "case {case}"
+        );
+    }
+}
+
+// Group-law cases are slower (field inversions); fewer cases.
+
+#[test]
+fn wtnaf_matches_double_and_add() {
+    let mut rng = SplitMix64::new(0xf0f0_0009);
+    let g = generator();
+    for case in 0..12 {
+        let k = scalar(&mut rng);
+        assert_eq!(mul::mul_wtnaf(&g, &k, 4), g.mul_binary(&k), "case {case}");
+    }
+}
+
+#[test]
+fn fixed_point_matches_random_point() {
+    let mut rng = SplitMix64::new(0xf0f0_000a);
+    for case in 0..12 {
+        let k = scalar(&mut rng);
+        assert_eq!(
             mul::mul_g(&k),
-            mul::mul_wtnaf(&generator(), &k, 4)
+            mul::mul_wtnaf(&generator(), &k, 4),
+            "case {case}"
         );
     }
+}
 
-    #[test]
-    fn ladder_matches_wtnaf(k in arb_scalar()) {
-        let g = generator();
-        prop_assert_eq!(mul::montgomery_ladder(&g, &k), mul::mul_wtnaf(&g, &k, 4));
+#[test]
+fn ladder_matches_wtnaf() {
+    let mut rng = SplitMix64::new(0xf0f0_000b);
+    let g = generator();
+    for case in 0..12 {
+        let k = scalar(&mut rng);
+        assert_eq!(
+            mul::montgomery_ladder(&g, &k),
+            mul::mul_wtnaf(&g, &k, 4),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn scalar_multiplication_distributes(a in arb_scalar(), b in arb_scalar()) {
+#[test]
+fn scalar_multiplication_distributes() {
+    let mut rng = SplitMix64::new(0xf0f0_000c);
+    for case in 0..12 {
+        let (a, b) = (scalar(&mut rng), scalar(&mut rng));
         let sum = (&a + &b).mod_positive(&order());
-        prop_assert_eq!(
+        assert_eq!(
             mul::mul_g(&a).add(&mul::mul_g(&b)),
-            mul::mul_g(&sum)
+            mul::mul_g(&sum),
+            "case {case}"
         );
     }
+}
 
-    #[test]
-    fn results_are_on_curve(k in arb_scalar()) {
-        prop_assert!(mul::mul_g(&k).is_on_curve());
+#[test]
+fn results_are_on_curve() {
+    let mut rng = SplitMix64::new(0xf0f0_000d);
+    for case in 0..12 {
+        let k = scalar(&mut rng);
+        assert!(mul::mul_g(&k).is_on_curve(), "case {case}");
     }
+}
 
-    #[test]
-    fn frobenius_commutes_with_scalar_multiplication(k in arb_scalar()) {
-        let g = generator();
-        prop_assert_eq!(
+#[test]
+fn frobenius_commutes_with_scalar_multiplication() {
+    let mut rng = SplitMix64::new(0xf0f0_000e);
+    let g = generator();
+    for case in 0..12 {
+        let k = scalar(&mut rng);
+        assert_eq!(
             mul::mul_wtnaf(&g, &k, 4).frobenius(),
-            mul::mul_wtnaf(&g.frobenius(), &k, 4)
+            mul::mul_wtnaf(&g.frobenius(), &k, 4),
+            "case {case}"
         );
     }
+}
 
-    #[test]
-    fn negation_distributes(k in arb_scalar()) {
-        let g = generator();
+#[test]
+fn negation_distributes() {
+    let mut rng = SplitMix64::new(0xf0f0_000f);
+    let g = generator();
+    for case in 0..12 {
+        let k = scalar(&mut rng);
         let p = mul::mul_wtnaf(&g, &k, 4);
         let n_minus_k = (&order() - &k).mod_positive(&order());
-        prop_assert_eq!(mul::mul_wtnaf(&g, &n_minus_k, 4), p.negated());
+        assert_eq!(
+            mul::mul_wtnaf(&g, &n_minus_k, 4),
+            p.negated(),
+            "case {case}"
+        );
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn tnaf_recoding_has_valid_digits(k in arb_scalar(), w in 2u32..=6) {
+#[test]
+fn tnaf_recoding_has_valid_digits() {
+    let mut rng = SplitMix64::new(0xf0f0_0010);
+    for case in 0..16 {
+        let k = scalar(&mut rng);
+        let w = 2 + rng.below(5) as u32; // 2..=6
         let digits = koblitz::tnaf::recode(&k, w);
-        prop_assert!(digits.len() <= koblitz::curve_m() + 6, "length {}", digits.len());
+        assert!(
+            digits.len() <= koblitz::curve_m() + 6,
+            "length {} (case {case})",
+            digits.len()
+        );
         let bound = 1i16 << (w - 1);
         for &d in &digits {
-            prop_assert!(d == 0 || (d % 2 != 0 && (d as i16).abs() < bound));
+            assert!(
+                d == 0 || (d % 2 != 0 && (d as i16).abs() < bound),
+                "case {case}"
+            );
         }
         // Non-zero digits at least w apart.
         let mut last: Option<usize> = None;
         for (i, &d) in digits.iter().enumerate() {
             if d != 0 {
                 if let Some(prev) = last {
-                    prop_assert!(i - prev >= w as usize);
+                    assert!(i - prev >= w as usize, "case {case}");
                 }
                 last = Some(i);
             }
         }
     }
+}
 
-    #[test]
-    fn sha256_incremental_equals_oneshot(data in proptest::collection::vec(any::<u8>(), 0..300), split in 0usize..300) {
-        let split = split.min(data.len());
+#[test]
+fn sha256_incremental_equals_oneshot() {
+    let mut rng = SplitMix64::new(0xf0f0_0011);
+    for case in 0..16 {
+        let n = rng.below(300) as usize;
+        let mut data = vec![0u8; n];
+        rng.fill_bytes(&mut data);
+        let split = (rng.below(300) as usize).min(data.len());
         let mut h = protocols::Sha256::new();
         h.update(&data[..split]);
         h.update(&data[split..]);
-        prop_assert_eq!(h.finalize(), protocols::Sha256::digest(&data));
+        assert_eq!(
+            h.finalize(),
+            protocols::Sha256::digest(&data),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn aes_ctr_roundtrips(key in proptest::array::uniform16(any::<u8>()),
-                          nonce in proptest::array::uniform12(any::<u8>()),
-                          mut data in proptest::collection::vec(any::<u8>(), 0..100)) {
+#[test]
+fn aes_ctr_roundtrips() {
+    let mut rng = SplitMix64::new(0xf0f0_0012);
+    for case in 0..16 {
+        let mut key = [0u8; 16];
+        let mut nonce = [0u8; 12];
+        rng.fill_bytes(&mut key);
+        rng.fill_bytes(&mut nonce);
+        let mut data = vec![0u8; rng.below(100) as usize];
+        rng.fill_bytes(&mut data);
         let aes = protocols::Aes128::new(&key);
         let original = data.clone();
         aes.ctr_apply(&nonce, &mut data);
         aes.ctr_apply(&nonce, &mut data);
-        prop_assert_eq!(data, original);
+        assert_eq!(data, original, "case {case}");
     }
+}
 
-    #[test]
-    fn int_divrem_identity(a in proptest::collection::vec(any::<u32>(), 1..8),
-                           d in proptest::collection::vec(any::<u32>(), 1..6),
-                           neg_a in any::<bool>(), neg_d in any::<bool>()) {
-        let a = Int::from_limbs(neg_a, a);
-        let d = Int::from_limbs(neg_d, d);
-        if !d.is_zero() {
-            let (q, r) = a.divrem_floor(&d);
-            prop_assert_eq!(&(&q * &d) + &r, a);
-            // Floor: remainder has the divisor's sign (or zero).
-            prop_assert!(r.is_zero() || (r.is_negative() == d.is_negative()));
+#[test]
+fn int_divrem_identity() {
+    let mut rng = SplitMix64::new(0xf0f0_0013);
+    let mut cases = 0;
+    while cases < 16 {
+        let na = 1 + rng.below(7);
+        let nd = 1 + rng.below(5);
+        let a = Int::from_limbs(rng.below(2) == 1, (0..na).map(|_| rng.next_u32()).collect());
+        let d = Int::from_limbs(rng.below(2) == 1, (0..nd).map(|_| rng.next_u32()).collect());
+        if d.is_zero() {
+            continue;
         }
+        cases += 1;
+        let (q, r) = a.divrem_floor(&d);
+        assert_eq!(&(&q * &d) + &r, a);
+        // Floor: remainder has the divisor's sign (or zero).
+        assert!(r.is_zero() || (r.is_negative() == d.is_negative()));
     }
+}
 
-    #[test]
-    fn affine_group_law_is_associative(a in 1u64..5000, b in 1u64..5000, c in 1u64..5000) {
-        let g = generator();
+#[test]
+fn affine_group_law_is_associative() {
+    let mut rng = SplitMix64::new(0xf0f0_0014);
+    let g = generator();
+    for case in 0..16 {
+        let (a, b, c) = (
+            1 + rng.below(4999),
+            1 + rng.below(4999),
+            1 + rng.below(4999),
+        );
         let p = g.mul_binary(&Int::from(a as i64));
         let q = g.mul_binary(&Int::from(b as i64));
         let r = g.mul_binary(&Int::from(c as i64));
-        prop_assert_eq!(p.add(&q).add(&r), p.add(&q.add(&r)));
-        let is_valid_point = p.add(&q).is_on_curve();
-        prop_assert!(is_valid_point);
+        assert_eq!(p.add(&q).add(&r), p.add(&q.add(&r)), "case {case}");
+        assert!(p.add(&q).is_on_curve(), "case {case}");
     }
 }

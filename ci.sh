@@ -13,6 +13,12 @@ cargo build --workspace --release --offline
 echo "==> cargo test (offline)"
 cargo test --workspace --quiet --offline
 
+echo "==> fault campaign smoke (bounded, deterministic)"
+target/release/fault_campaign --smoke > /tmp/fault_smoke_1.txt
+target/release/fault_campaign --smoke > /tmp/fault_smoke_2.txt
+diff /tmp/fault_smoke_1.txt /tmp/fault_smoke_2.txt
+grep -q "overall full-profile detection: 100.0%" /tmp/fault_smoke_1.txt
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 

@@ -7,6 +7,7 @@
 //!
 //! Run: `cargo run --release -p bench --bin export_json`
 
+use bench::campaign::{self, CampaignConfig};
 use bench::workloads;
 use gf2m::modeled::Tier;
 use m0plus::Category;
@@ -106,6 +107,60 @@ fn render() -> String {
         )
         .unwrap();
     }
+    writeln!(w, "  }},").unwrap();
+    writeln!(w, "  \"robustness\": {{").unwrap();
+    let cfg = CampaignConfig {
+        seed: 7,
+        runs_per_kernel: 200,
+    };
+    let campaign = campaign::run_campaign(&cfg);
+    writeln!(
+        w,
+        "    \"campaign\": {{ \"seed\": {}, \"runs_per_kernel\": {} }},",
+        campaign.seed, campaign.runs_per_kernel
+    )
+    .unwrap();
+    writeln!(w, "    \"kernels\": {{").unwrap();
+    for (i, k) in campaign.kernels.iter().enumerate() {
+        let sep = if i + 1 == campaign.kernels.len() {
+            ""
+        } else {
+            ","
+        };
+        writeln!(
+            w,
+            "      \"{}\": {{ \"trace_len\": {}, \"aborted\": {}, \"benign\": {}, \"altered\": {}, \"detect_recompute\": {:.4}, \"detect_full\": {:.4}, \"silent_unhardened\": {:.4}, \"silent_full\": {:.4} }}{sep}",
+            k.name,
+            k.trace_len,
+            k.aborted,
+            k.benign,
+            k.altered,
+            k.rate_recompute(),
+            k.rate_full(),
+            k.silent_unhardened(),
+            k.silent_full(),
+        )
+        .unwrap();
+    }
+    writeln!(w, "    }},").unwrap();
+    writeln!(
+        w,
+        "    \"overall_detect_full\": {:.4},",
+        campaign.overall_rate_full()
+    )
+    .unwrap();
+    writeln!(w, "    \"countermeasure_overhead\": {{").unwrap();
+    let overheads = campaign::measure_overheads();
+    for (i, o) in overheads.iter().enumerate() {
+        let sep = if i + 1 == overheads.len() { "" } else { "," };
+        writeln!(
+            w,
+            "      \"{}\": {{ \"cycles\": {}, \"energy_pj\": {:.1}, \"flash_bytes\": {}, \"note\": \"{}\" }}{sep}",
+            o.name, o.cycles, o.energy_pj, o.flash_bytes, o.note
+        )
+        .unwrap();
+    }
+    writeln!(w, "    }}").unwrap();
     writeln!(w, "  }},").unwrap();
     writeln!(w, "  \"paper_targets\": {{").unwrap();
     writeln!(w, "    \"kp_cycles\": 2814827, \"kp_uj\": 34.16,").unwrap();

@@ -1,0 +1,47 @@
+//! Fault-injection campaign driver.
+//!
+//! Samples N faults per target kernel (instruction skip, register bit
+//! flip, memory bit flip), replays each through the recorded-program
+//! backend, and reports detection / silent-corruption rates for the
+//! unhardened, recompute-only, and fully hardened profiles, followed
+//! by the measured overhead of every countermeasure.
+//!
+//! Usage:
+//!   fault_campaign [--smoke] [--seed N] [--runs N]
+//!
+//! `--smoke` pins seed 7 and 24 runs/kernel — the bounded CI
+//! configuration (run twice and diffed byte-for-byte by ci.sh).
+//! Defaults: seed 7, 200 runs/kernel.
+
+use bench::campaign::{measure_overheads, render_campaign, render_overheads, run_campaign};
+
+fn main() {
+    let mut seed = 7u64;
+    let mut runs = 200usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => {
+                seed = 7;
+                runs = 24;
+            }
+            "--seed" => {
+                let v = args.next().expect("--seed requires a value");
+                seed = v.parse().expect("--seed takes an integer");
+            }
+            "--runs" => {
+                let v = args.next().expect("--runs requires a value");
+                runs = v.parse().expect("--runs takes an integer");
+            }
+            other => panic!("unknown argument {other:?}: expected --smoke | --seed N | --runs N"),
+        }
+    }
+
+    let report = run_campaign(&bench::campaign::CampaignConfig {
+        seed,
+        runs_per_kernel: runs,
+    });
+    print!("{}", render_campaign(&report));
+    println!();
+    print!("{}", render_overheads(&measure_overheads()));
+}

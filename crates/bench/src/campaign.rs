@@ -1,0 +1,647 @@
+//! The fault-injection campaign: sampled glitches against recorded
+//! field kernels, classified against hardened and unhardened
+//! countermeasure profiles, plus the measured cost of every
+//! countermeasure.
+//!
+//! # Methodology
+//!
+//! Each target kernel is run once on the direct tier with the machine
+//! recording, giving a concrete Thumb-16 instruction stream and the
+//! pre-run machine image. The campaign then replays that stream N
+//! times through [`m0plus::fault::replay`], each time with one sampled
+//! [`FaultPlan`] (instruction skip, register bit flip, or memory bit
+//! flip at a uniform trace index). Replays are classified:
+//!
+//! * **aborted** — the executor raised an [`m0plus::ExecError`] (the
+//!   model's HardFault, e.g. a corrupted base register walking out of
+//!   RAM). The node detects these for free.
+//! * **benign** — the replay completed and the kernel result equals
+//!   the fault-free result.
+//! * **altered** — the replay completed with a wrong result. This is
+//!   the dangerous class; per countermeasure profile it splits into
+//!   *detected* and *silent*.
+//!
+//! Detection is evaluated host-side with predicates provably
+//! equivalent to the charged in-machine checks (the modeled kernels
+//! are verified bit-for-bit against the portable field arithmetic, so
+//! "recompute and compare" in-machine computes exactly the portable
+//! product): the *recompute* profile flags a result that differs from
+//! the operation applied to the (possibly faulted) inputs as they are
+//! in RAM after the run; the *full* profile adds the redundant
+//! input-copy compare, flagging inputs that no longer match their
+//! pre-run values. Memory-flip sampling excludes the squaring table's
+//! word range ([`gf2m::modeled::ModeledField::rom_words`]): that table
+//! models flash ROM, and an in-machine recompute would reuse a
+//! corrupted copy, so host-side detection there would over-claim.
+//!
+//! Countermeasure *overhead* is measured separately, on clean machines
+//! running the actual charged checks ([`ModeledField::mul_checked`],
+//! [`koblitz::modeled::ModeledMul::kp_hardened`], …) so the reported
+//! cycles/energy/flash come from executed instruction streams, not
+//! estimates.
+
+use gf2m::modeled::{FeSlot, ModeledField, Tier};
+use gf2m::Fe;
+use koblitz::modeled::{Hardening, ModeledMul};
+use m0plus::fault::{FaultKind, FaultPlan, RecordedKernel};
+use m0plus::{Backend, Machine};
+use prng::SplitMix64;
+use std::fmt::Write as _;
+
+/// Campaign parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignConfig {
+    /// Seed for the fault sampler (the whole campaign is a pure
+    /// function of this seed and the code).
+    pub seed: u64,
+    /// Sampled faults per target kernel.
+    pub runs_per_kernel: usize,
+}
+
+/// The field operation a target kernel computes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Op {
+    Mul,
+    Sqr,
+    Inv,
+    Add,
+}
+
+/// One campaign target: a named kernel on a tier.
+struct Target {
+    name: &'static str,
+    tier: Tier,
+    tier_label: &'static str,
+    op: Op,
+}
+
+/// The five kernels the campaign perturbs: both multiplier tiers, the
+/// squaring and inversion kernels, and a support kernel.
+fn targets() -> Vec<Target> {
+    vec![
+        Target {
+            name: "mul_asm",
+            tier: Tier::Asm,
+            tier_label: "asm",
+            op: Op::Mul,
+        },
+        Target {
+            name: "sqr_asm",
+            tier: Tier::Asm,
+            tier_label: "asm",
+            op: Op::Sqr,
+        },
+        Target {
+            name: "mul_ld_fixed_c",
+            tier: Tier::C,
+            tier_label: "c",
+            op: Op::Mul,
+        },
+        Target {
+            name: "inv_eea_c",
+            tier: Tier::Asm,
+            tier_label: "c",
+            op: Op::Inv,
+        },
+        Target {
+            name: "fe_add",
+            tier: Tier::Asm,
+            tier_label: "asm",
+            op: Op::Add,
+        },
+    ]
+}
+
+/// Per-kernel campaign outcome counters.
+#[derive(Debug, Clone)]
+pub struct KernelStats {
+    /// Kernel name (matches the flash report keys).
+    pub name: &'static str,
+    /// Implementation tier label.
+    pub tier: &'static str,
+    /// Instructions in the recorded trace.
+    pub trace_len: u64,
+    /// Faults sampled.
+    pub sampled: usize,
+    /// Sampled instruction skips / register flips / memory flips.
+    pub skip_faults: usize,
+    /// See [`KernelStats::skip_faults`].
+    pub reg_faults: usize,
+    /// See [`KernelStats::skip_faults`].
+    pub mem_faults: usize,
+    /// Replays that aborted with a clean executor error.
+    pub aborted: usize,
+    /// Replays whose result matched the fault-free run.
+    pub benign: usize,
+    /// Replays that completed with a wrong result.
+    pub altered: usize,
+    /// Altered results the recompute-and-compare profile catches.
+    pub detected_recompute: usize,
+    /// Altered results the full profile (recompute + input-copy
+    /// compare) catches.
+    pub detected_full: usize,
+}
+
+impl KernelStats {
+    /// Detection rate of the recompute profile over altered results
+    /// (1.0 when no fault altered a result).
+    pub fn rate_recompute(&self) -> f64 {
+        if self.altered == 0 {
+            1.0
+        } else {
+            self.detected_recompute as f64 / self.altered as f64
+        }
+    }
+
+    /// Detection rate of the full hardened profile over altered
+    /// results.
+    pub fn rate_full(&self) -> f64 {
+        if self.altered == 0 {
+            1.0
+        } else {
+            self.detected_full as f64 / self.altered as f64
+        }
+    }
+
+    /// Altered results the unhardened profile lets through silently —
+    /// all of them, as a fraction of sampled faults.
+    pub fn silent_unhardened(&self) -> f64 {
+        self.altered as f64 / self.sampled.max(1) as f64
+    }
+
+    /// Silent corruptions of the full profile, as a fraction of
+    /// sampled faults.
+    pub fn silent_full(&self) -> f64 {
+        (self.altered - self.detected_full) as f64 / self.sampled.max(1) as f64
+    }
+}
+
+/// Full campaign result.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// The seed the sampler ran with.
+    pub seed: u64,
+    /// Faults per kernel.
+    pub runs_per_kernel: usize,
+    /// Per-kernel outcome counters, in fixed target order.
+    pub kernels: Vec<KernelStats>,
+}
+
+impl CampaignReport {
+    /// Detection rate of the full profile across all kernels.
+    pub fn overall_rate_full(&self) -> f64 {
+        let altered: usize = self.kernels.iter().map(|k| k.altered).sum();
+        let detected: usize = self.kernels.iter().map(|k| k.detected_full).sum();
+        if altered == 0 {
+            1.0
+        } else {
+            detected as f64 / altered as f64
+        }
+    }
+}
+
+/// A recorded target kernel plus everything needed to judge a replay.
+struct PreparedTarget {
+    stats_name: &'static str,
+    tier_label: &'static str,
+    op: Op,
+    kernel: RecordedKernel,
+    regions: Vec<std::ops::Range<u32>>,
+    a: FeSlot,
+    b: FeSlot,
+    z: FeSlot,
+    a0: Fe,
+    b0: Fe,
+    expected: Fe,
+}
+
+fn load_fe(machine: &Machine, slot: FeSlot) -> Fe {
+    let words = machine.read_slice(slot.0, 8);
+    Fe::from_words_reduced(words.try_into().expect("8 words"))
+}
+
+/// Records one target kernel on the direct tier.
+fn prepare(target: &Target) -> PreparedTarget {
+    let mut f = ModeledField::new(target.tier);
+    let a0 = crate::workloads::element(1);
+    let b0 = crate::workloads::element(2);
+    let a = f.alloc_init(a0);
+    let b = f.alloc_init(b0);
+    let z = f.alloc();
+    let rom = f.rom_words();
+    let pre = f.machine().clone();
+    let regions = vec![0..rom.start, rom.end..pre.allocated_words()];
+
+    f.machine_mut().start_recording();
+    match target.op {
+        Op::Mul => f.mul(z, a, b),
+        Op::Sqr => f.sqr(z, a),
+        Op::Inv => f.inv(z, a),
+        Op::Add => f.add(z, a, b),
+    }
+    let recording = f.machine_mut().take_recording();
+    let program = m0plus::backend::translate(&recording).expect("recorded trace assembles");
+    let expected = f.load(z);
+
+    PreparedTarget {
+        stats_name: target.name,
+        tier_label: target.tier_label,
+        op: target.op,
+        kernel: RecordedKernel {
+            pre,
+            program,
+            recording,
+        },
+        regions,
+        a,
+        b,
+        z,
+        a0,
+        b0,
+        expected,
+    }
+}
+
+/// Whether the (possibly faulted) inputs and output are coherent under
+/// the kernel's operation — what an in-machine recompute-and-compare
+/// countermeasure observes.
+fn recompute_coherent(op: Op, af: Fe, bf: Fe, zf: Fe) -> bool {
+    match op {
+        Op::Mul => zf == af * bf,
+        Op::Sqr => zf == af.square(),
+        Op::Inv => match af.invert() {
+            Some(inv) => zf == inv,
+            None => false, // inverting zero: always flagged
+        },
+        Op::Add => zf == af + bf,
+    }
+}
+
+/// Runs the full campaign: N sampled faults per kernel, deterministic
+/// in `cfg.seed`.
+pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
+    let kernels = targets()
+        .iter()
+        .enumerate()
+        .map(|(i, target)| {
+            let t = prepare(target);
+            // Per-kernel stream: decoupled from the other kernels so
+            // adding a target never reshuffles existing results.
+            let mut rng =
+                SplitMix64::new(cfg.seed ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let mut stats = KernelStats {
+                name: t.stats_name,
+                tier: t.tier_label,
+                trace_len: t.kernel.trace_len(),
+                sampled: cfg.runs_per_kernel,
+                skip_faults: 0,
+                reg_faults: 0,
+                mem_faults: 0,
+                aborted: 0,
+                benign: 0,
+                altered: 0,
+                detected_recompute: 0,
+                detected_full: 0,
+            };
+            for _ in 0..cfg.runs_per_kernel {
+                let plan = FaultPlan::sample(&mut rng, t.kernel.trace_len(), &t.regions);
+                match plan.kind {
+                    FaultKind::SkipInstruction => stats.skip_faults += 1,
+                    FaultKind::RegisterBitFlip { .. } => stats.reg_faults += 1,
+                    FaultKind::MemoryBitFlip { .. } => stats.mem_faults += 1,
+                }
+                let run = t.kernel.replay(Some(&plan));
+                if run.aborted() {
+                    stats.aborted += 1;
+                    continue;
+                }
+                let zf = load_fe(&run.machine, t.z);
+                if zf == t.expected {
+                    stats.benign += 1;
+                    continue;
+                }
+                stats.altered += 1;
+                let af = load_fe(&run.machine, t.a);
+                let bf = match t.op {
+                    Op::Sqr | Op::Inv => af, // unary: b unused
+                    _ => load_fe(&run.machine, t.b),
+                };
+                let recompute_detects = !recompute_coherent(t.op, af, bf, zf);
+                let inputs_detect = af != t.a0
+                    || match t.op {
+                        Op::Sqr | Op::Inv => false,
+                        _ => bf != t.b0,
+                    };
+                if recompute_detects {
+                    stats.detected_recompute += 1;
+                }
+                if recompute_detects || inputs_detect {
+                    stats.detected_full += 1;
+                }
+            }
+            stats
+        })
+        .collect();
+    CampaignReport {
+        seed: cfg.seed,
+        runs_per_kernel: cfg.runs_per_kernel,
+        kernels,
+    }
+}
+
+/// Measured cost of one countermeasure.
+#[derive(Debug, Clone)]
+pub struct CountermeasureOverhead {
+    /// Countermeasure name (stable identifier for the JSON export).
+    pub name: &'static str,
+    /// Extra cycles per protected operation.
+    pub cycles: u64,
+    /// Extra energy per protected operation, picojoules.
+    pub energy_pj: f64,
+    /// Extra flash for kernels the countermeasure links in that the
+    /// unprotected stack does not use (shared kernels count once).
+    pub flash_bytes: usize,
+    /// How the number was obtained.
+    pub note: &'static str,
+}
+
+/// Measures every countermeasure's overhead on clean machines.
+///
+/// Field-level checks run on the code backend so the marginal *flash*
+/// of the compare/copy kernels is measured too; point-level checks run
+/// [`ModeledMul::kp_hardened`] with each toggle against the same
+/// scalar, on the direct tier (cycle/energy identical across backends,
+/// as the tier tests assert).
+pub fn measure_overheads() -> Vec<CountermeasureOverhead> {
+    let mut out = Vec::new();
+
+    // ---- field level, code backend (for flash numbers) ----
+    let mut f = ModeledField::new_with_backend(Tier::Asm, Backend::Code);
+    let a = f.alloc_init(crate::workloads::element(1));
+    let b = f.alloc_init(crate::workloads::element(2));
+    let (z, s1, s2, c1, c2) = (f.alloc(), f.alloc(), f.alloc(), f.alloc(), f.alloc());
+
+    let delta = |f: &mut ModeledField, op: &mut dyn FnMut(&mut ModeledField)| {
+        let snap = f.machine().snapshot();
+        op(f);
+        let r = f.machine().report_since(&snap);
+        (r.cycles, r.energy_pj)
+    };
+
+    let (mul_plain_c, mul_plain_e) = delta(&mut f, &mut |f| f.mul(z, a, b));
+    let (mul_chk_c, mul_chk_e) = delta(&mut f, &mut |f| {
+        assert!(f.mul_checked(z, a, b, s1));
+    });
+    let (sqr_plain_c, sqr_plain_e) = delta(&mut f, &mut |f| f.sqr(z, a));
+    let (sqr_chk_c, sqr_chk_e) = delta(&mut f, &mut |f| {
+        assert!(f.sqr_checked(z, a, s1));
+    });
+    let (inv_plain_c, inv_plain_e) = delta(&mut f, &mut |f| f.inv(z, a));
+    let (inv_chk_c, inv_chk_e) = delta(&mut f, &mut |f| {
+        assert!(f.inv_checked(z, a, s1, s2));
+    });
+    // Redundant input copies + post-run compares (the "full" profile's
+    // extra work for a binary kernel).
+    let (input_c, input_e) = delta(&mut f, &mut |f| {
+        f.copy(c1, a);
+        f.copy(c2, b);
+        assert!(f.equal(c1, a));
+        assert!(f.equal(c2, b));
+    });
+
+    let flash = f.flash_report();
+    let fp_bytes = |name: &str| flash.get(name).map(|fp| fp.flash_bytes).unwrap_or(0);
+    let equal_flash = fp_bytes("fe_equal");
+    let copy_flash = fp_bytes("fe_copy");
+    let setc_flash = fp_bytes("fe_set_const");
+
+    out.push(CountermeasureOverhead {
+        name: "fe_mul_recompute",
+        cycles: mul_chk_c - mul_plain_c,
+        energy_pj: mul_chk_e - mul_plain_e,
+        flash_bytes: equal_flash,
+        note: "second multiplication + compare, measured",
+    });
+    out.push(CountermeasureOverhead {
+        name: "fe_sqr_recompute",
+        cycles: sqr_chk_c - sqr_plain_c,
+        energy_pj: sqr_chk_e - sqr_plain_e,
+        flash_bytes: equal_flash,
+        note: "second squaring + compare, measured",
+    });
+    out.push(CountermeasureOverhead {
+        name: "fe_inv_multiply_back",
+        cycles: inv_chk_c - inv_plain_c,
+        energy_pj: inv_chk_e - inv_plain_e,
+        flash_bytes: equal_flash + setc_flash,
+        note: "z*x == 1 check, measured (cheaper than re-inverting)",
+    });
+    out.push(CountermeasureOverhead {
+        name: "fe_input_copy_compare",
+        cycles: input_c,
+        energy_pj: input_e,
+        flash_bytes: copy_flash + equal_flash,
+        note: "two redundant copies + compares, measured",
+    });
+
+    // ---- point level: kp_hardened toggles vs the unhardened kp ----
+    let g = koblitz::generator();
+    let k = crate::workloads::scalar(5);
+    let kp_with = |h: Hardening| {
+        let mut mm = ModeledMul::new(Tier::Asm);
+        let run = mm.kp_hardened(&g, &k, h).expect("valid inputs pass");
+        (run.report.cycles, run.report.energy_pj)
+    };
+    let (off_c, off_e) = kp_with(Hardening::OFF);
+    for (name, h, flash_bytes, note) in [
+        (
+            "kp_validate_base_point",
+            Hardening {
+                validate_base: true,
+                ..Hardening::OFF
+            },
+            equal_flash,
+            "charged on-curve check of the base point, measured",
+        ),
+        (
+            "kp_reject_infinity_result",
+            Hardening {
+                reject_infinity: true,
+                ..Hardening::OFF
+            },
+            0,
+            "charged Z == 0 test (is-zero kernel already linked)",
+        ),
+        (
+            "kp_check_result_on_curve",
+            Hardening {
+                check_result: true,
+                ..Hardening::OFF
+            },
+            equal_flash,
+            "charged on-curve check of the result, measured",
+        ),
+    ] {
+        let (c, e) = kp_with(h);
+        out.push(CountermeasureOverhead {
+            name,
+            cycles: c - off_c,
+            energy_pj: e - off_e,
+            flash_bytes,
+            note,
+        });
+    }
+
+    // ---- protocol level ----
+    // verify-after-sign re-runs a verification: about one kP-class
+    // double multiplication. Report the modeled kP as the proxy.
+    out.push(CountermeasureOverhead {
+        name: "ecdsa_verify_after_sign",
+        cycles: off_c,
+        energy_pj: off_e,
+        flash_bytes: 0,
+        note: "proxy: one modeled kP (verify is one double-multiply)",
+    });
+    // Subgroup validation of a received point uses the binary
+    // reference multiplication n*P — roughly the doubling ladder,
+    // costlier than the wTNAF kP. Report the modeled kP as a lower
+    // bound.
+    out.push(CountermeasureOverhead {
+        name: "wire_order_validation",
+        cycles: off_c,
+        energy_pj: off_e,
+        flash_bytes: 0,
+        note: "proxy lower bound: one kP-class multiplication (n*P)",
+    });
+    out
+}
+
+/// Renders the campaign as the fixed-width table the CI gate diffs.
+/// Fully deterministic for a given seed.
+pub fn render_campaign(report: &CampaignReport) -> String {
+    let mut out = String::new();
+    let w = &mut out;
+    writeln!(
+        w,
+        "fault campaign: seed {}, {} faults/kernel (skip / reg-flip / mem-flip)",
+        report.seed, report.runs_per_kernel
+    )
+    .unwrap();
+    writeln!(
+        w,
+        "{:<16} {:>6} {:>7} {:>7} {:>7} {:>7} | {:>10} {:>10} {:>10}",
+        "kernel",
+        "trace",
+        "faults",
+        "abort",
+        "benign",
+        "altered",
+        "unhardened",
+        "recompute",
+        "full"
+    )
+    .unwrap();
+    for k in &report.kernels {
+        writeln!(
+            w,
+            "{:<16} {:>6} {:>7} {:>7} {:>7} {:>7} | {:>9.1}% {:>9.1}% {:>9.1}%",
+            k.name,
+            k.trace_len,
+            k.sampled,
+            k.aborted,
+            k.benign,
+            k.altered,
+            0.0,
+            100.0 * k.rate_recompute(),
+            100.0 * k.rate_full(),
+        )
+        .unwrap();
+    }
+    writeln!(
+        w,
+        "detection rate over altered results; unhardened detects nothing by construction"
+    )
+    .unwrap();
+    writeln!(
+        w,
+        "overall full-profile detection: {:.1}%",
+        100.0 * report.overall_rate_full()
+    )
+    .unwrap();
+    out
+}
+
+/// Renders the countermeasure overhead table (cycles, energy, flash).
+pub fn render_overheads(overheads: &[CountermeasureOverhead]) -> String {
+    let mut out = String::new();
+    let w = &mut out;
+    writeln!(w, "countermeasure overhead (per protected operation)").unwrap();
+    writeln!(
+        w,
+        "{:<26} {:>10} {:>12} {:>11}  note",
+        "countermeasure", "cycles", "energy_pj", "flash_bytes"
+    )
+    .unwrap();
+    for o in overheads {
+        writeln!(
+            w,
+            "{:<26} {:>10} {:>12.1} {:>11}  {}",
+            o.name, o.cycles, o.energy_pj, o.flash_bytes, o.note
+        )
+        .unwrap();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn campaign_is_deterministic_and_full_profile_detects_everything() {
+        let cfg = CampaignConfig {
+            seed: 7,
+            runs_per_kernel: 4,
+        };
+        let r1 = run_campaign(&cfg);
+        let r2 = run_campaign(&cfg);
+        assert_eq!(render_campaign(&r1), render_campaign(&r2));
+        for k in &r1.kernels {
+            assert_eq!(k.sampled, 4);
+            assert_eq!(k.aborted + k.benign + k.altered, k.sampled);
+            assert_eq!(
+                k.skip_faults + k.reg_faults + k.mem_faults,
+                k.sampled,
+                "{}: every fault has a kind",
+                k.name
+            );
+        }
+        // The acceptance bar: hardened profiles detect at least 90% of
+        // faults that alter a result. The full profile is in fact
+        // complete: an altered result implies either incoherent
+        // (input, output) or changed inputs.
+        assert!(r1.overall_rate_full() >= 0.9);
+        for k in &r1.kernels {
+            assert!(
+                k.detected_full == k.altered,
+                "{}: full profile missed {} of {} altered results",
+                k.name,
+                k.altered - k.detected_full,
+                k.altered
+            );
+        }
+    }
+
+    #[test]
+    fn different_seeds_draw_different_faults() {
+        let a = run_campaign(&CampaignConfig {
+            seed: 1,
+            runs_per_kernel: 6,
+        });
+        let b = run_campaign(&CampaignConfig {
+            seed: 2,
+            runs_per_kernel: 6,
+        });
+        assert_ne!(render_campaign(&a), render_campaign(&b));
+    }
+}

@@ -13,6 +13,7 @@
 //! every kernel from assembled Thumb-16 machine code through
 //! `m0plus::backend` instead of the call-per-instruction direct path.
 
+pub mod campaign;
 pub mod tables;
 pub mod timing;
 pub mod workloads;

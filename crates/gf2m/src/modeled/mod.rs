@@ -460,6 +460,50 @@ impl ModeledField {
         self.run_kernel("fe_equal", |m| support::equal(m, x, y))
     }
 
+    /// The word range of the 256-entry squaring table. On the real part
+    /// this table lives in flash ROM (it is counted as flash bytes, and
+    /// written here without charge at construction); fault campaigns use
+    /// this range to exclude ROM from RAM-upset sampling.
+    pub fn rom_words(&self) -> std::ops::Range<u32> {
+        self.layout_sqr_table.0..self.layout_sqr_table.0 + 256
+    }
+
+    /// Recompute-and-compare multiplication: `z ← x·y`, computed twice
+    /// with an equality check — the classic temporal-redundancy fault
+    /// countermeasure. Returns whether the two runs agreed. All the
+    /// redundant work is charged, so the overhead of the countermeasure
+    /// is measured, not estimated.
+    ///
+    /// `scratch` holds the second product and must not alias `z`, `x`
+    /// or `y` (the recomputation reads the original inputs).
+    pub fn mul_checked(&mut self, z: FeSlot, x: FeSlot, y: FeSlot, scratch: FeSlot) -> bool {
+        self.mul(z, x, y);
+        self.mul(scratch, x, y);
+        self.equal(z, scratch)
+    }
+
+    /// Recompute-and-compare squaring; see [`ModeledField::mul_checked`].
+    pub fn sqr_checked(&mut self, z: FeSlot, x: FeSlot, scratch: FeSlot) -> bool {
+        self.sqr(z, x);
+        self.sqr(scratch, x);
+        self.equal(z, scratch)
+    }
+
+    /// Multiply-back-checked inversion: `z ← x⁻¹`, then verifies
+    /// `z·x = 1` (cheaper than recomputing the inversion: one M + the
+    /// compare instead of a second I). Returns whether the check passed.
+    /// `s1`/`s2` are scratch slots and must not alias `z` or `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` holds zero (as [`ModeledField::inv`] does).
+    pub fn inv_checked(&mut self, z: FeSlot, x: FeSlot, s1: FeSlot, s2: FeSlot) -> bool {
+        self.inv(z, x);
+        self.mul(s1, z, x);
+        self.set_const(s2, Fe::ONE);
+        self.equal(s1, s2)
+    }
+
     /// Runs `f` with every charged instruction force-attributed to
     /// `category` (see [`Machine::with_category_override`]).
     pub fn with_category_override<T>(
@@ -670,5 +714,40 @@ mod tests {
         assert!(add_cycles > 30 && add_cycles < 150, "add = {add_cycles}");
         assert!(f.equal(sz, sz));
         assert!(!f.is_zero(sz) || f.load(sz).is_zero());
+    }
+
+    #[test]
+    fn rom_range_covers_the_squaring_table() {
+        let f = ModeledField::new(Tier::Asm);
+        let rom = f.rom_words();
+        assert_eq!(rom.end - rom.start, 256);
+        assert!(rom.end <= f.machine().allocated_words());
+        // The table's first entries are the 16-bit spread of 0 and 1.
+        assert_eq!(f.machine().peek(rom.start), Some(0));
+    }
+
+    #[test]
+    fn checked_ops_pass_clean_and_cost_more_than_unchecked() {
+        let mut f = ModeledField::new(Tier::Asm);
+        let a = f.alloc_init(fe(123));
+        let b = f.alloc_init(fe(77));
+        let (z, s1, s2) = (f.alloc(), f.alloc(), f.alloc());
+
+        let snap = f.machine().snapshot();
+        f.mul(z, a, b);
+        let plain = f.machine().report_since(&snap).cycles;
+        let expect = f.load(z);
+
+        let snap = f.machine().snapshot();
+        assert!(f.mul_checked(z, a, b, s1));
+        let checked = f.machine().report_since(&snap).cycles;
+        assert_eq!(f.load(z), expect);
+        assert!(checked > 2 * plain, "recompute doubles the cost");
+
+        assert!(f.sqr_checked(z, a, s1));
+        assert_eq!(f.load(z), f.load(a).square());
+
+        assert!(f.inv_checked(z, a, s1, s2));
+        assert_eq!(Some(f.load(z)), f.load(a).invert());
     }
 }

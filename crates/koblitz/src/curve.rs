@@ -289,6 +289,23 @@ impl Affine {
         }
         acc
     }
+
+    /// Whether the point is a valid public key: finite, on the curve
+    /// and of order n (annihilated by the group order). sect233k1 has
+    /// cofactor 4, so an attacker can offer on-curve points of order
+    /// 2 or 4 — or composite-order points like G + (0, 1) — to mount
+    /// small-subgroup probes; this is the full-validation gate that
+    /// rejects them.
+    ///
+    /// Deliberately built on [`Affine::mul_binary`]: the τ-adic wNAF
+    /// path assumes its input already lies in the order-n subgroup, so
+    /// validating untrusted points with it would be circular.
+    pub fn is_in_prime_order_subgroup(&self) -> bool {
+        match self {
+            Affine::Infinity => false,
+            _ => self.is_on_curve() && self.mul_binary(&order()).is_infinity(),
+        }
+    }
 }
 
 /// Error decoding a compressed point.
@@ -636,5 +653,24 @@ mod tests {
         let t = Affine::new(Fe::ZERO, Fe::ONE).unwrap();
         assert!(t.double().is_infinity());
         assert_eq!(t.add(&t), Affine::Infinity);
+    }
+
+    #[test]
+    fn subgroup_membership_accepts_only_order_n_points() {
+        assert!(generator().is_in_prime_order_subgroup());
+        assert!(generator().double().is_in_prime_order_subgroup());
+        // The identity is a degenerate "key", not a subgroup member.
+        assert!(!Affine::Infinity.is_in_prime_order_subgroup());
+        // The 2-torsion point (0, 1) and the order-4 point (1, 1).
+        let t2 = Affine::new(Fe::ZERO, Fe::ONE).unwrap();
+        assert!(!t2.is_in_prime_order_subgroup());
+        let t4 = Affine::new(Fe::ONE, Fe::ONE).unwrap();
+        assert!(t4.is_on_curve());
+        assert!(!t4.is_in_prime_order_subgroup());
+        // A composite-order point: G + (0, 1) has order 2n — on the
+        // curve, not annihilated by n.
+        let composite = generator().add(&t2);
+        assert!(composite.is_on_curve());
+        assert!(!composite.is_in_prime_order_subgroup());
     }
 }

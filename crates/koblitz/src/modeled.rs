@@ -50,6 +50,63 @@ pub struct PointMulRun {
     pub report: RunReport,
 }
 
+/// Individually toggleable fault-detection countermeasures for
+/// [`ModeledMul::kp_hardened`]. Every enabled check runs as *charged*
+/// instructions (attributed to *Support functions*), so its
+/// cycle/energy overhead is measured by the cost model rather than
+/// estimated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Hardening {
+    /// Verify the base point satisfies the curve equation before
+    /// multiplying (the invalid-point-attack gate).
+    pub validate_base: bool,
+    /// Reject a point-at-infinity result (the degenerate output a
+    /// glitched accumulator or a small-order input produces).
+    pub reject_infinity: bool,
+    /// Verify the affine result satisfies the curve equation after the
+    /// final conversion (the post-kP coherence check).
+    pub check_result: bool,
+}
+
+impl Hardening {
+    /// All countermeasures off — cost-identical to [`ModeledMul::kp`].
+    pub const OFF: Hardening = Hardening {
+        validate_base: false,
+        reject_infinity: false,
+        check_result: false,
+    };
+
+    /// All countermeasures on (the campaign's "full" profile).
+    pub const FULL: Hardening = Hardening {
+        validate_base: true,
+        reject_infinity: true,
+        check_result: true,
+    };
+}
+
+/// A hardened multiplication rejected its input or output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HardeningError {
+    /// The base point failed the curve-equation check.
+    BaseNotOnCurve,
+    /// The result was the point at infinity.
+    ResultInfinity,
+    /// The converted result failed the curve-equation check.
+    ResultNotOnCurve,
+}
+
+impl std::fmt::Display for HardeningError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HardeningError::BaseNotOnCurve => f.write_str("base point is not on the curve"),
+            HardeningError::ResultInfinity => f.write_str("result degenerated to infinity"),
+            HardeningError::ResultNotOnCurve => f.write_str("result is not on the curve"),
+        }
+    }
+}
+
+impl std::error::Error for HardeningError {}
+
 /// The modeled point multiplier. Owns a [`ModeledField`] and a bank of
 /// reusable element slots.
 #[derive(Debug)]
@@ -358,20 +415,43 @@ impl ModeledMul {
     }
 
     /// Final conversion acc → affine: one inversion, two
-    /// multiplications and one squaring.
+    /// multiplications and one squaring. The affine coordinates are
+    /// parked in `tmp[6]`/`tmp[7]` so hardened runs can re-check them
+    /// in machine RAM.
     fn acc_to_affine(&mut self) -> Affine {
         if self.acc_is_infinity() {
             return Affine::Infinity;
         }
-        let [t1, t2, ..] = self.tmp;
+        let [t1, _, _, _, _, _, xs, ys, ..] = self.tmp;
         let acc = self.acc;
         self.f.inv(t1, acc.z); // Z⁻¹
-        self.f.mul(t2, acc.x, t1); // x
-        let x = self.f.load(t2);
+        self.f.mul(xs, acc.x, t1); // x
+        let x = self.f.load(xs);
         self.f.sqr(t1, t1); // Z⁻²
-        self.f.mul(t2, acc.y, t1); // y
-        let y = self.f.load(t2);
+        self.f.mul(ys, acc.y, t1); // y
+        let y = self.f.load(ys);
         Affine::Point { x, y }
+    }
+
+    /// Charged curve-equation check of the affine point held in
+    /// `(x, y)`: y² + xy = x³ + b, as 2M + 2S + two additions, the
+    /// constant store and the compare, attributed to *Support*.
+    fn on_curve_check(&mut self, x: FeSlot, y: FeSlot) -> bool {
+        let [t1, t2, t3, ..] = self.tmp;
+        let prev = self.f.machine().category_override();
+        self.f
+            .machine_mut()
+            .set_category_override(Some(Category::Support));
+        self.f.sqr(t1, y);
+        self.f.mul(t2, x, y);
+        self.f.add(t1, t1, t2); // y² + xy
+        self.f.sqr(t2, x);
+        self.f.mul(t2, t2, x);
+        self.f.set_const(t3, crate::curve::B);
+        self.f.add(t2, t2, t3); // x³ + b
+        let ok = self.f.equal(t1, t2);
+        self.f.machine_mut().set_category_override(prev);
+        ok
     }
 
     // ------------------------------------------------------------------
@@ -522,12 +602,79 @@ impl ModeledMul {
     pub fn run(&mut self, p: &Affine, k: &Int, w: u32, charge_precomp: bool) -> PointMulRun {
         assert!(!k.is_negative(), "scalar must be non-negative");
         let snap = self.f.machine().snapshot();
+        let result = self.run_inner(p, k, w, charge_precomp);
+        let report = self.f.machine().report_since(&snap);
+        if !(p.is_infinity() || k.is_zero()) {
+            let expect = crate::mul::mul_wtnaf(p, k, w);
+            assert_eq!(
+                result, expect,
+                "modeled multiplication diverged from portable"
+            );
+        }
+        PointMulRun { result, report }
+    }
+
+    /// Random-point multiplication with the selected fault
+    /// countermeasures (the campaign's hardened profiles). With every
+    /// toggle off this is cost-identical to [`ModeledMul::kp`]; each
+    /// enabled check adds charged *Support* instructions whose overhead
+    /// shows up in [`PointMulRun::report`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failed check. A rejected run aborts the
+    /// protocol operation, so no report is produced for it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is negative.
+    pub fn kp_hardened(
+        &mut self,
+        p: &Affine,
+        k: &Int,
+        hardening: Hardening,
+    ) -> Result<PointMulRun, HardeningError> {
+        assert!(!k.is_negative(), "scalar must be non-negative");
+        let snap = self.f.machine().snapshot();
+        if hardening.validate_base {
+            if let Affine::Point { x, y } = *p {
+                let base = self.base;
+                self.f.store(base.x, x);
+                self.f.store(base.y, y);
+                if !self.on_curve_check(base.x, base.y) {
+                    return Err(HardeningError::BaseNotOnCurve);
+                }
+            }
+        }
+        let result = self.run_inner(p, k, KP_WINDOW, true);
+        if hardening.reject_infinity && self.acc_is_infinity() {
+            return Err(HardeningError::ResultInfinity);
+        }
+        if hardening.check_result && !result.is_infinity() {
+            let (xs, ys) = (self.tmp[6], self.tmp[7]);
+            if !self.on_curve_check(xs, ys) {
+                return Err(HardeningError::ResultNotOnCurve);
+            }
+        }
+        let report = self.f.machine().report_since(&snap);
+        if !(p.is_infinity() || k.is_zero()) {
+            let expect = crate::mul::mul_wtnaf(p, k, KP_WINDOW);
+            assert_eq!(
+                result, expect,
+                "modeled multiplication diverged from portable"
+            );
+        }
+        Ok(PointMulRun { result, report })
+    }
+
+    /// The shared body of [`ModeledMul::run`] and
+    /// [`ModeledMul::kp_hardened`]: recode, build/load the window
+    /// table, evaluate. Degenerate inputs set the accumulator to a
+    /// coherent infinity so post-run checks read real machine state.
+    fn run_inner(&mut self, p: &Affine, k: &Int, w: u32, charge_precomp: bool) -> Affine {
         if p.is_infinity() || k.is_zero() {
-            let report = self.f.machine().report_since(&snap);
-            return PointMulRun {
-                result: Affine::Infinity,
-                report,
-            };
+            self.set_infinity();
+            return Affine::Infinity;
         }
         let digits = self.tnaf_representation(k, w);
         if charge_precomp {
@@ -541,14 +688,7 @@ impl ModeledMul {
             assert_eq!(w, KG_WINDOW, "the offline table is built for w = 6");
             self.load_generator_table();
         }
-        let result = self.main_loop(&digits);
-        let report = self.f.machine().report_since(&snap);
-        let expect = crate::mul::mul_wtnaf(p, k, w);
-        assert_eq!(
-            result, expect,
-            "modeled multiplication diverged from portable"
-        );
-        PointMulRun { result, report }
+        self.main_loop(&digits)
     }
 
     /// Constant-time Montgomery-ladder multiplication on the cost model
@@ -876,5 +1016,93 @@ mod tests {
         assert!(run.report.cycles < 1000);
         let run = mm.kp(&Affine::Infinity, &scalar(8));
         assert!(run.result.is_infinity());
+    }
+
+    #[test]
+    fn hardening_off_is_cost_identical_to_kp() {
+        let g = generator();
+        let k = scalar(11);
+        let mut plain = ModeledMul::new(Tier::Asm);
+        let base = plain.kp(&g, &k);
+        let mut hardened = ModeledMul::new(Tier::Asm);
+        let run = hardened.kp_hardened(&g, &k, Hardening::OFF).unwrap();
+        assert_eq!(run.result, base.result);
+        assert_eq!(run.report.cycles, base.report.cycles);
+        assert_eq!(
+            run.report.energy_pj.to_bits(),
+            base.report.energy_pj.to_bits()
+        );
+    }
+
+    #[test]
+    fn each_countermeasure_adds_measured_cycles() {
+        let g = generator();
+        let k = scalar(12);
+        let cycles_for = |h: Hardening| {
+            let mut mm = ModeledMul::new(Tier::Asm);
+            mm.kp_hardened(&g, &k, h).unwrap().report.cycles
+        };
+        let off = cycles_for(Hardening::OFF);
+        let base = cycles_for(Hardening {
+            validate_base: true,
+            ..Hardening::OFF
+        });
+        let inf = cycles_for(Hardening {
+            reject_infinity: true,
+            ..Hardening::OFF
+        });
+        let res = cycles_for(Hardening {
+            check_result: true,
+            ..Hardening::OFF
+        });
+        let full = cycles_for(Hardening::FULL);
+        assert!(base > off && inf > off && res > off);
+        // The toggles compose additively.
+        assert_eq!(full - off, (base - off) + (inf - off) + (res - off));
+        // Each check is a tiny fraction of the multiplication itself.
+        assert!(full - off < off / 50, "overhead {} vs {}", full - off, off);
+    }
+
+    #[test]
+    fn hardened_run_rejects_an_off_curve_base() {
+        // Off-curve garbage a faulted decompression could hand over.
+        let bad = Affine::Point {
+            x: Fe::from_words_reduced([2, 0, 0, 0, 0, 0, 0, 0]),
+            y: Fe::from_words_reduced([3, 0, 0, 0, 0, 0, 0, 0]),
+        };
+        assert!(!bad.is_on_curve());
+        let mut mm = ModeledMul::new(Tier::Asm);
+        assert!(matches!(
+            mm.kp_hardened(
+                &bad,
+                &scalar(13),
+                Hardening {
+                    validate_base: true,
+                    ..Hardening::OFF
+                }
+            ),
+            Err(HardeningError::BaseNotOnCurve)
+        ));
+    }
+
+    #[test]
+    fn hardened_run_rejects_an_infinity_result() {
+        // k = n annihilates the generator: unhardened this silently
+        // returns infinity, with the countermeasure it is rejected.
+        let n = order();
+        let mut mm = ModeledMul::new(Tier::Asm);
+        let run = mm.kp_hardened(&generator(), &n, Hardening::OFF).unwrap();
+        assert!(run.result.is_infinity());
+        assert!(matches!(
+            mm.kp_hardened(
+                &generator(),
+                &n,
+                Hardening {
+                    reject_infinity: true,
+                    ..Hardening::OFF
+                }
+            ),
+            Err(HardeningError::ResultInfinity)
+        ));
     }
 }

@@ -9,7 +9,7 @@
 
 use crate::asm::{decode_bl, Program};
 use crate::isa::Instr;
-use crate::machine::Machine;
+use crate::machine::{Machine, Reg};
 
 /// Execution errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -22,6 +22,10 @@ pub enum ExecError {
     StepLimit,
     /// A literal load referenced a missing pool slot.
     BadLiteral { pc: usize, slot: usize },
+    /// A load/store computed an effective address outside RAM (the
+    /// HardFault of the model — reachable when a fault corrupts a base
+    /// register, so it aborts the run instead of panicking the host).
+    MemOutOfRange { pc: usize, addr: u64 },
 }
 
 impl std::fmt::Display for ExecError {
@@ -35,11 +39,45 @@ impl std::fmt::Display for ExecError {
             ExecError::BadLiteral { pc, slot } => {
                 write!(f, "literal slot {slot} missing at {pc}")
             }
+            ExecError::MemOutOfRange { pc, addr } => {
+                write!(f, "memory access to word {addr} outside RAM at {pc}")
+            }
         }
     }
 }
 
 impl std::error::Error for ExecError {}
+
+/// What the control hook of [`execute_fragment_ctl`] decided for the
+/// instruction about to retire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepAction {
+    /// Execute normally.
+    Execute,
+    /// Glitch the instruction away: it is fetched but never retires —
+    /// nothing is charged and control falls through, even for branches.
+    Skip,
+}
+
+/// The effective word address a load/store is about to touch, or `None`
+/// for instructions that do not access RAM. Computed in `u64` so a
+/// corrupted base register cannot overflow the sum.
+fn mem_access(machine: &Machine, instr: &Instr) -> Option<u64> {
+    use Instr::*;
+    let addr = match *instr {
+        LdrImm { rn, imm_words, .. } | StrImm { rn, imm_words, .. } => {
+            machine.reg(rn) as u64 + imm_words as u64
+        }
+        LdrReg { rn, rm, .. } | StrReg { rn, rm, .. } => {
+            machine.reg(rn) as u64 + machine.reg(rm) as u64
+        }
+        LdrSp { imm_words, .. } | StrSp { imm_words, .. } => {
+            machine.reg(Reg::Sp) as u64 + imm_words as u64
+        }
+        _ => return None,
+    };
+    Some(addr)
+}
 
 /// Statistics of one program run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -131,6 +169,11 @@ pub fn execute(
                 pc += width;
             }
             other => {
+                if let Some(addr) = mem_access(machine, &other) {
+                    if addr >= machine.ram_words() as u64 {
+                        return Err(ExecError::MemOutOfRange { pc, addr });
+                    }
+                }
                 dispatch(machine, other);
                 pc += width;
             }
@@ -162,6 +205,32 @@ pub fn execute_fragment(
     max_steps: u64,
     mut hook: impl FnMut(&mut Machine, usize),
 ) -> Result<ExecStats, ExecError> {
+    execute_fragment_ctl(machine, program, max_steps, |m, idx| {
+        hook(m, idx);
+        StepAction::Execute
+    })
+}
+
+/// Like [`execute_fragment`], but the hook *controls* each step: it can
+/// order the instruction about to retire to be skipped (the fault
+/// injector's instruction-skip model) or mutate machine state first
+/// (its register/memory bit flips).
+///
+/// A skipped instruction still counts against `max_steps` and the
+/// retired-instruction index — keeping hook indices aligned with a
+/// recording — but charges nothing, and control falls through to the
+/// next halfword even for branches.
+///
+/// # Errors
+///
+/// Propagates decode, literal, memory-range and runaway-loop failures;
+/// the machine state reflects everything executed up to the error.
+pub fn execute_fragment_ctl(
+    machine: &mut Machine,
+    program: &Program,
+    max_steps: u64,
+    mut ctl: impl FnMut(&mut Machine, usize) -> StepAction,
+) -> Result<ExecStats, ExecError> {
     let mut pc = 0usize;
     let mut call_stack: Vec<usize> = Vec::new();
     let mut steps = 0u64;
@@ -175,8 +244,12 @@ pub fn execute_fragment(
         let window = &program.code[pc..(pc + 2).min(program.code.len())];
         let (instr, width) =
             Instr::decode(window).ok_or(ExecError::InvalidInstruction { pc, halfword: hw })?;
-        hook(machine, steps as usize);
+        let action = ctl(machine, steps as usize);
         steps += 1;
+        if action == StepAction::Skip {
+            pc += width;
+            continue;
+        }
 
         match instr {
             Instr::BCond { cond } => {
@@ -220,6 +293,11 @@ pub fn execute_fragment(
                 pc += width;
             }
             other => {
+                if let Some(addr) = mem_access(machine, &other) {
+                    if addr >= machine.ram_words() as u64 {
+                        return Err(ExecError::MemOutOfRange { pc, addr });
+                    }
+                }
                 dispatch(machine, other);
                 pc += width;
             }
@@ -486,6 +564,118 @@ mod tests {
     fn error_display_is_informative() {
         assert!(format!("{}", ExecError::StepLimit).contains("step limit"));
         assert!(format!("{}", ExecError::PcOutOfRange(7)).contains('7'));
+        assert!(format!("{}", ExecError::MemOutOfRange { pc: 3, addr: 99 }).contains("99"));
+    }
+
+    #[test]
+    fn out_of_range_load_aborts_instead_of_panicking() {
+        // Regression test for the fault campaign: a corrupted base
+        // register must surface as ExecError::MemOutOfRange, not as a
+        // host panic that tears down the whole campaign.
+        let mut a = Assembler::new();
+        a.label("entry");
+        a.push(Instr::LdrImm {
+            rt: Reg::R1,
+            rn: Reg::R0,
+            imm_words: 3,
+        });
+        a.push(Instr::Bx);
+        let p = a.assemble().expect("assembles");
+        let mut m = Machine::new(16);
+        m.set_reg(Reg::R0, 0xFFFF_FFFF); // "glitched" base pointer
+        assert_eq!(
+            execute(&mut m, &p, "entry", 10),
+            Err(ExecError::MemOutOfRange {
+                pc: 0,
+                addr: 0xFFFF_FFFFu64 + 3
+            })
+        );
+        // Same guard on the indexed and SP-relative forms.
+        let mut a = Assembler::new();
+        a.label("entry");
+        a.push(Instr::StrReg {
+            rt: Reg::R2,
+            rn: Reg::R0,
+            rm: Reg::R1,
+        });
+        let p = a.assemble().expect("assembles");
+        let mut m = Machine::new(16);
+        m.set_reg(Reg::R0, 8);
+        m.set_reg(Reg::R1, 9);
+        assert_eq!(
+            execute_fragment(&mut m, &p, 10, |_, _| {}),
+            Err(ExecError::MemOutOfRange { pc: 0, addr: 17 })
+        );
+        let mut a = Assembler::new();
+        a.label("entry");
+        a.push(Instr::LdrSp {
+            rt: Reg::R0,
+            imm_words: 2,
+        });
+        let p = a.assemble().expect("assembles");
+        let mut m = Machine::new(16);
+        m.set_reg(Reg::Sp, 15);
+        assert_eq!(
+            execute_fragment(&mut m, &p, 10, |_, _| {}),
+            Err(ExecError::MemOutOfRange { pc: 0, addr: 17 })
+        );
+    }
+
+    #[test]
+    fn skipped_instructions_charge_nothing_and_fall_through() {
+        // movs r0, #5 ; adds r0, #1 ; adds r0, #1 — skip the middle one.
+        let mut a = Assembler::new();
+        a.label("entry");
+        a.push(Instr::MovsImm {
+            rd: Reg::R0,
+            imm: 5,
+        });
+        a.push(Instr::AddsImm8 {
+            rdn: Reg::R0,
+            imm: 1,
+        });
+        a.push(Instr::AddsImm8 {
+            rdn: Reg::R0,
+            imm: 1,
+        });
+        let p = a.assemble().expect("assembles");
+        let mut m = Machine::new(16);
+        let stats = execute_fragment_ctl(&mut m, &p, 10, |_, idx| {
+            if idx == 1 {
+                StepAction::Skip
+            } else {
+                StepAction::Execute
+            }
+        })
+        .expect("runs");
+        assert_eq!(m.reg(Reg::R0), 6);
+        // The skipped instruction retires an index but no cycles.
+        assert_eq!(stats.instructions, 3);
+        assert_eq!(stats.cycles, 2);
+    }
+
+    #[test]
+    fn skipping_a_taken_branch_falls_through() {
+        // b past an adds; skipping the branch executes the adds.
+        let mut a = Assembler::new();
+        a.label("entry");
+        a.branch("end");
+        a.push(Instr::AddsImm8 {
+            rdn: Reg::R0,
+            imm: 7,
+        });
+        a.label("end");
+        let p = a.assemble().expect("assembles");
+        let mut m = Machine::new(16);
+        execute_fragment_ctl(&mut m, &p, 10, |_, idx| {
+            if idx == 0 {
+                StepAction::Skip
+            } else {
+                StepAction::Execute
+            }
+        })
+        .expect("runs");
+        assert_eq!(m.reg(Reg::R0), 7);
     }
 
     #[test]

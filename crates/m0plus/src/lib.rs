@@ -47,6 +47,7 @@ pub mod backend;
 pub mod cost;
 pub mod energy;
 pub mod exec;
+pub mod fault;
 pub mod isa;
 pub mod machine;
 pub mod profile;
@@ -56,7 +57,8 @@ pub mod rig;
 pub use backend::{Backend, KernelRun};
 pub use cost::InstrClass;
 pub use energy::EnergyModel;
-pub use exec::{execute, execute_fragment, ExecError, ExecStats};
+pub use exec::{execute, execute_fragment, execute_fragment_ctl, ExecError, ExecStats, StepAction};
+pub use fault::{FaultKind, FaultPlan, FaultedRun, RecordedKernel};
 pub use isa::Instr;
 pub use machine::{Addr, Cond, Machine, RecordedSetReg, RecordedStep, Recording, Reg};
 pub use profile::{Category, CategoryTotals};

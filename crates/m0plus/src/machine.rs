@@ -291,6 +291,43 @@ impl Machine {
         self.mem[base..base + len].to_vec()
     }
 
+    /// Total RAM size in words.
+    pub fn ram_words(&self) -> usize {
+        self.mem.len()
+    }
+
+    /// Words handed out by [`Machine::alloc`] so far (the break).
+    pub fn allocated_words(&self) -> u32 {
+        self.brk
+    }
+
+    /// Reads one RAM word without charging cycles, or `None` when the
+    /// word address is out of range.
+    pub fn peek(&self, word: u32) -> Option<u32> {
+        self.mem.get(word as usize).copied()
+    }
+
+    /// Flips one bit of a RAM word — the fault-injection primitive for
+    /// a memory upset. Un-costed (the glitch is not an instruction) and
+    /// never panics: returns `false` when `word` is out of range.
+    pub fn flip_mem_bit(&mut self, word: u32, bit: u32) -> bool {
+        match self.mem.get_mut(word as usize) {
+            Some(w) => {
+                *w ^= 1 << (bit % 32);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Flips one bit of register `r` — the fault-injection primitive
+    /// for a register upset. Un-costed, and deliberately *not* routed
+    /// through [`Machine::set_reg`] so an active recording does not
+    /// capture the glitch as a legitimate positioned write.
+    pub fn flip_reg_bit(&mut self, r: Reg, bit: u32) {
+        self.regs[r.index()] ^= 1 << (bit % 32);
+    }
+
     /// Current value of register `r`.
     pub fn reg(&self, r: Reg) -> u32 {
         self.regs[r.index()]

@@ -24,6 +24,9 @@ pub struct Keypair {
 pub enum EcdhError {
     /// The peer's public point failed validation.
     InvalidPublicKey,
+    /// The peer's point is on the curve but outside the prime-order
+    /// subgroup (a small-subgroup probe — cofactor 4 on sect233k1).
+    WrongOrderPublicKey,
     /// The computed shared point was the identity (invalid peer key).
     DegenerateSharedSecret,
 }
@@ -32,6 +35,9 @@ impl std::fmt::Display for EcdhError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             EcdhError::InvalidPublicKey => f.write_str("peer public key is not on the curve"),
+            EcdhError::WrongOrderPublicKey => {
+                f.write_str("peer public key is outside the prime-order subgroup")
+            }
             EcdhError::DegenerateSharedSecret => {
                 f.write_str("shared secret degenerated to infinity")
             }
@@ -80,10 +86,17 @@ impl Keypair {
     ///
     /// # Errors
     ///
-    /// Rejects peer points that are off-curve or lead to the identity.
+    /// Rejects peer points that are off-curve, outside the prime-order
+    /// subgroup, or lead to the identity. The on-curve check runs
+    /// first; the order check closes the small-subgroup hole (the
+    /// τ-adic multiplication below is only defined on the order-n
+    /// subgroup, so skipping it would also compute garbage).
     pub fn shared_secret(&self, peer: &Affine) -> Result<[u8; 32], EcdhError> {
         if !peer.is_on_curve() || peer.is_infinity() {
             return Err(EcdhError::InvalidPublicKey);
+        }
+        if !peer.is_in_prime_order_subgroup() {
+            return Err(EcdhError::WrongOrderPublicKey);
         }
         let shared = mul::mul_wtnaf(peer, &self.secret.to_int(), mul::KP_WINDOW);
         if shared.is_infinity() {
@@ -153,5 +166,30 @@ mod tests {
             }
         }
         assert_eq!(alice.shared_secret(&bad), Err(EcdhError::InvalidPublicKey));
+    }
+
+    #[test]
+    fn rejects_small_subgroup_probes() {
+        use koblitz::generator;
+        let alice = Keypair::generate(b"alice");
+        // The 2-torsion point (0, 1) and the order-4 point (1, 1) are
+        // both on the curve — a naive on-curve check passes them.
+        let t2 = Affine::new(Fe::ZERO, Fe::ONE).unwrap();
+        assert_eq!(
+            alice.shared_secret(&t2),
+            Err(EcdhError::WrongOrderPublicKey)
+        );
+        let t4 = Affine::new(Fe::ONE, Fe::ONE).unwrap();
+        assert_eq!(
+            alice.shared_secret(&t4),
+            Err(EcdhError::WrongOrderPublicKey)
+        );
+        // A composite-order probe: G + (0, 1) has order 2n.
+        let composite = generator().add(&t2);
+        assert!(composite.is_on_curve());
+        assert_eq!(
+            alice.shared_secret(&composite),
+            Err(EcdhError::WrongOrderPublicKey)
+        );
     }
 }

@@ -102,6 +102,21 @@ impl SigningKey {
             return Signature { r, s };
         }
     }
+
+    /// Signs, then verifies the fresh signature before releasing it —
+    /// the standard countermeasure against fault attacks on the
+    /// signing path (a glitched nonce or scalar multiplication would
+    /// otherwise emit an invalid signature that can leak the key).
+    ///
+    /// # Errors
+    ///
+    /// Returns the verification failure when the self-check does not
+    /// pass; the signature is withheld in that case.
+    pub fn sign_checked(&self, msg: &[u8]) -> Result<Signature, VerifyError> {
+        let sig = self.sign(msg);
+        verify(&self.public, msg, &sig)?;
+        Ok(sig)
+    }
 }
 
 /// Verifies `sig` over `msg` for public key `q`.
@@ -207,6 +222,15 @@ mod tests {
             s: sig.r.clone(),
         };
         assert!(verify(key.public(), b"message", &swapped).is_err());
+    }
+
+    #[test]
+    fn sign_checked_releases_only_verified_signatures() {
+        let key = SigningKey::generate(b"node-7 identity");
+        let msg = b"telemetry frame 0422";
+        let sig = key.sign_checked(msg).expect("self-check passes");
+        assert_eq!(sig, key.sign(msg), "the checked path signs identically");
+        assert_eq!(verify(key.public(), msg, &sig), Ok(()));
     }
 
     #[test]

@@ -11,26 +11,64 @@ use crate::hmac::hmac_sha256;
 use koblitz::curve::{Affine, DecompressError};
 use koblitz::{Int, Scalar};
 
-/// Errors decoding wire data.
+/// Errors decoding wire data — the shared taxonomy for everything a
+/// node can receive over the radio. Every reject names *why*, so the
+/// negative-path tests (and a listening operator) can tell an
+/// off-curve probe from a truncated frame from a replay.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WireError {
-    /// Point decompression failed.
+    /// Point decompression failed (bad tag byte or no such x).
     BadPoint(DecompressError),
+    /// The decoded point was the identity — never a valid public key.
+    IdentityPoint,
+    /// The decoded point is on the curve but outside the prime-order
+    /// subgroup (a small-subgroup / invalid-point probe; sect233k1 has
+    /// cofactor 4).
+    WrongOrder,
     /// A scalar was zero or ≥ n.
     BadScalar,
     /// The frame authentication tag did not verify.
     BadTag,
-    /// The buffer had the wrong length.
-    BadLength,
+    /// The buffer was shorter than the format requires.
+    BadLength {
+        /// Minimum (or exact) byte length the format needs.
+        need: usize,
+        /// Length actually received.
+        got: usize,
+    },
+    /// The buffer exceeded the maximum accepted frame size.
+    Oversize {
+        /// Maximum accepted length.
+        max: usize,
+        /// Length actually received.
+        got: usize,
+    },
+    /// The frame's sequence number was not fresh (a replay).
+    Replayed {
+        /// Sequence number received.
+        seq: u32,
+        /// Newest sequence number already accepted.
+        last: u32,
+    },
 }
 
 impl std::fmt::Display for WireError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             WireError::BadPoint(e) => write!(f, "bad point encoding: {e}"),
+            WireError::IdentityPoint => f.write_str("point is the identity"),
+            WireError::WrongOrder => f.write_str("point is outside the prime-order subgroup"),
             WireError::BadScalar => f.write_str("scalar out of range"),
             WireError::BadTag => f.write_str("authentication tag mismatch"),
-            WireError::BadLength => f.write_str("wrong buffer length"),
+            WireError::BadLength { need, got } => {
+                write!(f, "buffer too short: need {need} bytes, got {got}")
+            }
+            WireError::Oversize { max, got } => {
+                write!(f, "buffer too long: at most {max} bytes, got {got}")
+            }
+            WireError::Replayed { seq, last } => {
+                write!(f, "replayed frame: seq {seq} not newer than {last}")
+            }
         }
     }
 }
@@ -48,19 +86,41 @@ pub fn encode_public_key(p: &Affine) -> [u8; 31] {
     p.to_compressed_bytes()
 }
 
-/// Decodes and validates a compressed public key.
+/// Decodes and fully validates a compressed public key: the encoding
+/// must parse, the point must be finite, on the curve, and of order n.
+///
+/// The order check matters even for decompressed points: x = 0 decodes
+/// to the 2-torsion point (0, 1), and other cofactor points decompress
+/// fine too — without the check they make small-subgroup probes.
 ///
 /// # Errors
 ///
-/// Rejects malformed encodings and the point at infinity (not a valid
-/// public key).
+/// [`WireError::BadPoint`] for malformed encodings,
+/// [`WireError::IdentityPoint`] for the identity,
+/// [`WireError::WrongOrder`] for cofactor / composite-order points.
 pub fn decode_public_key(bytes: &[u8; 31]) -> Result<Affine, WireError> {
     let p = Affine::from_compressed_bytes(bytes)?;
     if p.is_infinity() {
-        return Err(WireError::BadPoint(DecompressError::InvalidTag));
+        return Err(WireError::IdentityPoint);
     }
     debug_assert!(p.is_on_curve());
+    if !p.is_in_prime_order_subgroup() {
+        return Err(WireError::WrongOrder);
+    }
     Ok(p)
+}
+
+/// [`decode_public_key`] for radio buffers of unchecked length.
+///
+/// # Errors
+///
+/// Adds [`WireError::BadLength`] to the fixed-size decoder's errors.
+pub fn decode_public_key_slice(bytes: &[u8]) -> Result<Affine, WireError> {
+    let fixed: &[u8; 31] = bytes.try_into().map_err(|_| WireError::BadLength {
+        need: 31,
+        got: bytes.len(),
+    })?;
+    decode_public_key(fixed)
 }
 
 /// Encodes a signature as r ‖ s, 30 bytes each.
@@ -89,6 +149,20 @@ pub fn decode_signature(bytes: &[u8; 60]) -> Result<Signature, WireError> {
     })
 }
 
+/// [`decode_signature`] for radio buffers of unchecked length. A
+/// truncated or padded signature is a length error, not a panic.
+///
+/// # Errors
+///
+/// Adds [`WireError::BadLength`] to the fixed-size decoder's errors.
+pub fn decode_signature_slice(bytes: &[u8]) -> Result<Signature, WireError> {
+    let fixed: &[u8; 60] = bytes.try_into().map_err(|_| WireError::BadLength {
+        need: 60,
+        got: bytes.len(),
+    })?;
+    decode_signature(fixed)
+}
+
 /// A sealed telemetry frame: 4-byte sequence number ‖ ciphertext ‖
 /// 16-byte truncated HMAC tag. Key material comes from the ECDH shared
 /// secret (first 16 bytes AES, last 16 bytes MAC).
@@ -98,9 +172,25 @@ pub struct SealedFrame {
 }
 
 impl SealedFrame {
+    /// Largest payload a frame may carry — a sensor-radio MTU bound
+    /// that keeps a malicious length from forcing unbounded buffering.
+    pub const MAX_PAYLOAD: usize = 1024;
+
+    /// Largest wire frame: header + payload + tag.
+    pub const MAX_FRAME: usize = 4 + Self::MAX_PAYLOAD + 16;
+
     /// Encrypts and authenticates `payload` under the 32-byte session
     /// secret with the given sequence number (also the CTR nonce seed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `payload` exceeds [`SealedFrame::MAX_PAYLOAD`] (a
+    /// sender-side programming error: the peer would reject the frame).
     pub fn seal(secret: &[u8; 32], seq: u32, payload: &[u8]) -> SealedFrame {
+        assert!(
+            payload.len() <= Self::MAX_PAYLOAD,
+            "payload exceeds the frame MTU"
+        );
         let aes = Aes128::new(&secret[..16].try_into().expect("16 bytes"));
         let mut nonce = [0u8; 12];
         nonce[..4].copy_from_slice(&seq.to_be_bytes());
@@ -123,10 +213,21 @@ impl SealedFrame {
     ///
     /// # Errors
     ///
-    /// Rejects frames shorter than header + tag.
+    /// Rejects frames shorter than header + tag
+    /// ([`WireError::BadLength`]) and frames over
+    /// [`SealedFrame::MAX_FRAME`] ([`WireError::Oversize`]).
     pub fn from_bytes(bytes: &[u8]) -> Result<SealedFrame, WireError> {
         if bytes.len() < 4 + 16 {
-            return Err(WireError::BadLength);
+            return Err(WireError::BadLength {
+                need: 4 + 16,
+                got: bytes.len(),
+            });
+        }
+        if bytes.len() > Self::MAX_FRAME {
+            return Err(WireError::Oversize {
+                max: Self::MAX_FRAME,
+                got: bytes.len(),
+            });
         }
         Ok(SealedFrame {
             bytes: bytes.to_vec(),
@@ -161,6 +262,51 @@ impl SealedFrame {
     }
 }
 
+/// Receiver-side anti-replay state: accepts strictly increasing
+/// sequence numbers. The sequence number doubles as the CTR nonce in
+/// [`SealedFrame::seal`], so accepting a stale frame would both
+/// re-deliver old data and sanction keystream reuse; this guard
+/// enforces freshness *after* the tag verifies (an attacker must not
+/// be able to advance the window with forged frames).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayGuard {
+    last: Option<u32>,
+}
+
+impl ReplayGuard {
+    /// A guard that has accepted no frames yet.
+    pub fn new() -> ReplayGuard {
+        ReplayGuard::default()
+    }
+
+    /// Verifies, decrypts and freshness-checks `frame`, advancing the
+    /// window on success.
+    ///
+    /// # Errors
+    ///
+    /// [`SealedFrame::open`]'s errors, plus [`WireError::Replayed`]
+    /// when the sequence number does not move forward.
+    pub fn open(
+        &mut self,
+        frame: &SealedFrame,
+        secret: &[u8; 32],
+    ) -> Result<(u32, Vec<u8>), WireError> {
+        let (seq, payload) = frame.open(secret)?;
+        if let Some(last) = self.last {
+            if seq <= last {
+                return Err(WireError::Replayed { seq, last });
+            }
+        }
+        self.last = Some(seq);
+        Ok((seq, payload))
+    }
+
+    /// The newest sequence number accepted so far.
+    pub fn last_accepted(&self) -> Option<u32> {
+        self.last
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,12 +322,59 @@ mod tests {
 
     #[test]
     fn public_key_rejects_infinity_and_garbage() {
-        assert!(decode_public_key(&[0u8; 31]).is_err());
+        // The all-zero tag encodes the identity.
+        assert_eq!(decode_public_key(&[0u8; 31]), Err(WireError::IdentityPoint));
         let mut garbage = [0xFFu8; 31];
         garbage[0] = 0x07;
         assert_eq!(
             decode_public_key(&garbage),
             Err(WireError::BadPoint(DecompressError::InvalidTag))
+        );
+    }
+
+    #[test]
+    fn public_key_rejects_small_subgroup_points() {
+        use gf2m::Fe;
+        use koblitz::Affine;
+        // x = 0 decompresses to the 2-torsion point (0, 1): a
+        // well-formed encoding that must still be rejected.
+        let two_torsion = Affine::new(Fe::ZERO, Fe::ONE).unwrap();
+        let enc = encode_public_key(&two_torsion);
+        assert_eq!(
+            Affine::from_compressed_bytes(&enc),
+            Ok(two_torsion),
+            "decompression itself accepts the cofactor point"
+        );
+        assert_eq!(decode_public_key(&enc), Err(WireError::WrongOrder));
+        // The order-4 point (1, 1) likewise.
+        let order4 = Affine::new(Fe::ONE, Fe::ONE).unwrap();
+        assert_eq!(
+            decode_public_key(&encode_public_key(&order4)),
+            Err(WireError::WrongOrder)
+        );
+    }
+
+    #[test]
+    fn slice_decoders_reject_bad_lengths_without_panicking() {
+        let kp = Keypair::generate(b"slice test");
+        let enc = encode_public_key(kp.public());
+        assert_eq!(decode_public_key_slice(&enc), Ok(*kp.public()));
+        assert_eq!(
+            decode_public_key_slice(&enc[..30]),
+            Err(WireError::BadLength { need: 31, got: 30 })
+        );
+        let key = SigningKey::generate(b"slice signer");
+        let sig = encode_signature(&key.sign(b"frame"));
+        assert!(decode_signature_slice(&sig).is_ok());
+        assert_eq!(
+            decode_signature_slice(&sig[..59]),
+            Err(WireError::BadLength { need: 60, got: 59 })
+        );
+        let mut long = sig.to_vec();
+        long.push(0);
+        assert_eq!(
+            decode_signature_slice(&long),
+            Err(WireError::BadLength { need: 60, got: 61 })
         );
     }
 
@@ -229,8 +422,50 @@ mod tests {
     fn sealed_frame_rejects_short_buffers() {
         assert_eq!(
             SealedFrame::from_bytes(&[0u8; 10]),
-            Err(WireError::BadLength)
+            Err(WireError::BadLength { need: 20, got: 10 })
         );
+    }
+
+    #[test]
+    fn sealed_frame_rejects_oversize_buffers() {
+        let big = vec![0u8; SealedFrame::MAX_FRAME + 1];
+        assert_eq!(
+            SealedFrame::from_bytes(&big),
+            Err(WireError::Oversize {
+                max: SealedFrame::MAX_FRAME,
+                got: SealedFrame::MAX_FRAME + 1
+            })
+        );
+        // The largest legal frame still parses.
+        assert!(SealedFrame::from_bytes(&vec![0u8; SealedFrame::MAX_FRAME]).is_ok());
+    }
+
+    #[test]
+    fn replay_guard_rejects_stale_and_repeated_sequences() {
+        let secret = [9u8; 32];
+        let f1 = SealedFrame::seal(&secret, 1, b"one");
+        let f2 = SealedFrame::seal(&secret, 2, b"two");
+        let mut guard = ReplayGuard::new();
+        assert_eq!(guard.open(&f1, &secret).unwrap().1, b"one");
+        assert_eq!(guard.open(&f2, &secret).unwrap().1, b"two");
+        // Replaying either frame is rejected even though the tags are
+        // perfectly valid.
+        assert_eq!(
+            guard.open(&f2, &secret),
+            Err(WireError::Replayed { seq: 2, last: 2 })
+        );
+        assert_eq!(
+            guard.open(&f1, &secret),
+            Err(WireError::Replayed { seq: 1, last: 2 })
+        );
+        assert_eq!(guard.last_accepted(), Some(2));
+        // A forged frame must not advance the window.
+        let mut forged = f1.as_bytes().to_vec();
+        let len = forged.len();
+        forged[len - 1] ^= 1;
+        let forged = SealedFrame::from_bytes(&forged).unwrap();
+        assert_eq!(guard.open(&forged, &secret), Err(WireError::BadTag));
+        assert_eq!(guard.last_accepted(), Some(2));
     }
 
     #[test]

@@ -1,0 +1,141 @@
+//! Attacker's-eye negative paths through the whole protocol stack, as
+//! seen from the radio: every test feeds wire bytes (not constructed
+//! structs) through the same decode functions a receiving node runs,
+//! and asserts the stack answers with the right error — never a panic,
+//! never silent acceptance.
+
+use protocols::ecdh::{EcdhError, Keypair};
+use protocols::ecdsa::{self, SigningKey, VerifyError};
+use protocols::ecies::{self, EciesError};
+use protocols::wire::{
+    decode_public_key_slice, decode_signature_slice, encode_public_key, encode_signature,
+    ReplayGuard, SealedFrame, WireError,
+};
+
+#[test]
+fn every_single_bit_flip_in_a_signature_is_rejected() {
+    let key = SigningKey::generate(b"node-12 identity");
+    let msg = b"fw-update v1.4.2 sha256=8c1f";
+    let good = encode_signature(&key.sign(msg));
+    for byte in 0..good.len() {
+        for bit in 0..8 {
+            let mut flipped = good;
+            flipped[byte] ^= 1 << bit;
+            // The decoder may reject the scalar outright (out of
+            // range); otherwise verification must fail.
+            match decode_signature_slice(&flipped) {
+                Err(WireError::BadScalar) => {}
+                Err(e) => panic!("unexpected decode error {e} at byte {byte} bit {bit}"),
+                Ok(sig) => {
+                    assert!(
+                        ecdsa::verify(key.public(), msg, &sig).is_err(),
+                        "flipped bit {bit} of byte {byte} still verified"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn truncated_and_padded_signatures_error_cleanly() {
+    let key = SigningKey::generate(b"node-12 identity");
+    let good = encode_signature(&key.sign(b"frame"));
+    for len in 0..good.len() {
+        assert_eq!(
+            decode_signature_slice(&good[..len]),
+            Err(WireError::BadLength { need: 60, got: len })
+        );
+    }
+    let mut padded = good.to_vec();
+    padded.push(0);
+    assert_eq!(
+        decode_signature_slice(&padded),
+        Err(WireError::BadLength { need: 60, got: 61 })
+    );
+}
+
+#[test]
+fn signature_under_the_wrong_key_is_rejected_end_to_end() {
+    let signer = SigningKey::generate(b"real signer");
+    let imposter = SigningKey::generate(b"imposter");
+    let msg = b"route update";
+    let sig_bytes = encode_signature(&imposter.sign(msg));
+    let key_bytes = encode_public_key(signer.public());
+    // Receiver decodes both from the wire, then verifies.
+    let q = decode_public_key_slice(&key_bytes).expect("signer key valid");
+    let sig = decode_signature_slice(&sig_bytes).expect("well-formed signature");
+    assert_eq!(ecdsa::verify(&q, msg, &sig), Err(VerifyError::BadSignature));
+}
+
+#[test]
+fn tampered_ecies_ciphertext_and_mac_are_rejected() {
+    let node = Keypair::generate(b"node-3");
+    let ct = ecies::encrypt(node.public(), b"set interval=60", b"entropy").expect("valid key");
+    // Flip every byte of the sealed body (ciphertext, header and MAC
+    // alike): each single corruption must be caught by the tag check.
+    for i in 0..ct.sealed.len() {
+        let mut bad = ct.clone();
+        bad.sealed[i] ^= 0x80;
+        assert!(
+            matches!(
+                ecies::decrypt(&node, &bad),
+                Err(EciesError::Wire(WireError::BadTag))
+            ),
+            "corrupted sealed byte {i} was not caught"
+        );
+    }
+    // Truncating below header+tag is a length error, not a panic.
+    let mut short = ct.clone();
+    short.sealed.truncate(10);
+    assert!(matches!(
+        ecies::decrypt(&node, &short),
+        Err(EciesError::Wire(WireError::BadLength { need: 20, got: 10 }))
+    ));
+}
+
+#[test]
+fn replayed_frames_are_rejected_after_one_delivery() {
+    let a = Keypair::generate(b"node a");
+    let b = Keypair::generate(b"node b");
+    let secret = a.shared_secret(b.public()).expect("peer ok");
+    let mut guard = ReplayGuard::new();
+
+    let f1 = SealedFrame::seal(&secret, 1, b"reading 1");
+    let f2 = SealedFrame::seal(&secret, 2, b"reading 2");
+    // In-order delivery works; a captured copy replayed later does not,
+    // even though its MAC is genuine.
+    assert!(guard.open(&f1, &secret).is_ok());
+    assert!(guard.open(&f2, &secret).is_ok());
+    assert_eq!(
+        guard.open(&f1, &secret),
+        Err(WireError::Replayed { seq: 1, last: 2 })
+    );
+    assert_eq!(
+        guard.open(&f2, &secret),
+        Err(WireError::Replayed { seq: 2, last: 2 })
+    );
+}
+
+#[test]
+fn small_subgroup_probe_is_stopped_at_both_layers() {
+    use gf2m::Fe;
+    use koblitz::Affine;
+    let node = Keypair::generate(b"victim node");
+    // The 2-torsion point (0, 1) — on the curve, order 2. Its
+    // compressed encoding is well-formed, so only an order check
+    // stops it.
+    let probe = Affine::new(Fe::ZERO, Fe::ONE).unwrap();
+    let encoded = encode_public_key(&probe);
+    assert_eq!(
+        decode_public_key_slice(&encoded),
+        Err(WireError::WrongOrder),
+        "wire layer must reject the probe"
+    );
+    // Even handed the point directly (bypassing the wire), the ECDH
+    // layer re-checks.
+    assert_eq!(
+        node.shared_secret(&probe),
+        Err(EcdhError::WrongOrderPublicKey)
+    );
+}

@@ -19,6 +19,19 @@ target/release/fault_campaign --smoke > /tmp/fault_smoke_2.txt
 diff /tmp/fault_smoke_1.txt /tmp/fault_smoke_2.txt
 grep -q "overall full-profile detection: 100.0%" /tmp/fault_smoke_1.txt
 
+echo "==> verify campaign smoke (leakage + differential, deterministic)"
+target/release/verify_campaign --smoke > /tmp/verify_smoke_1.txt
+target/release/verify_campaign --smoke > /tmp/verify_smoke_2.txt
+diff /tmp/verify_smoke_1.txt /tmp/verify_smoke_2.txt
+grep -q "VERDICT: PASS" /tmp/verify_smoke_1.txt
+if grep -q -- "-> LEAK" /tmp/verify_smoke_1.txt; then
+  echo "unexpected LEAK verdict"
+  exit 1
+fi
+
+echo "==> lean build without the trace recorder"
+cargo build -p m0plus --release --offline --no-default-features
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 

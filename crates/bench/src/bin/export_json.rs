@@ -162,6 +162,39 @@ fn render() -> String {
     }
     writeln!(w, "    }}").unwrap();
     writeln!(w, "  }},").unwrap();
+    writeln!(w, "  \"leakage\": {{").unwrap();
+    let leak_cfg = verify::LeakageConfig {
+        seed: 0x1ea4a9e,
+        cheap_pairs: 4,
+        expensive_pairs: 1,
+    };
+    let verdicts = verify::leakage::run_campaign(&leak_cfg);
+    writeln!(
+        w,
+        "    \"campaign\": {{ \"seed\": {}, \"cheap_pairs\": {}, \"expensive_pairs\": {} }},",
+        leak_cfg.seed, leak_cfg.cheap_pairs, leak_cfg.expensive_pairs
+    )
+    .unwrap();
+    writeln!(w, "    \"kernels\": {{").unwrap();
+    for (i, v) in verdicts.iter().enumerate() {
+        let sep = if i + 1 == verdicts.len() { "" } else { "," };
+        writeln!(
+            w,
+            "      \"{}\": {{ \"pairs\": {}, \"trace_events\": {}, \"pc\": \"{}\", \"addr\": \"{}\", \"cycles\": \"{}\", \"verdict\": \"{}\" }}{sep}",
+            v.name,
+            v.pairs,
+            v.trace_events,
+            v.class_label(0),
+            v.class_label(1),
+            v.class_label(2),
+            v.verdict(),
+        )
+        .unwrap();
+    }
+    writeln!(w, "    }},").unwrap();
+    let leaks = verdicts.iter().filter(|v| !v.ok()).count();
+    writeln!(w, "    \"leaks\": {leaks}").unwrap();
+    writeln!(w, "  }},").unwrap();
     writeln!(w, "  \"paper_targets\": {{").unwrap();
     writeln!(w, "    \"kp_cycles\": 2814827, \"kp_uj\": 34.16,").unwrap();
     writeln!(w, "    \"kg_cycles\": 1864470, \"kg_uj\": 20.63,").unwrap();

@@ -1,0 +1,89 @@
+//! Verification campaign driver: secret-independence + differential.
+//!
+//! Runs the two engines of the `verify` crate back to back:
+//!
+//! 1. the **leakage campaign** — every registered crypto kernel traced
+//!    on pairs of random secret inputs, with a per-kernel verdict
+//!    (`independent` / `documented-exception` / `LEAK`) across the PC,
+//!    address and cycle trace classes;
+//! 2. the **differential harness** — seeded random field elements,
+//!    scalars and wire frames through every execution tier, with
+//!    cross-tier agreement counters and a decoder error taxonomy.
+//!
+//! Usage:
+//!   verify_campaign [--smoke] [--seed N]
+//!
+//! `--smoke` is the bounded CI configuration (run twice and diffed
+//! byte-for-byte by ci.sh). The default is the full campaign: ≥ 1000
+//! differential cases per tier pair. Output is fully deterministic for
+//! a given configuration. Exit status is non-zero if any kernel leaks
+//! outside its documented allowance or any tier pair disagrees.
+
+use verify::{differential, leakage, DiffConfig, LeakageConfig};
+
+fn main() {
+    let mut smoke = false;
+    let mut seed: Option<u64> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--seed" => {
+                let v = args.next().expect("--seed requires a value");
+                seed = Some(v.parse().expect("--seed takes an integer"));
+            }
+            other => panic!("unknown argument {other:?}: expected --smoke | --seed N"),
+        }
+    }
+
+    let mut leak_cfg = if smoke {
+        LeakageConfig::smoke()
+    } else {
+        LeakageConfig::full()
+    };
+    let mut diff_cfg = if smoke {
+        DiffConfig::smoke()
+    } else {
+        DiffConfig::full()
+    };
+    if let Some(s) = seed {
+        leak_cfg.seed = s;
+        diff_cfg.seed = s;
+    }
+
+    println!("== secret-independence campaign ==");
+    println!(
+        "seed {:#x}, {} pairs per field kernel, {} per point kernel",
+        leak_cfg.seed, leak_cfg.cheap_pairs, leak_cfg.expensive_pairs
+    );
+    let verdicts = leakage::run_campaign(&leak_cfg);
+    let mut leaks = 0;
+    for v in &verdicts {
+        println!("{}", v.render());
+        if !v.ok() {
+            leaks += 1;
+        }
+    }
+    let independent = verdicts
+        .iter()
+        .filter(|v| v.verdict() == "independent")
+        .count();
+    println!(
+        "{} kernels checked: {} independent, {} documented exceptions, {} LEAKS",
+        verdicts.len(),
+        independent,
+        verdicts.len() - independent - leaks,
+        leaks
+    );
+
+    println!();
+    println!("== cross-tier differential harness ==");
+    let report = differential::run(&diff_cfg);
+    print!("{}", report.render());
+
+    if leaks > 0 || !report.ok() {
+        println!("VERDICT: FAIL");
+        std::process::exit(1);
+    }
+    println!("VERDICT: PASS");
+}

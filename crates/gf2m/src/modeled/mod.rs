@@ -367,6 +367,27 @@ impl ModeledField {
         );
     }
 
+    /// Standalone reduction `z ← wide mod f(x)`: the C-tier trinomial
+    /// reduction pass run as its own kernel on a raw double-width
+    /// product (the non-interleaved reduction a RELIC-style library
+    /// pays per multiplication — interleaving it is one of the paper's
+    /// assembly wins). The product is staged into the kernel's frame
+    /// accumulator without charge (it would already be there after a
+    /// multiplication); the reduction itself is fully charged.
+    pub fn reduce(&mut self, z: FeSlot, wide: &[u32; 2 * crate::N]) {
+        #[cfg(debug_assertions)]
+        let expect = crate::reduce::reduce(*wide);
+        let acc = Addr(self.layout_frame.0 + mul_c::acc_offset());
+        self.machine.write_slice(acc, wide);
+        self.run_kernel("reduce_c", |m| mul_c::reduce_standalone(m, z));
+        #[cfg(debug_assertions)]
+        debug_assert_eq!(
+            self.load(z),
+            expect,
+            "modeled reduction diverged from the portable tier"
+        );
+    }
+
     /// Modular inversion by the Itoh–Tsujii addition chain, built from
     /// this tier's multiplication and squaring kernels (10 M + 232 S) —
     /// the ablation partner of the EEA kernel behind [`ModeledField::inv`].
@@ -442,6 +463,15 @@ impl ModeledField {
     /// Copy `z ← x`, charged to *Support*.
     pub fn copy(&mut self, z: FeSlot, x: FeSlot) {
         self.run_kernel("fe_copy", |m| support::copy(m, z, x));
+    }
+
+    /// Constant-time conditional swap `(a, b) ← swap ? (b, a) : (a, b)`,
+    /// charged to *Support*. The executed instruction stream, effective
+    /// addresses and cycle count are identical for both values of
+    /// `swap` (see [`support::cswap`]), which the leakage verifier
+    /// checks trace-for-trace.
+    pub fn cswap(&mut self, a: FeSlot, b: FeSlot, swap: bool) {
+        self.run_kernel("fe_cswap", |m| support::cswap(m, a, b, swap));
     }
 
     /// Stores a compile-time constant into `slot` (literal-pool loads +
@@ -558,6 +588,20 @@ mod tests {
     #[test]
     fn asm_tier_matches_portable() {
         check_tier(Tier::Asm);
+    }
+
+    #[test]
+    fn standalone_reduce_matches_portable_reduction() {
+        let mut f = ModeledField::new(Tier::C);
+        for seed in 0..6u64 {
+            let (a, b) = (fe(seed), fe(seed + 50));
+            let wide = crate::mul::mul_poly_ld(a.words(), b.words());
+            let z = f.alloc();
+            f.reduce(z, &wide);
+            assert_eq!(f.load(z), crate::reduce::reduce(wide), "seed {seed}");
+            assert_eq!(f.load(z), a * b);
+        }
+        assert!(f.machine().category_totals(Category::Multiply).cycles > 0);
     }
 
     #[test]

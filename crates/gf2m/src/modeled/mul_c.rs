@@ -168,6 +168,28 @@ fn reduce_and_store(m: &mut Machine) {
     m.bx();
 }
 
+/// Standalone reduction entry point: reduces a double-width product
+/// already sitting in the frame accumulator (`sp + ACC`, 16 words) and
+/// writes the canonical element through `z`. Same prologue/epilogue
+/// conventions as the multiplication kernels (`BL`, callee-save
+/// push/pop, saved result pointer at `sp + 15`).
+pub(crate) fn reduce_standalone(m: &mut Machine, z: FeSlot) {
+    m.in_category(Category::Multiply, |m| {
+        m.bl();
+        m.stack_transfer(5);
+        m.set_base(Reg::R2, z.0);
+        m.str_sp(Reg::R2, 15);
+        reduce_and_store(m);
+    });
+}
+
+/// Frame offset of the 16-word accumulator the C-tier kernels reduce
+/// from (exposed so [`super::ModeledField::reduce`] can stage a raw
+/// product there).
+pub(crate) fn acc_offset() -> u32 {
+    ACC
+}
+
 /// Per-iteration loop-control charge (counter update, compare, branch).
 fn loop_ctl(m: &mut Machine) {
     m.adds_imm(Reg::R6, 1);

@@ -53,6 +53,38 @@ pub fn set_const(m: &mut Machine, z: FeSlot, value: crate::Fe) {
     });
 }
 
+/// Constant-time conditional swap: exchanges `a` and `b` iff `swap`.
+///
+/// The executed instruction stream, effective addresses and cycle count
+/// are identical for both values of `swap`; only the *value* of the
+/// mask register (0 or all-ones, built arithmetically from the bit)
+/// differs, and register values are data, not trace.
+pub fn cswap(m: &mut Machine, a: FeSlot, b: FeSlot, swap: bool) {
+    m.in_category(Category::Support, |m| {
+        m.bl();
+        m.set_base(Reg::R0, a.0);
+        m.set_base(Reg::R1, b.0);
+        // The bit arrives in r2 as un-costed argument staging (in real
+        // code it falls out of the caller's scalar-word shift); encoding
+        // it as a MOVS immediate would put the secret in the instruction
+        // stream itself. mask = 0 − bit: 0x0000_0000 or 0xFFFF_FFFF.
+        m.set_reg(Reg::R2, swap as u32);
+        m.rsbs(Reg::R2, Reg::R2);
+        for l in 0..N as u32 {
+            m.ldr(Reg::R3, Reg::R0, l);
+            m.ldr(Reg::R4, Reg::R1, l);
+            m.mov(Reg::R5, Reg::R3);
+            m.eors(Reg::R5, Reg::R4); // t = a[l] ^ b[l]
+            m.ands(Reg::R5, Reg::R2); // t &= mask
+            m.eors(Reg::R3, Reg::R5);
+            m.eors(Reg::R4, Reg::R5);
+            m.str(Reg::R3, Reg::R0, l);
+            m.str(Reg::R4, Reg::R1, l);
+        }
+        m.bx();
+    });
+}
+
 /// Whether `x` is the zero element (OR-reduction of its words).
 pub fn is_zero(m: &mut Machine, x: FeSlot) -> bool {
     m.in_category(Category::Support, |m| {
@@ -109,5 +141,22 @@ mod tests {
         let z = f.alloc_init(Fe::ZERO);
         assert!(f.is_zero(z));
         assert!(!f.equal(a, z));
+    }
+
+    #[test]
+    fn cswap_swaps_exactly_when_asked_at_fixed_cost() {
+        let mut f = ModeledField::new(Tier::C);
+        let va = Fe::from_hex("123456789abcdef").unwrap();
+        let vb = Fe::from_hex("fedcba987654321").unwrap();
+        let (a, b) = (f.alloc_init(va), f.alloc_init(vb));
+        let snap = f.machine().snapshot();
+        f.cswap(a, b, false);
+        let keep = f.machine().report_since(&snap).cycles;
+        assert_eq!((f.load(a), f.load(b)), (va, vb));
+        let snap = f.machine().snapshot();
+        f.cswap(a, b, true);
+        let swap = f.machine().report_since(&snap).cycles;
+        assert_eq!((f.load(a), f.load(b)), (vb, va));
+        assert_eq!(keep, swap, "cswap cost must not depend on the bit");
     }
 }

@@ -188,6 +188,12 @@ impl ModeledMul {
         &self.f
     }
 
+    /// Mutable access to the underlying field/machine (the leakage
+    /// verifier arms and drains the trace recorder through this).
+    pub fn field_mut(&mut self) -> &mut ModeledField {
+        &mut self.f
+    }
+
     // ------------------------------------------------------------------
     // Charged big-integer work: TNAF representation.
     // ------------------------------------------------------------------
@@ -295,6 +301,13 @@ impl ModeledMul {
         }
         self.f.machine_mut().set_category_override(None);
         digits
+    }
+
+    /// Public entry to the charged recoding for the leakage verifier:
+    /// computes the width-w TNAF of `k` while charging the modeled
+    /// recoding cost (see [`ModeledMul::tnaf_representation`]).
+    pub fn recode_charged(&mut self, k: &Int, w: u32) -> Vec<i8> {
+        self.tnaf_representation(k, w)
     }
 
     // ------------------------------------------------------------------
@@ -748,24 +761,17 @@ impl ModeledMul {
 
         for i in (0..232).rev() {
             let bit = (lifted.limbs()[i / 32] >> (i % 32)) & 1;
-            // Both arms execute the *same* operation sequence; only the
-            // operand roles swap (a real implementation swaps pointers
-            // with constant-time conditional moves, charged below).
-            let (ax, az, dx, dz) = if bit == 1 {
-                (x1, z1, x2, z2)
-            } else {
-                (x2, z2, x1, z1)
-            };
-            // Charge the constant-time conditional swap (4 masked moves).
-            self.f.run_kernel("ladder_cswap", |m| {
-                m.in_category(m0plus::Category::Support, |m| {
-                    for _ in 0..4 {
-                        m.eors(Reg::R4, Reg::R5);
-                        m.ands(Reg::R4, Reg::R6);
-                        m.eors(Reg::R5, Reg::R4);
-                    }
-                });
-            });
+            // Fixed roles: the step always adds into R0 = (x1,z1) and
+            // doubles R1 = (x2,z2). A masked conditional swap before the
+            // step routes the right operands into those roles, and the
+            // matching swap afterwards restores them — so the addresses
+            // each field operation touches never depend on the bit (the
+            // cswap itself is trace-constant, which the leakage verifier
+            // checks).
+            let swap = bit == 0;
+            self.f.cswap(x1, x2, swap);
+            self.f.cswap(z1, z2, swap);
+            let (ax, az, dx, dz) = (x1, z1, x2, z2);
             // madd(ax,az, dx,dz; xp):
             self.f.mul(t1, ax, dz); // T = X1·Z2
             self.f.mul(t2, dx, az); // U = X2·Z1
@@ -781,6 +787,9 @@ impl ModeledMul {
             self.f.sqr(t1, t1); // X⁴
             self.f.sqr(t2, t2); // Z⁴ (b = 1)
             self.f.add(dx, t1, t2); // X' = X⁴ + bZ⁴
+                                    // Swap back so (x1,z1)/(x2,z2) keep their R0/R1 meanings.
+            self.f.cswap(x1, x2, swap);
+            self.f.cswap(z1, z2, swap);
         }
 
         // Recover y on the host (identical work for every scalar; the

@@ -277,16 +277,32 @@ pub fn wtnaf(mut r0: Int, mut r1: Int, w: u32) -> Vec<i8> {
     digits
 }
 
+/// Fixed output length of [`recode`]: the m + 6 worst-case digit count
+/// of a width-w TNAF after partial reduction mod δ. Every recoding is
+/// zero-padded up to this length so the digit count — and therefore
+/// the iteration count of every scalar-multiplication loop consuming
+/// it — does not depend on the scalar. (A short scalar such as k = 1
+/// would otherwise recode to a handful of digits, leaking ⌈log k⌉
+/// through timing.)
+pub fn recode_length() -> usize {
+    crate::curve_m() + 6
+}
+
 /// Full recoding pipeline for a scalar: reduce mod δ, then take the
-/// width-w TNAF. The result has length ≤ m + 4 and ≈ length/(w+1)
-/// non-zero digits.
+/// width-w TNAF, zero-padded to the fixed [`recode_length`] (trailing
+/// zeros are on the most-significant side, where every consumer either
+/// applies the Frobenius to the point at infinity — a no-op — or skips
+/// the zero digit). ≈ m/(w+1) digits are non-zero.
 pub fn recode(k: &Int, w: u32) -> Vec<i8> {
     let (r0, r1) = partmod(k);
-    if w == 1 {
+    let mut digits = if w == 1 {
         tnaf(r0, r1)
     } else {
         wtnaf(r0, r1, w)
-    }
+    };
+    debug_assert!(digits.len() <= recode_length(), "TNAF overran m + 6");
+    digits.resize(recode_length(), 0);
+    digits
 }
 
 #[cfg(test)]
@@ -488,6 +504,32 @@ mod tests {
                 assert!(digits.len() <= crate::curve_m() + 6);
             }
         }
+    }
+
+    #[test]
+    fn recode_length_is_scalar_independent() {
+        // Regression: short scalars used to recode to short digit
+        // strings, making every consumer's loop count (and cycle
+        // count) leak the scalar's magnitude.
+        let cases = [
+            Int::one(),
+            Int::from(3i64),
+            Int::from(0x7FFFi64),
+            &order() - &Int::one(),
+            Int::from_hex(&"b7".repeat(29))
+                .unwrap()
+                .mod_positive(&order()),
+        ];
+        for w in [1u32, 4, 6] {
+            for k in &cases {
+                let digits = recode(k, w);
+                assert_eq!(digits.len(), recode_length(), "k = {k}, w = {w}");
+            }
+        }
+        // Padding must not change the evaluated point.
+        let g = generator();
+        let k = Int::from(3i64);
+        assert_eq!(eval_digits(&recode(&k, 4), &g, 4), g.mul_binary(&k));
     }
 
     #[test]

@@ -53,6 +53,8 @@ pub mod machine;
 pub mod profile;
 pub mod report;
 pub mod rig;
+#[cfg(feature = "trace")]
+pub mod trace;
 
 pub use backend::{Backend, KernelRun};
 pub use cost::InstrClass;
@@ -64,6 +66,8 @@ pub use machine::{Addr, Cond, Machine, RecordedSetReg, RecordedStep, Recording, 
 pub use profile::{Category, CategoryTotals};
 pub use report::{ClassCounts, RunReport, Snapshot};
 pub use rig::MeasurementRig;
+#[cfg(feature = "trace")]
+pub use trace::{Trace, TraceClass, TraceDivergence, TraceEvent};
 
 /// Clock frequency of the paper's target platform: 48 MHz.
 pub const CLOCK_HZ: u64 = 48_000_000;

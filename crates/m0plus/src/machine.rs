@@ -234,6 +234,12 @@ pub struct Machine {
     category_override: Option<Category>,
     by_category: Vec<CategoryTotals>,
     recording: Option<Recording>,
+    #[cfg(feature = "trace")]
+    trace: Option<crate::trace::Trace>,
+    #[cfg(feature = "trace")]
+    trace_instr: Option<Instr>,
+    #[cfg(feature = "trace")]
+    trace_addr: Option<u32>,
 }
 
 impl Machine {
@@ -258,6 +264,12 @@ impl Machine {
             category_override: None,
             by_category: vec![CategoryTotals::default(); Category::ALL.len()],
             recording: None,
+            #[cfg(feature = "trace")]
+            trace: None,
+            #[cfg(feature = "trace")]
+            trace_instr: None,
+            #[cfg(feature = "trace")]
+            trace_addr: None,
         }
     }
 
@@ -515,6 +527,40 @@ impl Machine {
         self.recording.take().unwrap_or_default()
     }
 
+    /// Starts capturing a canonical [`crate::trace::Trace`] (instruction
+    /// stream, effective memory addresses, per-instruction cycles — the
+    /// power attacker's observables). Replaces any previous capture.
+    /// Un-costed setup accesses ([`Machine::write_slice`],
+    /// [`Machine::set_reg`], …) are not captured: they model host/DMA
+    /// activity, not executed instructions.
+    #[cfg(feature = "trace")]
+    pub fn start_trace(&mut self) {
+        self.trace = Some(crate::trace::Trace::default());
+        self.trace_instr = None;
+        self.trace_addr = None;
+    }
+
+    /// Stops trace capture and returns the captured trace (empty if
+    /// capture was never armed).
+    #[cfg(feature = "trace")]
+    pub fn take_trace(&mut self) -> crate::trace::Trace {
+        self.trace.take().unwrap_or_default()
+    }
+
+    /// Notes the effective word address of a memory access for the
+    /// trace recorder; compiled to nothing without the `trace` feature.
+    #[cfg(feature = "trace")]
+    #[inline]
+    fn trace_mem(&mut self, addr: usize) {
+        if self.trace.is_some() {
+            self.trace_addr = Some(addr as u32);
+        }
+    }
+
+    #[cfg(not(feature = "trace"))]
+    #[inline]
+    fn trace_mem(&mut self, _addr: usize) {}
+
     fn rec(&mut self, instr: Instr) {
         self.rec_with(instr, None);
     }
@@ -528,6 +574,10 @@ impl Machine {
                 literal,
             });
         }
+        #[cfg(feature = "trace")]
+        if self.trace.is_some() {
+            self.trace_instr = Some(instr);
+        }
     }
 
     fn record(&mut self, class: InstrClass) {
@@ -540,6 +590,16 @@ impl Machine {
         let t = &mut self.by_category[cat.index()];
         t.cycles += cycles;
         t.energy_pj += energy;
+        #[cfg(feature = "trace")]
+        if self.trace.is_some() {
+            let instr = self.trace_instr.take();
+            let addr = self.trace_addr.take();
+            if let Some(trace) = self.trace.as_mut() {
+                trace
+                    .events
+                    .push(crate::trace::TraceEvent { instr, class, addr });
+            }
+        }
     }
 
     fn set_nz(&mut self, value: u32) {
@@ -568,6 +628,7 @@ impl Machine {
     pub fn ldr(&mut self, rt: Reg, rn: Reg, off_words: u32) {
         let base = self.regs[Self::lo(rn)];
         let addr = (base + off_words) as usize;
+        self.trace_mem(addr);
         let value = self.mem[addr];
         self.regs[Self::lo(rt)] = value;
         self.rec(Instr::LdrImm {
@@ -582,6 +643,7 @@ impl Machine {
     pub fn str(&mut self, rt: Reg, rn: Reg, off_words: u32) {
         let base = self.regs[Self::lo(rn)];
         let addr = (base + off_words) as usize;
+        self.trace_mem(addr);
         self.mem[addr] = self.regs[Self::lo(rt)];
         self.rec(Instr::StrImm {
             rt,
@@ -598,6 +660,7 @@ impl Machine {
     pub fn ldr_sp(&mut self, rt: Reg, off_words: u32) {
         let base = self.regs[Reg::Sp.index()];
         let addr = (base + off_words) as usize;
+        self.trace_mem(addr);
         let value = self.mem[addr];
         self.regs[Self::lo(rt)] = value;
         self.rec(Instr::LdrSp {
@@ -611,6 +674,7 @@ impl Machine {
     pub fn str_sp(&mut self, rt: Reg, off_words: u32) {
         let base = self.regs[Reg::Sp.index()];
         let addr = (base + off_words) as usize;
+        self.trace_mem(addr);
         self.mem[addr] = self.regs[Self::lo(rt)];
         self.rec(Instr::StrSp {
             rt,
@@ -622,6 +686,7 @@ impl Machine {
     /// `LDR rt, [rn, rm]` — register-offset load.
     pub fn ldr_reg(&mut self, rt: Reg, rn: Reg, rm: Reg) {
         let addr = (self.regs[Self::lo(rn)] + self.regs[Self::lo(rm)]) as usize;
+        self.trace_mem(addr);
         let value = self.mem[addr];
         self.regs[Self::lo(rt)] = value;
         self.rec(Instr::LdrReg { rt, rn, rm });
@@ -631,6 +696,7 @@ impl Machine {
     /// `STR rt, [rn, rm]` — register-offset store.
     pub fn str_reg(&mut self, rt: Reg, rn: Reg, rm: Reg) {
         let addr = (self.regs[Self::lo(rn)] + self.regs[Self::lo(rm)]) as usize;
+        self.trace_mem(addr);
         self.mem[addr] = self.regs[Self::lo(rt)];
         self.rec(Instr::StrReg { rt, rn, rm });
         self.record(InstrClass::Str);

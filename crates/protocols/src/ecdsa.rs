@@ -69,19 +69,33 @@ impl SigningKey {
         &self.public
     }
 
-    /// Signs a message with a deterministic nonce (the nonce DRBG is
-    /// keyed with the secret and the message digest, RFC 6979 style).
-    pub fn sign(&self, msg: &[u8]) -> Signature {
-        let e = hash_to_scalar(msg);
+    /// Derives the deterministic signing nonce for `msg` (the nonce
+    /// DRBG is keyed with the secret and the message digest, RFC 6979
+    /// style). Exposed so the leakage verifier can drive the nonce →
+    /// k·G path directly; `retry` selects the first, second, …
+    /// candidate from the DRBG stream (signing uses retry 0 unless a
+    /// candidate is rejected).
+    pub fn derive_nonce(&self, msg: &[u8], retry: u32) -> Scalar {
         let mut seed = Vec::new();
         seed.extend_from_slice(b"ecdsa-nonce");
         seed.extend_from_slice(self.d.to_int().to_hex().as_bytes());
         seed.extend_from_slice(&Sha256::digest(msg));
         let mut drbg = HmacDrbg::new(&seed);
         let mut wide = [0u8; 40];
-        loop {
+        for _ in 0..=retry {
             drbg.generate(&mut wide);
-            let k = Scalar::from_wide_bytes(&wide);
+        }
+        Scalar::from_wide_bytes(&wide)
+    }
+
+    /// Signs a message with a deterministic nonce (see
+    /// [`SigningKey::derive_nonce`]).
+    pub fn sign(&self, msg: &[u8]) -> Signature {
+        let e = hash_to_scalar(msg);
+        let mut retry = 0;
+        loop {
+            let k = self.derive_nonce(msg, retry);
+            retry += 1;
             if k.is_zero() {
                 continue;
             }

@@ -4,12 +4,13 @@
 //! and asserts the stack answers with the right error — never a panic,
 //! never silent acceptance.
 
+use prng::SplitMix64;
 use protocols::ecdh::{EcdhError, Keypair};
 use protocols::ecdsa::{self, SigningKey, VerifyError};
 use protocols::ecies::{self, EciesError};
 use protocols::wire::{
-    decode_public_key_slice, decode_signature_slice, encode_public_key, encode_signature,
-    ReplayGuard, SealedFrame, WireError,
+    decode_public_key, decode_public_key_slice, decode_signature, decode_signature_slice,
+    encode_public_key, encode_signature, ReplayGuard, SealedFrame, WireError,
 };
 
 #[test]
@@ -138,4 +139,112 @@ fn small_subgroup_probe_is_stopped_at_both_layers() {
         node.shared_secret(&probe),
         Err(EcdhError::WrongOrderPublicKey)
     );
+}
+
+/// One seeded mutation of a valid frame: truncate, extend, flip bits
+/// or substitute a byte — the same attacker model the `verify` crate's
+/// differential harness uses, kept in sync by construction (both feed
+/// the same decoders).
+fn mutate(template: &[u8], rng: &mut SplitMix64) -> Vec<u8> {
+    let mut buf = template.to_vec();
+    match rng.below(5) {
+        0 => {
+            let len = rng.below(buf.len() as u64 + 1) as usize;
+            buf.truncate(len);
+        }
+        1 => {
+            for _ in 0..rng.below(16) + 1 {
+                buf.push(rng.next_u32() as u8);
+            }
+        }
+        2 if !buf.is_empty() => {
+            for _ in 0..rng.below(4) + 1 {
+                let i = rng.below(buf.len() as u64) as usize;
+                buf[i] ^= 1 << rng.below(8);
+            }
+        }
+        3 if !buf.is_empty() => {
+            let i = rng.below(buf.len() as u64) as usize;
+            buf[i] = rng.next_u32() as u8;
+        }
+        _ => {}
+    }
+    buf
+}
+
+#[test]
+fn fuzzed_public_key_frames_never_panic_and_decoders_agree() {
+    let key = SigningKey::generate(b"fuzz identity");
+    let good = encode_public_key(key.public());
+    let mut rng = SplitMix64::new(0xf0bb);
+    let mut rejected = 0;
+    for _ in 0..2000 {
+        let buf = mutate(&good, &mut rng);
+        // Slice decoder: must return a typed error, never panic.
+        let via_slice = decode_public_key_slice(&buf);
+        if via_slice.is_err() {
+            rejected += 1;
+        }
+        match <&[u8; 31]>::try_from(buf.as_slice()) {
+            // Same bytes through the owned-array decoder: the typed
+            // result must be identical.
+            Ok(arr) => assert_eq!(decode_public_key(arr), via_slice, "bytes {buf:02x?}"),
+            Err(_) => assert_eq!(
+                via_slice,
+                Err(WireError::BadLength {
+                    need: 31,
+                    got: buf.len()
+                })
+            ),
+        }
+    }
+    assert!(rejected > 500, "mutations barely exercised the error paths");
+}
+
+#[test]
+fn fuzzed_signature_frames_never_panic_and_decoders_agree() {
+    let key = SigningKey::generate(b"fuzz identity");
+    let good = encode_signature(&key.sign(b"fuzzed message"));
+    let mut rng = SplitMix64::new(0xf519);
+    for _ in 0..2000 {
+        let buf = mutate(&good, &mut rng);
+        let via_slice = decode_signature_slice(&buf);
+        match <&[u8; 60]>::try_from(buf.as_slice()) {
+            Ok(arr) => assert_eq!(decode_signature(arr), via_slice, "bytes {buf:02x?}"),
+            Err(_) => assert_eq!(
+                via_slice,
+                Err(WireError::BadLength {
+                    need: 60,
+                    got: buf.len()
+                })
+            ),
+        }
+    }
+}
+
+#[test]
+fn fuzzed_sealed_frames_never_panic_and_reparse_identically() {
+    let secret = [0x31u8; 32];
+    let good = SealedFrame::seal(&secret, 9, b"sensor frame payload")
+        .as_bytes()
+        .to_vec();
+    let mut rng = SplitMix64::new(0xf3a3);
+    let mut accepted = 0;
+    for _ in 0..2000 {
+        let buf = mutate(&good, &mut rng);
+        let Ok(frame) = SealedFrame::from_bytes(&buf) else {
+            continue; // typed parse error — fine
+        };
+        // Re-encoding a parsed frame must be lossless, and opening the
+        // re-parsed copy must give the same typed outcome.
+        let reparsed = SealedFrame::from_bytes(frame.as_bytes()).expect("roundtrip parses");
+        assert_eq!(reparsed.open(&secret), frame.open(&secret));
+        if frame.open(&secret).is_ok() {
+            accepted += 1;
+        }
+    }
+    // The untouched template is sealed with the right secret, so the
+    // accept path must have been exercised too (mutation arm 4 is a
+    // no-op).
+    assert!(accepted > 0, "accept path never exercised");
 }

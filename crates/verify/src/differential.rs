@@ -1,0 +1,731 @@
+//! The cross-tier differential fuzz harness.
+//!
+//! Feeds identical seeded inputs through every execution tier and
+//! cross-checks:
+//!
+//! * **field elements** — portable `Fe` vs the u64 [`GenericField`]
+//!   oracle vs all three counted multiplication methods vs the modeled
+//!   machine on both backends (results *and* the cycle counts of the
+//!   Direct and Code backends, which must agree exactly);
+//! * **scalars** — width-4 wTNAF, plain TNAF, the fixed-window kG path
+//!   and the Montgomery ladder against the binary double-and-add
+//!   reference, including the recoding fixed-length invariant;
+//! * **wire frames** — randomly truncated/bit-flipped public keys,
+//!   signatures and sealed frames through the slice and owned decoders,
+//!   which must never panic and must return the same typed error.
+//!
+//! Every case is derived from the configured seed, so the rendered
+//! report is byte-identical across runs — determinism is itself part of
+//! the CI gate. A disagreement is reported with a greedily shrunk
+//! minimal counterexample (see [`crate::shrink`]).
+
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use gf2m::generic::GenericField;
+use gf2m::modeled::{ModeledField, Tier};
+use gf2m::{counted, Fe};
+use koblitz::{curve, mul, tnaf, Int};
+use m0plus::Backend;
+use prng::SplitMix64;
+use protocols::wire::{
+    decode_public_key, decode_public_key_slice, decode_signature, decode_signature_slice,
+    encode_public_key, encode_signature, SealedFrame,
+};
+use protocols::SigningKey;
+
+use crate::shrink;
+
+/// Case budget for a differential run.
+#[derive(Debug, Clone, Copy)]
+pub struct DiffConfig {
+    /// Base seed; each phase derives its own stream from it.
+    pub seed: u64,
+    /// Field-element cases (each checked across every field tier pair).
+    pub field_cases: usize,
+    /// Scalar cases (each checked across every point-algorithm pair).
+    pub scalar_cases: usize,
+    /// Wire-frame mutation cases (each checked across decoder pairs).
+    pub wire_cases: usize,
+}
+
+impl DiffConfig {
+    /// Bounded CI smoke configuration.
+    pub fn smoke() -> DiffConfig {
+        DiffConfig {
+            seed: 0xd1ff,
+            field_cases: 120,
+            scalar_cases: 24,
+            wire_cases: 300,
+        }
+    }
+
+    /// Full campaign: at least 1000 cases for every tier pair.
+    pub fn full() -> DiffConfig {
+        DiffConfig {
+            seed: 0xd1ff,
+            field_cases: 1000,
+            scalar_cases: 1000,
+            wire_cases: 1000,
+        }
+    }
+}
+
+/// One cross-tier disagreement (expected never to occur; kept in the
+/// report with a shrunk counterexample when it does).
+#[derive(Debug, Clone)]
+pub struct Disagreement {
+    /// Input domain (`field`, `scalar`, `wire`).
+    pub domain: &'static str,
+    /// The tier pair that disagreed, e.g. `portable/modeled_direct`.
+    pub pair: String,
+    /// Case index within the domain's stream.
+    pub case_index: usize,
+    /// Hex of the (shrunk, when shrinkable) offending input.
+    pub input: String,
+    /// What differed.
+    pub detail: String,
+}
+
+/// Agreement counters for one tier pair.
+#[derive(Debug, Clone)]
+pub struct TierPair {
+    /// Pair label, e.g. `portable/generic_u64`.
+    pub pair: String,
+    /// Cases cross-checked.
+    pub cases: usize,
+    /// Cases that disagreed.
+    pub disagreements: usize,
+}
+
+/// The result of one differential run.
+#[derive(Debug, Clone, Default)]
+pub struct DiffReport {
+    /// Echo of the seed the run used.
+    pub seed: u64,
+    /// Per tier-pair agreement counters (fixed order).
+    pub pairs: Vec<TierPair>,
+    /// Every disagreement, in discovery order.
+    pub disagreements: Vec<Disagreement>,
+    /// Decoder error taxonomy: variant name → occurrences (identical
+    /// across the slice and owned decoders by construction — a variant
+    /// mismatch is recorded as a disagreement instead).
+    pub wire_taxonomy: BTreeMap<String, u64>,
+    /// Decoder calls that panicked (must stay zero).
+    pub wire_panics: usize,
+}
+
+impl DiffReport {
+    /// Whether the run found full agreement and no panics.
+    pub fn ok(&self) -> bool {
+        self.disagreements.is_empty() && self.wire_panics == 0
+    }
+
+    fn pair_entry(&mut self, pair: &str) -> &mut TierPair {
+        if let Some(i) = self.pairs.iter().position(|p| p.pair == pair) {
+            return &mut self.pairs[i];
+        }
+        self.pairs.push(TierPair {
+            pair: pair.to_string(),
+            cases: 0,
+            disagreements: 0,
+        });
+        self.pairs.last_mut().expect("just pushed")
+    }
+
+    fn record(&mut self, pair: &str, agreed: bool) {
+        let entry = self.pair_entry(pair);
+        entry.cases += 1;
+        if !agreed {
+            entry.disagreements += 1;
+        }
+    }
+
+    /// Deterministic text rendering (what the CI determinism gate
+    /// diffs).
+    pub fn render(&self) -> String {
+        let mut out = format!("differential harness (seed {:#x})\n", self.seed);
+        for p in &self.pairs {
+            out.push_str(&format!(
+                "  tier-pair {:<34} {:>6} cases, {} disagreements\n",
+                p.pair, p.cases, p.disagreements
+            ));
+        }
+        out.push_str("  decoder error taxonomy:\n");
+        for (variant, count) in &self.wire_taxonomy {
+            out.push_str(&format!("    {variant:<28} {count}\n"));
+        }
+        out.push_str(&format!("  decoder panics: {}\n", self.wire_panics));
+        for d in &self.disagreements {
+            out.push_str(&format!(
+                "  DISAGREEMENT [{}] {} case {}: {} (input {})\n",
+                d.domain, d.pair, d.case_index, d.detail, d.input
+            ));
+        }
+        out
+    }
+}
+
+/// Runs all three differential phases under `config`.
+pub fn run(config: &DiffConfig) -> DiffReport {
+    let mut report = DiffReport {
+        seed: config.seed,
+        ..DiffReport::default()
+    };
+    field_phase(config, &mut report);
+    scalar_phase(config, &mut report);
+    wire_phase(config, &mut report);
+    report
+}
+
+// ---------------------------------------------------------------------
+// Field elements.
+// ---------------------------------------------------------------------
+
+fn rand_fe(rng: &mut SplitMix64) -> Fe {
+    let mut w = [0u32; 8];
+    rng.fill_u32(&mut w);
+    Fe::from_words_reduced(w)
+}
+
+/// Field edge cases fed before the random stream.
+fn field_edges() -> Vec<(Fe, Fe)> {
+    let top = {
+        let mut w = [0u32; 8];
+        w[7] = 0x1FF; // bit 232 and friends set
+        Fe::from_words_reduced(w)
+    };
+    let ones = Fe::from_words_reduced([u32::MAX; 8]);
+    vec![
+        (Fe::ZERO, Fe::ZERO),
+        (Fe::ZERO, Fe::ONE),
+        (Fe::ONE, Fe::ONE),
+        (top, Fe::ONE),
+        (top, top),
+        (ones, ones),
+    ]
+}
+
+fn disagree_fe(
+    report: &mut DiffReport,
+    pair: &str,
+    case: usize,
+    a: Fe,
+    b: Fe,
+    detail: String,
+    still_fails: impl Fn(&[u8]) -> bool,
+) {
+    let mut input = Vec::new();
+    input.extend_from_slice(&a.to_be_bytes());
+    input.extend_from_slice(&b.to_be_bytes());
+    let shrunk = shrink::shrink_bytes(&input, still_fails);
+    report.disagreements.push(Disagreement {
+        domain: "field",
+        pair: pair.to_string(),
+        case_index: case,
+        input: shrink::hex(&shrunk),
+        detail,
+    });
+}
+
+/// Decodes the shrinker's 60-byte field-pair serialisation.
+fn bytes_to_fe_pair(bytes: &[u8]) -> (Fe, Fe) {
+    let mut buf = [0u8; 60];
+    let n = bytes.len().min(60);
+    buf[..n].copy_from_slice(&bytes[..n]);
+    let a: [u8; 30] = buf[..30].try_into().expect("30 bytes");
+    let b: [u8; 30] = buf[30..].try_into().expect("30 bytes");
+    (Fe::from_be_bytes(&a), Fe::from_be_bytes(&b))
+}
+
+fn field_phase(config: &DiffConfig, report: &mut DiffReport) {
+    let mut rng = SplitMix64::new(config.seed ^ 0xf1e1d);
+    let oracle = GenericField::sect233k1();
+    let mut direct = ModeledField::new(Tier::Asm);
+    let (da, db, dz) = (direct.alloc(), direct.alloc(), direct.alloc());
+    let mut code = ModeledField::new_with_backend(Tier::Asm, Backend::Code);
+    let (ca, cb, cz) = (code.alloc(), code.alloc(), code.alloc());
+
+    let edges = field_edges();
+    for case in 0..config.field_cases {
+        let (a, b) = edges
+            .get(case)
+            .copied()
+            .unwrap_or_else(|| (rand_fe(&mut rng), rand_fe(&mut rng)));
+        let want_mul = a * b;
+        let want_sqr = a.square();
+
+        // u64 generic-field oracle.
+        let got = oracle
+            .element_to_fe(&oracle.mul(&oracle.element_from_fe(a), &oracle.element_from_fe(b)));
+        report.record("portable/generic_u64", got == want_mul);
+        if got != want_mul {
+            disagree_fe(
+                report,
+                "portable/generic_u64",
+                case,
+                a,
+                b,
+                format!("mul: portable {want_mul} vs generic {got}"),
+                |bytes| {
+                    let (a, b) = bytes_to_fe_pair(bytes);
+                    let o = GenericField::sect233k1();
+                    o.element_to_fe(&o.mul(&o.element_from_fe(a), &o.element_from_fe(b))) != a * b
+                },
+            );
+        }
+        let got_sqr = oracle.element_to_fe(&oracle.sqr(&oracle.element_from_fe(a)));
+        report.record("portable/generic_u64_sqr", got_sqr == want_sqr);
+
+        // Counted tier: all three multiplication methods.
+        for (name, value) in [
+            ("portable/counted_ld", counted::mul_ld(a, b).value),
+            (
+                "portable/counted_ld_rotating",
+                counted::mul_ld_rotating(a, b).value,
+            ),
+            (
+                "portable/counted_ld_fixed",
+                counted::mul_ld_fixed(a, b).value,
+            ),
+        ] {
+            report.record(name, value == want_mul);
+            if value != want_mul {
+                disagree_fe(
+                    report,
+                    name,
+                    case,
+                    a,
+                    b,
+                    format!("mul: portable {want_mul} vs counted {value}"),
+                    |_| false,
+                );
+            }
+        }
+
+        // Modeled tier, Direct backend: mul + sqr.
+        direct.store(da, a);
+        direct.store(db, b);
+        let snap = direct.machine().cycles();
+        direct.mul(dz, da, db);
+        direct.sqr(dz, da);
+        let direct_cycles = direct.machine().cycles() - snap;
+        // (the modeled tier asserts against portable internally in
+        // debug builds; the explicit check also covers release runs)
+        direct.mul(dz, da, db);
+        let direct_mul = direct.load(dz);
+        report.record("portable/modeled_direct", direct_mul == want_mul);
+        if direct_mul != want_mul {
+            disagree_fe(
+                report,
+                "portable/modeled_direct",
+                case,
+                a,
+                b,
+                format!("mul: portable {want_mul} vs modeled {direct_mul}"),
+                |_| false,
+            );
+        }
+
+        // Modeled tier, Code backend: identical results and *cycles*.
+        code.store(ca, a);
+        code.store(cb, b);
+        let snap = code.machine().cycles();
+        code.mul(cz, ca, cb);
+        code.sqr(cz, ca);
+        let code_cycles = code.machine().cycles() - snap;
+        let agreed = code_cycles == direct_cycles;
+        report.record("modeled_direct/modeled_code_cycles", agreed);
+        if !agreed {
+            disagree_fe(
+                report,
+                "modeled_direct/modeled_code_cycles",
+                case,
+                a,
+                b,
+                format!("mul+sqr cycles: direct {direct_cycles} vs code {code_cycles}"),
+                |_| false,
+            );
+        }
+        code.mul(cz, ca, cb);
+        report.record("portable/modeled_code", code.load(cz) == want_mul);
+
+        // Standalone reduction: interleaved portable vs bitwise vs the
+        // modeled reduce kernel (sampled — it re-runs the mul frame).
+        let wide = gf2m::mul::mul_poly_ld(a.words(), b.words());
+        let bitwise = gf2m::reduce::reduce_bitwise(wide);
+        report.record("reduce_word/reduce_bitwise", bitwise == want_mul);
+        if case % 16 == 0 {
+            direct.reduce(dz, &wide);
+            report.record("portable/modeled_reduce", direct.load(dz) == want_mul);
+        }
+
+        // Inversion: EEA host vs generic oracle vs modeled (sampled).
+        if case % 32 == 0 && !a.is_zero() {
+            let inv = a.invert().expect("non-zero");
+            let got = oracle
+                .inv(&oracle.element_from_fe(a))
+                .map(|p| oracle.element_to_fe(&p));
+            report.record("portable/generic_u64_inv", got == Some(inv));
+            direct.store(da, a);
+            direct.inv(dz, da);
+            report.record("portable/modeled_inv", direct.load(dz) == inv);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scalars.
+// ---------------------------------------------------------------------
+
+/// Scalar edge cases fed before the random stream: zero, small, the
+/// group order and its neighbours, and top-bit-set patterns.
+fn scalar_edges() -> Vec<Int> {
+    let n = curve::order();
+    let top_bit = Int::one().shl(232);
+    vec![
+        Int::zero(),
+        Int::one(),
+        Int::from(2i64),
+        Int::from(3i64),
+        Int::from(0x7FFFi64),
+        &n - &Int::one(),
+        n.clone(),
+        &n + &Int::one(),
+        top_bit.clone(),
+        &top_bit + &Int::one(),
+        Int::one().shl(231),
+        &n - &Int::from(12345i64),
+    ]
+}
+
+fn rand_scalar_wide(rng: &mut SplitMix64) -> Int {
+    // Deliberately up to 240 bits: values ≥ n must reduce identically
+    // across every algorithm.
+    let mut limbs = vec![0u32; 8];
+    for l in limbs.iter_mut() {
+        *l = rng.next_u32();
+    }
+    limbs[7] &= 0xFFFF; // 240 bits
+    Int::from_limbs(false, limbs)
+}
+
+fn scalar_phase(config: &DiffConfig, report: &mut DiffReport) {
+    let mut rng = SplitMix64::new(config.seed ^ 0x5ca1a7);
+    let g = curve::generator();
+    let edges = scalar_edges();
+    for case in 0..config.scalar_cases {
+        let k = edges
+            .get(case)
+            .cloned()
+            .unwrap_or_else(|| rand_scalar_wide(&mut rng));
+        let reference = g.mul_binary(&k);
+        let checks = [
+            ("binary/wtnaf_w4", mul::mul_wtnaf(&g, &k, 4)),
+            ("binary/tnaf", mul::mul_tnaf(&g, &k)),
+            ("binary/kg_window", mul::mul_g(&k)),
+            ("binary/ladder", mul::montgomery_ladder(&g, &k)),
+        ];
+        for (pair, got) in checks {
+            let agreed = got == reference;
+            report.record(pair, agreed);
+            if !agreed {
+                report.disagreements.push(Disagreement {
+                    domain: "scalar",
+                    pair: pair.to_string(),
+                    case_index: case,
+                    input: k.to_hex(),
+                    detail: format!("point mismatch for k = {k}"),
+                });
+            }
+        }
+        // The recoding fixed-length invariant (satellite fix): no
+        // scalar may change the digit count.
+        let fixed = tnaf::recode(&k, 4).len() == tnaf::recode_length()
+            && tnaf::recode(&k, 6).len() == tnaf::recode_length();
+        report.record("recode/fixed_length", fixed);
+        if !fixed {
+            report.disagreements.push(Disagreement {
+                domain: "scalar",
+                pair: "recode/fixed_length".to_string(),
+                case_index: case,
+                input: k.to_hex(),
+                detail: "recode length depends on the scalar".to_string(),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Wire frames.
+// ---------------------------------------------------------------------
+
+/// Stable variant label for the taxonomy map.
+fn wire_error_label(e: &protocols::wire::WireError) -> &'static str {
+    use protocols::wire::WireError::*;
+    match e {
+        BadPoint(_) => "BadPoint",
+        IdentityPoint => "IdentityPoint",
+        WrongOrder => "WrongOrder",
+        BadScalar => "BadScalar",
+        BadTag => "BadTag",
+        BadLength { .. } => "BadLength",
+        Oversize { .. } => "Oversize",
+        Replayed { .. } => "Replayed",
+    }
+}
+
+fn wire_phase(config: &DiffConfig, report: &mut DiffReport) {
+    let mut rng = SplitMix64::new(config.seed ^ 0x3175);
+    let key = SigningKey::generate(b"verify differential wire identity");
+    let pk_bytes = encode_public_key(key.public()).to_vec();
+    let sig_bytes = encode_signature(&key.sign(b"wire differential message")).to_vec();
+    let secret = [0x5au8; 32];
+    let frame_bytes = SealedFrame::seal(&secret, 7, b"telemetry frame 0x2a")
+        .as_bytes()
+        .to_vec();
+
+    for case in 0..config.wire_cases {
+        let template: &[u8] = match case % 3 {
+            0 => &pk_bytes,
+            1 => &sig_bytes,
+            _ => &frame_bytes,
+        };
+        let buf = mutate(template, &mut rng);
+
+        match case % 3 {
+            0 => {
+                // Public key: slice decoder vs owned-array decoder.
+                let slice = catch_unwind(AssertUnwindSafe(|| decode_public_key_slice(&buf)));
+                let Ok(slice) = slice else {
+                    report.wire_panics += 1;
+                    continue;
+                };
+                tally(report, "pk", &slice);
+                if let Ok(arr) = <&[u8; 31]>::try_from(buf.as_slice()) {
+                    let owned = catch_unwind(AssertUnwindSafe(|| decode_public_key(arr)));
+                    let Ok(owned) = owned else {
+                        report.wire_panics += 1;
+                        continue;
+                    };
+                    let agreed = owned == slice;
+                    report.record("decode_pk_slice/decode_pk_owned", agreed);
+                    if !agreed {
+                        wire_disagree(report, case, &buf, "public-key decoders", |b| {
+                            <&[u8; 31]>::try_from(b)
+                                .map(|arr| decode_public_key(arr) != decode_public_key_slice(b))
+                                .unwrap_or(false)
+                        });
+                    }
+                } else {
+                    // Wrong length must be the typed BadLength error.
+                    let agreed = matches!(slice, Err(protocols::wire::WireError::BadLength { .. }));
+                    report.record("decode_pk_slice/length_taxonomy", agreed);
+                }
+            }
+            1 => {
+                let slice = catch_unwind(AssertUnwindSafe(|| decode_signature_slice(&buf)));
+                let Ok(slice) = slice else {
+                    report.wire_panics += 1;
+                    continue;
+                };
+                tally(report, "sig", &slice);
+                if let Ok(arr) = <&[u8; 60]>::try_from(buf.as_slice()) {
+                    let owned = catch_unwind(AssertUnwindSafe(|| decode_signature(arr)));
+                    let Ok(owned) = owned else {
+                        report.wire_panics += 1;
+                        continue;
+                    };
+                    let agreed = owned == slice;
+                    report.record("decode_sig_slice/decode_sig_owned", agreed);
+                    if !agreed {
+                        wire_disagree(report, case, &buf, "signature decoders", |b| {
+                            <&[u8; 60]>::try_from(b)
+                                .map(|arr| decode_signature(arr) != decode_signature_slice(b))
+                                .unwrap_or(false)
+                        });
+                    }
+                } else {
+                    let agreed = matches!(slice, Err(protocols::wire::WireError::BadLength { .. }));
+                    report.record("decode_sig_slice/length_taxonomy", agreed);
+                }
+            }
+            _ => {
+                // Sealed frame: parse, then authenticate. Both layers
+                // must be panic-free; parse-then-open must agree with
+                // parse-then-open on a reconstructed frame (owned
+                // round-trip).
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    SealedFrame::from_bytes(&buf).and_then(|f| f.open(&secret))
+                }));
+                let Ok(outcome) = outcome else {
+                    report.wire_panics += 1;
+                    continue;
+                };
+                match &outcome {
+                    Ok(_) => {
+                        *report
+                            .wire_taxonomy
+                            .entry("frame/Accepted".into())
+                            .or_insert(0) += 1
+                    }
+                    Err(e) => {
+                        *report
+                            .wire_taxonomy
+                            .entry(format!("frame/{}", wire_error_label(e)))
+                            .or_insert(0) += 1
+                    }
+                }
+                // Owned round-trip: re-encoding a parsed frame and
+                // re-parsing must be lossless and open identically.
+                if let Ok(frame) = SealedFrame::from_bytes(&buf) {
+                    let reparsed = SealedFrame::from_bytes(frame.as_bytes())
+                        .expect("re-encoding a parsed frame always parses");
+                    let agreed = reparsed.open(&secret) == outcome;
+                    report.record("frame_parse/frame_roundtrip", agreed);
+                    if !agreed {
+                        wire_disagree(report, case, &buf, "frame round-trip", |_| false);
+                    }
+                } else {
+                    report.record("frame_parse/frame_roundtrip", true);
+                }
+            }
+        }
+    }
+}
+
+fn tally<T>(report: &mut DiffReport, kind: &str, result: &Result<T, protocols::wire::WireError>) {
+    let label = match result {
+        Ok(_) => format!("{kind}/Accepted"),
+        Err(e) => format!("{kind}/{}", wire_error_label(e)),
+    };
+    *report.wire_taxonomy.entry(label).or_insert(0) += 1;
+}
+
+fn wire_disagree(
+    report: &mut DiffReport,
+    case: usize,
+    buf: &[u8],
+    what: &str,
+    still_fails: impl Fn(&[u8]) -> bool,
+) {
+    let shrunk = shrink::shrink_bytes(buf, still_fails);
+    report.disagreements.push(Disagreement {
+        domain: "wire",
+        pair: what.to_string(),
+        case_index: case,
+        input: shrink::hex(&shrunk),
+        detail: format!("{what} returned different results"),
+    });
+}
+
+/// One random mutation of a template frame: truncation/extension,
+/// bit flips, or byte substitutions (occasionally left intact so the
+/// accepted path is also exercised).
+fn mutate(template: &[u8], rng: &mut SplitMix64) -> Vec<u8> {
+    let mut buf = template.to_vec();
+    match rng.below(5) {
+        0 => {
+            // Truncate (possibly to empty).
+            let len = rng.below(buf.len() as u64 + 1) as usize;
+            buf.truncate(len);
+        }
+        1 => {
+            // Extend with random bytes.
+            let extra = rng.below(16) as usize + 1;
+            for _ in 0..extra {
+                buf.push(rng.next_u32() as u8);
+            }
+        }
+        2 if !buf.is_empty() => {
+            // Flip 1–4 random bits.
+            for _ in 0..rng.below(4) + 1 {
+                let i = rng.below(buf.len() as u64) as usize;
+                buf[i] ^= 1 << rng.below(8);
+            }
+        }
+        3 if !buf.is_empty() => {
+            // Substitute a random byte.
+            let i = rng.below(buf.len() as u64) as usize;
+            buf[i] = rng.next_u32() as u8;
+        }
+        _ => {} // intact
+    }
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_agrees_everywhere() {
+        let cfg = DiffConfig {
+            seed: 1,
+            field_cases: 24,
+            scalar_cases: 14,
+            wire_cases: 60,
+        };
+        let report = run(&cfg);
+        assert!(report.ok(), "{}", report.render());
+        assert!(report.pairs.iter().all(|p| p.disagreements == 0));
+        // Every named pair saw every case of its domain.
+        let find = |name: &str| {
+            report
+                .pairs
+                .iter()
+                .find(|p| p.pair == name)
+                .unwrap_or_else(|| panic!("missing pair {name}"))
+                .cases
+        };
+        assert_eq!(find("portable/generic_u64"), 24);
+        assert_eq!(find("portable/counted_ld"), 24);
+        assert_eq!(find("portable/modeled_direct"), 24);
+        assert_eq!(find("modeled_direct/modeled_code_cycles"), 24);
+        assert_eq!(find("binary/wtnaf_w4"), 14);
+        assert_eq!(find("binary/ladder"), 14);
+        assert_eq!(find("recode/fixed_length"), 14);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let cfg = DiffConfig {
+            seed: 99,
+            field_cases: 10,
+            scalar_cases: 13,
+            wire_cases: 40,
+        };
+        assert_eq!(run(&cfg).render(), run(&cfg).render());
+    }
+
+    #[test]
+    fn scalar_edges_cover_the_required_cases() {
+        let edges = scalar_edges();
+        let n = curve::order();
+        assert!(edges.iter().any(|k| k.is_zero()));
+        assert!(edges.contains(&(&n - &Int::one())));
+        assert!(edges.contains(&n));
+        assert!(edges.iter().any(|k| k.bits() == 233), "top-bit-set");
+    }
+
+    #[test]
+    fn wire_taxonomy_is_populated() {
+        let cfg = DiffConfig {
+            seed: 3,
+            field_cases: 0,
+            scalar_cases: 0,
+            wire_cases: 120,
+        };
+        let report = run(&cfg);
+        assert!(report.ok(), "{}", report.render());
+        assert!(report.wire_panics == 0);
+        // Truncations dominate: BadLength must appear for all three
+        // formats; the intact path must also have been exercised.
+        assert!(report.wire_taxonomy.keys().any(|k| k.contains("BadLength")));
+        assert!(
+            report.wire_taxonomy.keys().any(|k| k.contains("Accepted")),
+            "{:?}",
+            report.wire_taxonomy
+        );
+    }
+}

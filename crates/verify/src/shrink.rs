@@ -1,0 +1,125 @@
+//! A greedy byte-level shrinker for differential counterexamples.
+//!
+//! When a differential case disagrees, the raw input (a field element,
+//! a scalar, a wire frame) is serialised to bytes and shrunk against a
+//! predicate that re-runs the disagreeing comparison: the result is the
+//! smallest input the greedy pass can find that still fails, which is
+//! what gets reported. Deterministic; no randomness involved.
+
+/// Greedily shrinks `input` while `fails` stays true.
+///
+/// Three passes, repeated to a fixed point: (1) delta-debugging style
+/// chunk removal (halves, then quarters, …, down to single bytes),
+/// (2) zeroing bytes, (3) clearing single bits. The returned vector
+/// always satisfies `fails`; if `fails(input)` is false the input is
+/// returned unchanged (nothing to shrink).
+pub fn shrink_bytes(input: &[u8], fails: impl Fn(&[u8]) -> bool) -> Vec<u8> {
+    let mut cur = input.to_vec();
+    if !fails(&cur) {
+        return cur;
+    }
+    loop {
+        let mut progressed = false;
+
+        // Pass 1: remove chunks, largest first.
+        let mut chunk = (cur.len() / 2).max(1);
+        while chunk >= 1 && !cur.is_empty() {
+            let mut start = 0;
+            while start < cur.len() {
+                let end = (start + chunk).min(cur.len());
+                let mut candidate = Vec::with_capacity(cur.len() - (end - start));
+                candidate.extend_from_slice(&cur[..start]);
+                candidate.extend_from_slice(&cur[end..]);
+                if fails(&candidate) {
+                    cur = candidate;
+                    progressed = true;
+                    // retry the same start against the shorter input
+                } else {
+                    start += chunk;
+                }
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+
+        // Pass 2: zero bytes.
+        for i in 0..cur.len() {
+            if cur[i] == 0 {
+                continue;
+            }
+            let saved = cur[i];
+            cur[i] = 0;
+            if fails(&cur) {
+                progressed = true;
+            } else {
+                cur[i] = saved;
+            }
+        }
+
+        // Pass 3: clear single bits.
+        for i in 0..cur.len() {
+            for bit in 0..8 {
+                let mask = 1u8 << bit;
+                if cur[i] & mask == 0 {
+                    continue;
+                }
+                cur[i] &= !mask;
+                if fails(&cur) {
+                    progressed = true;
+                } else {
+                    cur[i] |= mask;
+                }
+            }
+        }
+
+        if !progressed {
+            return cur;
+        }
+    }
+}
+
+/// Renders bytes as lowercase hex for reports.
+pub fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrinks_to_the_single_guilty_byte() {
+        let input: Vec<u8> = (0u8..64).collect();
+        let out = shrink_bytes(&input, |b| b.contains(&0x2a));
+        assert_eq!(out, vec![0x2a]);
+    }
+
+    #[test]
+    fn shrinks_length_predicates_to_the_boundary() {
+        let input = vec![0xffu8; 100];
+        let out = shrink_bytes(&input, |b| b.len() >= 10);
+        assert_eq!(out.len(), 10);
+        assert!(out.iter().all(|&b| b == 0), "bytes also zeroed");
+    }
+
+    #[test]
+    fn shrinks_bit_level_predicates() {
+        let input = vec![0xff, 0xff, 0xff];
+        // Fails while byte 1 has its top bit set.
+        let out = shrink_bytes(&input, |b| b.iter().any(|&x| x & 0x80 != 0));
+        assert_eq!(out, vec![0x80]);
+    }
+
+    #[test]
+    fn non_failing_input_is_untouched() {
+        let input = vec![1, 2, 3];
+        assert_eq!(shrink_bytes(&input, |_| false), input);
+    }
+
+    #[test]
+    fn hex_renders_lowercase() {
+        assert_eq!(hex(&[0xde, 0xad, 0x01]), "dead01");
+    }
+}

@@ -1,0 +1,64 @@
+//! Int/scalar and field-element edge cases pushed through all four
+//! execution tiers via the differential harness (`verify` crate).
+//!
+//! The harness front-loads its deterministic edge vectors — zero, one,
+//! all-ones and top-bit field elements; scalar 0, 1, small values,
+//! n−1, n, n+1 and top-bit-set patterns — before its random stream, so
+//! a run sized to cover the edge tables is a pure edge-case sweep.
+
+use verify::{differential, DiffConfig};
+
+/// Six field edges and twelve scalar edges (see
+/// `differential::field_edges` / `differential::scalar_edges`); sizes
+/// chosen to cover all of them plus a margin of random cases.
+const EDGE_CONFIG: DiffConfig = DiffConfig {
+    seed: 0xedfe,
+    field_cases: 10,
+    scalar_cases: 16,
+    wire_cases: 0,
+};
+
+#[test]
+fn edge_cases_agree_across_all_tiers() {
+    let report = differential::run(&EDGE_CONFIG);
+    assert!(report.ok(), "{}", report.render());
+    let cases = |name: &str| {
+        report
+            .pairs
+            .iter()
+            .find(|p| p.pair == name)
+            .unwrap_or_else(|| panic!("missing tier pair {name}: {}", report.render()))
+            .cases
+    };
+    // Every field tier saw every case, edges included.
+    for pair in [
+        "portable/generic_u64",
+        "portable/counted_ld",
+        "portable/counted_ld_rotating",
+        "portable/counted_ld_fixed",
+        "portable/modeled_direct",
+        "portable/modeled_code",
+        "modeled_direct/modeled_code_cycles",
+    ] {
+        assert_eq!(cases(pair), EDGE_CONFIG.field_cases, "{pair}");
+    }
+    // Every point algorithm saw every scalar edge (0, 1, n−1, n, n+1,
+    // top-bit-set, …) and the recode length never moved.
+    for pair in [
+        "binary/wtnaf_w4",
+        "binary/tnaf",
+        "binary/kg_window",
+        "binary/ladder",
+        "recode/fixed_length",
+    ] {
+        assert_eq!(cases(pair), EDGE_CONFIG.scalar_cases, "{pair}");
+    }
+}
+
+#[test]
+fn edge_sweep_is_deterministic() {
+    assert_eq!(
+        differential::run(&EDGE_CONFIG).render(),
+        differential::run(&EDGE_CONFIG).render()
+    );
+}

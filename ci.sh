@@ -29,6 +29,14 @@ if grep -q -- "-> LEAK" /tmp/verify_smoke_1.txt; then
   exit 1
 fi
 
+echo "==> kernel cycle regression gate (vs committed BENCH_*.json)"
+target/release/kernel_gate
+
+echo "==> throughput smoke (batch amortisation + predecode A/B gates)"
+target/release/throughput --smoke > /tmp/throughput_smoke.txt
+grep -q "GATE: batch-64 inversion shrink" /tmp/throughput_smoke.txt
+grep -q "GATE: predecoded replay bit-identical" /tmp/throughput_smoke.txt
+
 echo "==> lean build without the trace recorder"
 cargo build -p m0plus --release --offline --no-default-features
 

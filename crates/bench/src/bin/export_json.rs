@@ -3,11 +3,16 @@
 //! versioned `BENCH_<n>.json` at the repository root (`n` = next free
 //! index). The document is deterministic — fixed key order, fixed
 //! seeds, no timestamps — so re-running on an unchanged tree produces a
-//! byte-identical file.
+//! byte-identical file, with one scoped exception: the
+//! `throughput.wall_clock` subtree (marked `"host_dependent": true`)
+//! records ops/sec and the predecode replay speedup, which vary with
+//! the machine the export ran on. Everything outside that subtree is
+//! byte-stable.
 //!
 //! Run: `cargo run --release -p bench --bin export_json`
 
 use bench::campaign::{self, CampaignConfig};
+use bench::throughput::{self, ThroughputConfig};
 use bench::workloads;
 use gf2m::modeled::Tier;
 use m0plus::Category;
@@ -16,7 +21,7 @@ use std::path::{Path, PathBuf};
 
 /// Schema identifier for downstream consumers; bump when the document
 /// shape changes.
-const SCHEMA: &str = "ecc233-bench/1";
+const SCHEMA: &str = "ecc233-bench/2";
 
 fn main() {
     let doc = render();
@@ -102,8 +107,8 @@ fn render() -> String {
         let sep = if i + 1 == flash.len() { "" } else { "," };
         writeln!(
             w,
-            "    \"{name}\": {{ \"flash_bytes\": {}, \"instructions\": {}, \"calls\": {} }}{sep}",
-            fp.flash_bytes, fp.instructions, fp.calls
+            "    \"{name}\": {{ \"flash_bytes\": {}, \"deduped_flash_bytes\": {}, \"instructions\": {}, \"calls\": {} }}{sep}",
+            fp.flash_bytes, fp.deduped_flash_bytes, fp.instructions, fp.calls
         )
         .unwrap();
     }
@@ -194,6 +199,54 @@ fn render() -> String {
     writeln!(w, "    }},").unwrap();
     let leaks = verdicts.iter().filter(|v| !v.ok()).count();
     writeln!(w, "    \"leaks\": {leaks}").unwrap();
+    writeln!(w, "  }},").unwrap();
+    let tp = throughput::run(&ThroughputConfig::full());
+    writeln!(w, "  \"throughput\": {{").unwrap();
+    writeln!(w, "    \"amortisation\": {{").unwrap();
+    for (i, r) in tp.amortisation.iter().enumerate() {
+        let sep = if i + 1 == tp.amortisation.len() {
+            ""
+        } else {
+            ","
+        };
+        writeln!(
+            w,
+            "      \"{}\": {{ \"batch_inv_cycles\": {}, \"batch_total_cycles\": {}, \"individual_inv_cycles\": {}, \"inv_shrink\": {:.2} }}{sep}",
+            r.size, r.batch_inv_cycles, r.batch_total_cycles, r.individual_inv_cycles, r.inv_shrink()
+        )
+        .unwrap();
+    }
+    writeln!(w, "    }},").unwrap();
+    writeln!(
+        w,
+        "    \"wtnaf_cache\": {{ \"keys\": {}, \"ops_per_key\": {}, \"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4} }},",
+        tp.cache.keys, tp.cache.ops_per_key, tp.cache.hits, tp.cache.misses, tp.cache.hit_rate()
+    )
+    .unwrap();
+    writeln!(w, "    \"wall_clock\": {{").unwrap();
+    writeln!(w, "      \"host_dependent\": true,").unwrap();
+    writeln!(w, "      \"ops_per_sec\": {{").unwrap();
+    for (i, r) in tp.ops.iter().enumerate() {
+        let sep = if i + 1 == tp.ops.len() { "" } else { "," };
+        writeln!(
+            w,
+            "        \"{}_b{}_w{}\": {:.1}{sep}",
+            r.op, r.batch, r.workers, r.ops_per_sec
+        )
+        .unwrap();
+    }
+    writeln!(w, "      }},").unwrap();
+    writeln!(
+        w,
+        "      \"predecode\": {{ \"trace_len\": {}, \"replays\": {}, \"decoded_ns_per_replay\": {:.0}, \"predecoded_ns_per_replay\": {:.0}, \"speedup\": {:.2} }}",
+        tp.predecode.trace_len,
+        tp.predecode.replays,
+        tp.predecode.decoded_ns,
+        tp.predecode.predecoded_ns,
+        tp.predecode.speedup()
+    )
+    .unwrap();
+    writeln!(w, "    }}").unwrap();
     writeln!(w, "  }},").unwrap();
     writeln!(w, "  \"paper_targets\": {{").unwrap();
     writeln!(w, "    \"kp_cycles\": 2814827, \"kp_uj\": 34.16,").unwrap();

@@ -1,0 +1,87 @@
+//! Kernel-cycle regression gate: re-measures the headline field-kernel
+//! cycle counts and compares them, exactly, against the committed
+//! `BENCH_<n>.json` baseline.
+//!
+//! The cost model is deterministic, so any drift in `mul_asm_cycles`,
+//! `sqr_asm_cycles` or `inv_cycles` is a real modeling change and must
+//! arrive together with a regenerated baseline — this gate turns a
+//! silent drift into a CI failure.
+//!
+//! Run: `cargo run --release -p bench --bin kernel_gate [-- <baseline.json>]`
+//! (defaults to the highest `BENCH_<n>.json` at the repository root).
+
+use bench::workloads;
+use gf2m::modeled::Tier;
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/bench has a grandparent")
+        .to_path_buf()
+}
+
+/// Highest-numbered committed `BENCH_<n>.json`.
+fn latest_baseline(root: &Path) -> PathBuf {
+    let last = (1..)
+        .take_while(|n| root.join(format!("BENCH_{n}.json")).exists())
+        .last()
+        .expect("at least BENCH_1.json is committed");
+    root.join(format!("BENCH_{last}.json"))
+}
+
+/// Extracts `"key": <integer>` from the baseline without a JSON
+/// dependency (the export format is line-oriented and deterministic).
+fn extract_u64(doc: &str, key: &str) -> u64 {
+    let needle = format!("\"{key}\":");
+    let line = doc
+        .lines()
+        .find(|l| l.contains(&needle))
+        .unwrap_or_else(|| panic!("baseline has no {key:?}"));
+    let rest = line.split(&needle).nth(1).expect("split after needle");
+    let digits: String = rest
+        .chars()
+        .skip_while(|c| c.is_whitespace())
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits
+        .parse()
+        .unwrap_or_else(|e| panic!("unparsable value for {key:?} in {line:?}: {e}"))
+}
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| latest_baseline(&repo_root()));
+    let doc =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+
+    let (sqr_asm, mul_asm, _, inv_asm) = workloads::kernel_cycles(Tier::Asm);
+    let (_, _, _, inv_c) = workloads::kernel_cycles(Tier::C);
+    let inv = inv_asm.min(inv_c);
+
+    let mut failed = false;
+    for (key, fresh) in [
+        ("mul_asm_cycles", mul_asm),
+        ("sqr_asm_cycles", sqr_asm),
+        ("inv_cycles", inv),
+    ] {
+        let baseline = extract_u64(&doc, key);
+        let ok = baseline == fresh;
+        println!(
+            "  {key:<16} baseline {baseline:>8}  fresh {fresh:>8}  {}",
+            if ok { "ok" } else { "MISMATCH" }
+        );
+        failed |= !ok;
+    }
+    if failed {
+        eprintln!(
+            "kernel cycle drift vs {} — regenerate the baseline with export_json if intended",
+            path.display()
+        );
+        std::process::exit(1);
+    }
+    println!("kernel gate: all cycle counts match {}", path.display());
+}

@@ -247,11 +247,7 @@ fn prepare(target: &Target) -> PreparedTarget {
         stats_name: target.name,
         tier_label: target.tier_label,
         op: target.op,
-        kernel: RecordedKernel {
-            pre,
-            program,
-            recording,
-        },
+        kernel: RecordedKernel::new(pre, program, recording),
         regions,
         a,
         b,

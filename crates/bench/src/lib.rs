@@ -15,6 +15,7 @@
 
 pub mod campaign;
 pub mod tables;
+pub mod throughput;
 pub mod timing;
 pub mod workloads;
 

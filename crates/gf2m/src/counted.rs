@@ -299,6 +299,150 @@ pub fn residency_for_budget(regs: usize) -> [bool; 2 * N] {
     set
 }
 
+/// Result of a counted inversion: the inverse and the operation tally.
+#[derive(Debug, Clone, Copy)]
+pub struct CountedInverse {
+    /// The field inverse (identical to the portable tier).
+    pub value: Fe,
+    /// Operations spent in the EEA.
+    pub tally: Tally,
+}
+
+/// Counted degree scan with most-significant-word tracking: each
+/// inspected word is one read; extracting the bit position on the hit
+/// is charged as one shift (the CLZ-free bit hunt of a real M0+).
+fn counted_degree(a: &[u32; N], mut top: usize, t: &mut Tally) -> (usize, usize) {
+    loop {
+        t.reads += 1;
+        if a[top] != 0 {
+            t.shifts += 1;
+            return (top * 32 + 31 - a[top].leading_zeros() as usize, top);
+        }
+        if top == 0 {
+            return (usize::MAX, 0);
+        }
+        top -= 1;
+    }
+}
+
+/// Counted `a ^= b << j`, touching only the words that can change
+/// (the paper's tracked-top optimisation).
+fn counted_xor_shifted(a: &mut [u32; N], b: &[u32; N], j: usize, b_top: usize, t: &mut Tally) {
+    let wshift = j / 32;
+    let bshift = (j % 32) as u32;
+    if bshift == 0 {
+        for i in 0..=b_top {
+            if i + wshift < N {
+                a[i + wshift] ^= b[i];
+                t.reads += 2;
+                t.xors += 1;
+                t.writes += 1;
+            }
+        }
+    } else {
+        for i in 0..=b_top {
+            let w = b[i];
+            t.reads += 1;
+            t.shifts += 2; // LSL low half, LSR carry half
+            if i + wshift < N {
+                a[i + wshift] ^= w << bshift;
+                t.reads += 1;
+                t.xors += 1;
+                t.writes += 1;
+            }
+            if i + wshift + 1 < N {
+                a[i + wshift + 1] ^= w >> (32 - bshift);
+                t.reads += 1;
+                t.xors += 1;
+                t.writes += 1;
+            }
+        }
+    }
+}
+
+fn counted_is_one(a: &[u32; N], t: &mut Tally) -> bool {
+    t.reads += N as u64;
+    a[0] == 1 && a[1..].iter().all(|&w| w == 0)
+}
+
+/// Counted inversion by the paper's optimised EEA (§3.2.3: two code
+/// segments instead of swaps, tracked most-significant words) — the
+/// same algorithm as [`crate::inv::invert`] with every memory access
+/// and ALU word-op tallied under the conventions of this module.
+/// Returns `None` for zero.
+///
+/// Unlike the multiplication tallies, the inversion tally is
+/// data-*dependent* (the EEA's iteration count follows the operand's
+/// degree sequence); it stays within a narrow band for full-size
+/// elements.
+pub fn inv_eea(a: Fe) -> Option<CountedInverse> {
+    if a.is_zero() {
+        return None;
+    }
+    let mut t = Tally::default();
+    let mut u = a.0;
+    let mut v = crate::inv::F_WORDS;
+    let mut g1 = [0u32; N];
+    g1[0] = 1;
+    let mut g2 = [0u32; N];
+    let mut u_top = N - 1;
+    let mut v_top = N - 1;
+
+    #[allow(clippy::too_many_arguments)]
+    fn step(
+        u: &mut [u32; N],
+        g1: &mut [u32; N],
+        u_top: &mut usize,
+        v: &[u32; N],
+        g2: &[u32; N],
+        v_deg: usize,
+        v_top: usize,
+        g2_top: usize,
+        t: &mut Tally,
+    ) -> bool {
+        let (mut u_deg, mut top) = counted_degree(u, *u_top, t);
+        *u_top = top;
+        while u_deg != usize::MAX && u_deg >= v_deg {
+            let j = u_deg - v_deg;
+            counted_xor_shifted(u, v, j, v_top, t);
+            counted_xor_shifted(g1, g2, j, g2_top, t);
+            let (d, nt) = counted_degree(u, *u_top, t);
+            u_deg = d;
+            top = nt;
+            *u_top = top;
+        }
+        counted_is_one(u, t)
+    }
+
+    loop {
+        // Segment A: reduce u by v.
+        let (v_deg, vt) = counted_degree(&v, v_top, &mut t);
+        v_top = vt;
+        let (_, g2_top) = counted_degree(&g2, N - 1, &mut t);
+        if step(
+            &mut u, &mut g1, &mut u_top, &v, &g2, v_deg, v_top, g2_top, &mut t,
+        ) {
+            return Some(CountedInverse {
+                value: Fe(g1),
+                tally: t,
+            });
+        }
+
+        // Segment B: the same operations with names interchanged.
+        let (u_deg, ut) = counted_degree(&u, u_top, &mut t);
+        u_top = ut;
+        let (_, g1_top) = counted_degree(&g1, N - 1, &mut t);
+        if step(
+            &mut v, &mut g2, &mut v_top, &u, &g1, u_deg, u_top, g1_top, &mut t,
+        ) {
+            return Some(CountedInverse {
+                value: Fe(g2),
+                tally: t,
+            });
+        }
+    }
+}
+
 /// Runs all three counted methods on the same operands.
 pub fn all_methods(x: Fe, y: Fe) -> [(crate::formulas::Method, CountedProduct); 3] {
     [

@@ -39,6 +39,7 @@
 //! # Ok::<(), gf2m::ParseFeError>(())
 //! ```
 
+pub mod batch;
 pub mod counted;
 pub mod element;
 pub mod formulas;

@@ -64,7 +64,14 @@ pub struct KernelFootprint {
     /// Number of calls routed through the code backend.
     pub calls: u64,
     /// Largest assembled fragment (code + literal pool), in bytes.
+    /// Recordings are linearised, so for looped kernels (the EEA
+    /// inversion) this is the *unrolled* figure; see `deduped_flash_bytes`
+    /// for the loop-aware one.
     pub flash_bytes: usize,
+    /// Largest loop-aware footprint: the fragment after
+    /// [`m0plus::footprint::dedup`] collapses repeated bodies, an upper
+    /// bound on a rolled build's flash.
+    pub deduped_flash_bytes: usize,
     /// Largest replayed instruction count.
     pub instructions: u64,
 }
@@ -229,6 +236,7 @@ impl ModeledField {
             let slot = self.flash.entry(name).or_default();
             slot.calls += 1;
             slot.flash_bytes = slot.flash_bytes.max(run.flash_bytes);
+            slot.deduped_flash_bytes = slot.deduped_flash_bytes.max(run.deduped_flash_bytes);
             slot.instructions = slot.instructions.max(run.instructions);
         }
         out
@@ -745,6 +753,33 @@ mod tests {
             fp.flash_bytes
         );
         assert!(fp.instructions > 500);
+    }
+
+    #[test]
+    fn looped_inversion_dedups_far_below_its_unrolled_footprint() {
+        let mut f = ModeledField::new_with_backend(Tier::C, Backend::Code);
+        let (sa, sz) = (f.alloc_init(fe(33)), f.alloc());
+        f.inv(sz, sa);
+        let fp = f.flash_report()["inv_eea_c"];
+        // The EEA records each of its ~700 data-dependent loop
+        // iterations separately: a six-figure unrolled footprint. A
+        // rolled build stores each body once — the dedup pass must
+        // recover at least a 10× reduction.
+        assert!(fp.flash_bytes > 50_000, "unrolled = {}", fp.flash_bytes);
+        assert!(
+            fp.deduped_flash_bytes * 10 <= fp.flash_bytes,
+            "deduped {} vs unrolled {}",
+            fp.deduped_flash_bytes,
+            fp.flash_bytes
+        );
+        // Straight-line kernels barely compress: their deduped figure
+        // stays the same order of magnitude as the raw one.
+        let mut g = ModeledField::new_with_backend(Tier::Asm, Backend::Code);
+        let (ga, gb, gz) = (g.alloc_init(fe(34)), g.alloc_init(fe(35)), g.alloc());
+        g.mul(gz, ga, gb);
+        let mp = g.flash_report()["mul_asm"];
+        assert!(mp.deduped_flash_bytes > 0);
+        assert!(mp.deduped_flash_bytes <= mp.flash_bytes);
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //! * [`mul`] — point multiplication: wTNAF random-point kP (w = 4),
 //!   fixed-point kG (w = 6, precomputed table), plus the
 //!   Montgomery-ladder variant the paper's §5 proposes as future work;
+//! * [`cache`] — a bounded LRU of wTNAF precomputation tables so
+//!   repeated kP against the same base point skips the table build;
 //! * [`scalar`] — arithmetic modulo the group order (for ECDH/ECDSA);
 //! * [`modeled`] — the same point multiplication driven through
 //!   [`gf2m::modeled::ModeledField`], with every cycle attributed to the
@@ -33,6 +35,7 @@
 //! # Ok::<(), koblitz::int::ParseIntError>(())
 //! ```
 
+pub mod cache;
 pub mod curve;
 pub mod int;
 pub mod modeled;
@@ -43,7 +46,7 @@ pub mod tnaf;
 
 pub use curve::{generator, order, Affine};
 pub use int::Int;
-pub use projective::LdPoint;
+pub use projective::{batch_to_affine, LdPoint};
 pub use scalar::Scalar;
 
 /// Field extension degree m = 233 (re-exported for recoding bounds).

@@ -48,8 +48,10 @@ pub fn precompute_table(p: &Affine, w: u32) -> Vec<Affine> {
 }
 
 /// Evaluates a τ-adic digit string against a precomputed table
-/// (most-significant digit first processing).
-fn eval_wtnaf(digits: &[i8], table: &[Affine]) -> Affine {
+/// (most-significant digit first processing), leaving the result in
+/// LD projective coordinates so batch callers can defer the affine
+/// conversion — and its inversion — to a Montgomery batch boundary.
+fn eval_wtnaf_proj(digits: &[i8], table: &[Affine]) -> LdPoint {
     let mut acc = LdPoint::INFINITY;
     for &d in digits.iter().rev() {
         acc = acc.frobenius();
@@ -59,24 +61,34 @@ fn eval_wtnaf(digits: &[i8], table: &[Affine]) -> Affine {
             acc = acc.add_affine(&table[(-d as usize) / 2].negated());
         }
     }
-    acc.to_affine()
+    acc
 }
 
 /// Random-point multiplication k·P by the left-to-right width-w TNAF
 /// method (Guide to ECC Alg. 3.70): the paper's kP configuration with
 /// `w = 4`.
 ///
+/// The precomputation table is served from the process-wide
+/// [`crate::cache`] — repeated multiplications against the same base
+/// point skip `TNAF_Precomputation` entirely.
+///
 /// # Panics
 ///
 /// Panics if `k` is negative or `w` is outside 2..=8.
 pub fn mul_wtnaf(p: &Affine, k: &Int, w: u32) -> Affine {
+    mul_wtnaf_proj(p, k, w).to_affine()
+}
+
+/// [`mul_wtnaf`] without the final affine conversion: the result stays
+/// in LD coordinates for a later [`crate::projective::batch_to_affine`].
+pub fn mul_wtnaf_proj(p: &Affine, k: &Int, w: u32) -> LdPoint {
     assert!(!k.is_negative(), "scalar must be non-negative");
     if k.is_zero() || p.is_infinity() {
-        return Affine::Infinity;
+        return LdPoint::INFINITY;
     }
     let digits = tnaf::recode(k, w);
-    let table = precompute_table(p, w);
-    eval_wtnaf(&digits, &table)
+    let table = crate::cache::table_for(p, w);
+    eval_wtnaf_proj(&digits, &table)
 }
 
 /// Plain-TNAF multiplication (w = 1): no precomputation beyond ±P.
@@ -112,12 +124,17 @@ pub fn generator_table() -> &'static [Affine] {
 ///
 /// Panics if `k` is negative.
 pub fn mul_g(k: &Int) -> Affine {
+    mul_g_proj(k).to_affine()
+}
+
+/// [`mul_g`] without the final affine conversion.
+pub fn mul_g_proj(k: &Int) -> LdPoint {
     assert!(!k.is_negative(), "scalar must be non-negative");
     if k.is_zero() {
-        return Affine::Infinity;
+        return LdPoint::INFINITY;
     }
     let digits = tnaf::recode(k, KG_WINDOW);
-    eval_wtnaf(&digits, generator_table())
+    eval_wtnaf_proj(&digits, generator_table())
 }
 
 /// Simultaneous double multiplication u₁·G + u₂·Q by interleaved
@@ -129,20 +146,27 @@ pub fn mul_g(k: &Int) -> Affine {
 ///
 /// Panics if either scalar is negative.
 pub fn double_multiply(u1: &Int, u2: &Int, q: &Affine) -> Affine {
+    double_multiply_proj(u1, u2, q).to_affine()
+}
+
+/// [`double_multiply`] without the final affine conversion — the batch
+/// verifier's workhorse: all the point arithmetic, none of the
+/// inversions.
+pub fn double_multiply_proj(u1: &Int, u2: &Int, q: &Affine) -> LdPoint {
     assert!(
         !u1.is_negative() && !u2.is_negative(),
         "scalars must be non-negative"
     );
     if q.is_infinity() || u2.is_zero() {
-        return mul_g(u1);
+        return mul_g_proj(u1);
     }
     if u1.is_zero() {
-        return mul_wtnaf(q, u2, KP_WINDOW);
+        return mul_wtnaf_proj(q, u2, KP_WINDOW);
     }
     let d1 = tnaf::recode(u1, KG_WINDOW);
     let d2 = tnaf::recode(u2, KP_WINDOW);
     let table_g = generator_table();
-    let table_q = precompute_table(q, KP_WINDOW);
+    let table_q = crate::cache::table_for(q, KP_WINDOW);
     let len = d1.len().max(d2.len());
     let mut acc = LdPoint::INFINITY;
     for i in (0..len).rev() {
@@ -162,7 +186,7 @@ pub fn double_multiply(u1: &Int, u2: &Int, q: &Affine) -> Affine {
             }
         }
     }
-    acc.to_affine()
+    acc
 }
 
 /// x-only Montgomery doubling: (X, Z) → (X⁴ + b·Z⁴, X²·Z²), b = 1.
@@ -406,6 +430,36 @@ mod tests {
         let neg_scalar = (&order() - &u1).mod_positive(&order());
         assert!(double_multiply(&u1, &neg_scalar, &generator()).is_infinity());
         let _ = g5;
+    }
+
+    #[test]
+    fn proj_variants_match_affine_entry_points() {
+        let q = generator().mul_binary(&Int::from(31337i64));
+        for seed in 1..5u64 {
+            let k = scalar(seed + 600);
+            let u = scalar(seed + 700);
+            assert_eq!(mul_wtnaf_proj(&q, &k, 4).to_affine(), mul_wtnaf(&q, &k, 4));
+            assert_eq!(mul_g_proj(&k).to_affine(), mul_g(&k));
+            assert_eq!(
+                double_multiply_proj(&k, &u, &q).to_affine(),
+                double_multiply(&k, &u, &q)
+            );
+        }
+        assert!(mul_wtnaf_proj(&q, &Int::zero(), 4).is_infinity());
+        assert!(mul_g_proj(&Int::zero()).is_infinity());
+    }
+
+    #[test]
+    fn repeated_base_multiplications_hit_the_table_cache() {
+        let p = generator().mul_binary(&Int::from(0xCAFE_F00Di64));
+        let k1 = scalar(801);
+        let k2 = scalar(802);
+        let _ = mul_wtnaf(&p, &k1, 4); // populate
+        let before = crate::cache::stats();
+        let got = mul_wtnaf(&p, &k2, 4);
+        let after = crate::cache::stats();
+        assert!(after.hits > before.hits, "second kP on same base must hit");
+        assert_eq!(got, p.mul_binary(&k2));
     }
 
     #[test]

@@ -151,6 +151,94 @@ impl From<Affine> for LdPoint {
     }
 }
 
+/// Converts a batch of LD points to affine with **one** field inversion
+/// total (Montgomery's trick, [`gf2m::batch::batch_invert`]): points at
+/// infinity come out as [`Affine::Infinity`] and do not disturb their
+/// neighbours.
+///
+/// This is the throughput path: N conversions cost 1 inversion +
+/// 3(N−1) + 2N multiplications instead of N inversions + 2N
+/// multiplications, and inversion is ~28× a multiplication on the
+/// modeled tier (Table 7).
+pub fn batch_to_affine(points: &[LdPoint]) -> Vec<Affine> {
+    let mut zs: Vec<Fe> = points.iter().map(|p| p.z).collect();
+    gf2m::batch::batch_invert(&mut zs);
+    points
+        .iter()
+        .zip(&zs)
+        .map(|(p, &zi)| {
+            if zi.is_zero() {
+                Affine::Infinity
+            } else {
+                Affine::Point {
+                    x: p.x * zi,
+                    y: p.y * zi.square(),
+                }
+            }
+        })
+        .collect()
+}
+
+/// Cost breakdown of one counted-tier batch affine conversion.
+#[derive(Debug, Clone, Default)]
+pub struct CountedBatchConversion {
+    /// The affine points, identical to [`batch_to_affine`].
+    pub points: Vec<Affine>,
+    /// Operations spent inside the (single) EEA inversion.
+    pub inv: gf2m::Tally,
+    /// Operations spent in multiplications (Montgomery sweep plus the
+    /// 3 per-point coordinate products x·Z⁻¹, (Z⁻¹)², y·(Z⁻¹)²).
+    pub mul: gf2m::Tally,
+    /// Field inversions performed.
+    pub inversions: u64,
+    /// Field multiplications performed.
+    pub muls: u64,
+}
+
+impl CountedBatchConversion {
+    /// Total tally (inversion + multiplications).
+    pub fn total(&self) -> gf2m::Tally {
+        self.inv.plus(self.mul)
+    }
+}
+
+/// [`batch_to_affine`] on the counted tier: the same values, with the
+/// inversion and multiplication costs tallied separately so the
+/// amortisation claim can be checked against per-point
+/// [`gf2m::counted::inv_eea`] conversions.
+pub fn batch_to_affine_counted(points: &[LdPoint]) -> CountedBatchConversion {
+    let zs: Vec<Fe> = points.iter().map(|p| p.z).collect();
+    let batch = gf2m::batch::batch_invert_counted(&zs);
+    let mut out = CountedBatchConversion {
+        inv: batch.inv,
+        mul: batch.mul,
+        inversions: batch.inversions,
+        muls: batch.muls,
+        ..CountedBatchConversion::default()
+    };
+    let mut cmul = |a: Fe, b: Fe| {
+        let p = gf2m::counted::mul_ld_fixed(a, b);
+        out.mul = out.mul.plus(p.total());
+        out.muls += 1;
+        p.value
+    };
+    out.points = points
+        .iter()
+        .zip(&batch.values)
+        .map(|(p, &zi)| {
+            if zi.is_zero() {
+                Affine::Infinity
+            } else {
+                let x = cmul(p.x, zi);
+                let zi2 = cmul(zi, zi);
+                let y = cmul(p.y, zi2);
+                Affine::Point { x, y }
+            }
+        })
+        .collect();
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -227,6 +315,66 @@ mod tests {
         let acc = LdPoint::from_affine(&p).double(); // Z != 1
         assert_eq!(acc.negated().to_affine(), acc.to_affine().negated());
         assert!(LdPoint::INFINITY.negated().is_infinity());
+    }
+
+    #[test]
+    fn batch_to_affine_matches_pointwise() {
+        // A mix of Z = 1, Z ≠ 1 and infinity points.
+        let mut pts = vec![LdPoint::INFINITY];
+        for k in 1..20i64 {
+            let mut p = LdPoint::from_affine(&multiple(k));
+            for _ in 0..(k % 4) {
+                p = p.double(); // scrub Z away from 1
+            }
+            pts.push(p);
+            if k % 7 == 0 {
+                pts.push(LdPoint::INFINITY);
+            }
+        }
+        let batch = batch_to_affine(&pts);
+        assert_eq!(batch.len(), pts.len());
+        for (i, (b, p)) in batch.iter().zip(&pts).enumerate() {
+            assert_eq!(*b, p.to_affine(), "point {i}");
+        }
+        // Counted tier produces identical points.
+        let counted = batch_to_affine_counted(&pts);
+        assert_eq!(counted.points, batch);
+        assert_eq!(counted.inversions, 1);
+    }
+
+    #[test]
+    fn batch_to_affine_empty_and_all_infinity() {
+        assert!(batch_to_affine(&[]).is_empty());
+        let all_inf = batch_to_affine(&[LdPoint::INFINITY; 3]);
+        assert!(all_inf.iter().all(Affine::is_infinity));
+        let counted = batch_to_affine_counted(&[LdPoint::INFINITY; 3]);
+        assert_eq!(counted.inversions, 0);
+        assert_eq!(counted.muls, 0);
+    }
+
+    #[test]
+    fn batch_of_64_points_spends_an_eighth_of_the_inversion_cycles() {
+        // Acceptance criterion: batch affine conversion of 64 points on
+        // the counted tier spends ≤ 1/8 the inversion cycles of 64
+        // individual inversions.
+        let pts: Vec<LdPoint> = (1..=64i64)
+            .map(|k| LdPoint::from_affine(&multiple(k)).double())
+            .collect();
+        let batch = batch_to_affine_counted(&pts);
+        let individual: u64 = pts
+            .iter()
+            .map(|p| gf2m::counted::inv_eea(p.z).unwrap().tally.cycles())
+            .sum();
+        assert!(
+            batch.inv.cycles() * 8 <= individual,
+            "batch inversion cycles {} vs 1/8 bound {}",
+            batch.inv.cycles(),
+            individual / 8
+        );
+        // The full batch conversion (inversion + all multiplications)
+        // still costs less than the inversions alone of the one-by-one
+        // path.
+        assert!(batch.total().cycles() < individual);
     }
 
     #[test]

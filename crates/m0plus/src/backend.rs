@@ -114,8 +114,13 @@ impl std::fmt::Display for Backend {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct KernelRun {
     /// Flash footprint of the assembled fragment (code + literal pool),
-    /// in bytes.
+    /// in bytes. The recording is *linearised* — loops appear once per
+    /// iteration — so this is the unrolled-build figure.
     pub flash_bytes: usize,
+    /// Loop-aware flash footprint in bytes: the same fragment after the
+    /// repeat-collapsing pass of [`crate::footprint`], an upper bound on
+    /// what a rolled build would flash.
+    pub deduped_flash_bytes: usize,
     /// Instructions retired by the replay.
     pub instructions: u64,
     /// Cycles charged by the replay.
@@ -221,6 +226,7 @@ pub fn run_recorded<T>(
         out,
         KernelRun {
             flash_bytes: program.size_bytes(),
+            deduped_flash_bytes: crate::footprint::dedup(&program).deduped_bytes(),
             instructions: stats.instructions,
             cycles: stats.cycles,
         },

@@ -54,6 +54,10 @@ pub mod table3 {
 #[derive(Debug, Clone, PartialEq)]
 pub struct EnergyModel {
     pj_per_cycle: [f64; InstrClass::ALL.len()],
+    /// `pj_per_cycle[i] * cycles(i)`, cached because the machine charges
+    /// energy on every retired instruction and the replay engines run
+    /// millions of them.
+    pj_per_instr: [f64; InstrClass::ALL.len()],
 }
 
 impl EnergyModel {
@@ -85,22 +89,31 @@ impl EnergyModel {
         // PUSH/POP transfers words over the memory interface like LDR.
         set(InstrClass::StackWord, LDR_PJ);
         set(InstrClass::Nop, LSR_PJ);
-        Self { pj_per_cycle: pj }
+        Self::from_per_cycle(pj)
     }
 
     /// Builds a model with a uniform energy per cycle (useful as a null
     /// hypothesis: with a flat model the §3.1 instruction-mix argument
     /// disappears and only cycle counts matter).
     pub fn uniform(pj_per_cycle: f64) -> Self {
-        Self {
-            pj_per_cycle: [pj_per_cycle; InstrClass::ALL.len()],
-        }
+        Self::from_per_cycle([pj_per_cycle; InstrClass::ALL.len()])
     }
 
     /// Returns a copy of this model with one class overridden.
     pub fn with_class(mut self, class: InstrClass, pj_per_cycle: f64) -> Self {
         self.pj_per_cycle[class.index()] = pj_per_cycle;
-        self
+        Self::from_per_cycle(self.pj_per_cycle)
+    }
+
+    fn from_per_cycle(pj_per_cycle: [f64; InstrClass::ALL.len()]) -> Self {
+        let mut pj_per_instr = [0.0; InstrClass::ALL.len()];
+        for c in InstrClass::ALL {
+            pj_per_instr[c.index()] = pj_per_cycle[c.index()] * c.cycles() as f64;
+        }
+        Self {
+            pj_per_cycle,
+            pj_per_instr,
+        }
     }
 
     /// Energy per cycle for `class`, in pJ.
@@ -109,8 +122,9 @@ impl EnergyModel {
     }
 
     /// Energy of one complete instruction of `class` (cycles × pJ/cycle).
+    #[inline]
     pub fn picojoules_per_instr(&self, class: InstrClass) -> f64 {
-        self.picojoules_per_cycle(class) * class.cycles() as f64
+        self.pj_per_instr[class.index()]
     }
 
     /// Average power in microwatts of a workload that used `energy_pj`

@@ -10,6 +10,8 @@
 use crate::asm::{decode_bl, Program};
 use crate::isa::Instr;
 use crate::machine::{Machine, Reg};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Execution errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -86,6 +88,212 @@ pub struct ExecStats {
     pub instructions: u64,
     /// Cycles charged (from the machine's counter delta).
     pub cycles: u64,
+}
+
+/// A predecoded instruction position: the decoded [`Instr`] plus every
+/// pc-relative quantity (branch targets, the BL return address)
+/// resolved once at predecode time instead of on every retire. Kept
+/// flat — one `Instr` match dispatches the whole step in the hot loop,
+/// with no second decode-shaped match behind it.
+#[derive(Debug, Clone, Copy)]
+struct PreStep {
+    /// The decoded instruction (a placeholder `Nop` when `invalid`).
+    instr: Instr,
+    /// The branch target for `BCond`/`B`/`Bl`; the raw halfword for
+    /// invalid positions; unused (zero) otherwise.
+    aux: usize,
+    /// pc + width: the fall-through / skip successor (also the BL
+    /// return address, which is exactly pc + 2).
+    next: usize,
+    /// The halfword does not decode (including the second halfword of a
+    /// BL, which is never a legal entry point); reaching it reproduces
+    /// [`ExecError::InvalidInstruction`].
+    invalid: bool,
+}
+
+/// A program decoded once, ready for repeated execution. Holds copies
+/// of the code image and literal pool, so running a fragment needs no
+/// `Program` — and so the cache can verify a hash hit byte-for-byte.
+///
+/// The modeled cycle and energy accounting is **identical** to
+/// decode-per-step execution: predecoding changes when instructions
+/// are decoded, never what they charge.
+#[derive(Debug)]
+pub struct Predecoded {
+    steps: Vec<PreStep>,
+    code: Vec<u16>,
+    pool: Vec<u32>,
+}
+
+impl Predecoded {
+    /// Decodes every halfword position of `program` up front
+    /// (bypassing the process-wide cache — see [`predecode`]).
+    pub fn new(program: &Program) -> Predecoded {
+        let code = program.code.clone();
+        let pool = program.pool.clone();
+        let steps = (0..code.len())
+            .map(|pc| {
+                let window = &code[pc..(pc + 2).min(code.len())];
+                let Some((instr, width)) = Instr::decode(window) else {
+                    return PreStep {
+                        instr: Instr::Nop,
+                        aux: code[pc] as usize,
+                        next: pc + 1,
+                        invalid: true,
+                    };
+                };
+                let hw = code[pc];
+                let aux = match instr {
+                    Instr::BCond { .. } => (pc as i64 + 2 + (hw & 0xFF) as i8 as i64) as usize,
+                    Instr::B => (pc as i64 + 2 + (((hw & 0x7FF) as i16) << 5 >> 5) as i64) as usize,
+                    Instr::Bl => {
+                        (pc as i64 + 2 + decode_bl(code[pc], code[pc + 1]) as i64) as usize
+                    }
+                    _ => 0,
+                };
+                PreStep {
+                    instr,
+                    aux,
+                    next: pc + width,
+                    invalid: false,
+                }
+            })
+            .collect();
+        Predecoded { steps, code, pool }
+    }
+
+    /// Exact (not just hash) equality with a program's code and pool.
+    fn matches(&self, program: &Program) -> bool {
+        self.code == program.code && self.pool == program.pool
+    }
+
+    /// Number of halfword positions.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the code image is empty.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+/// FNV-1a over the code image and literal pool (lengths included, so
+/// the code/pool boundary is unambiguous).
+fn program_hash(program: &Program) -> u64 {
+    const PRIME: u64 = 0x100_0000_01b3;
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(PRIME);
+    };
+    eat(program.code.len() as u64);
+    for &hw in &program.code {
+        eat(hw as u64);
+    }
+    eat(program.pool.len() as u64);
+    for &w in &program.pool {
+        eat(w as u64);
+    }
+    h
+}
+
+/// Bound on cached predecoded fragments. The campaigns cycle through a
+/// few dozen kernels; at ~16 bytes per halfword position the cache
+/// stays in the low megabytes even when full.
+const PREDECODE_CACHE_CAPACITY: usize = 64;
+
+struct PredecodeEntry {
+    hash: u64,
+    pre: Arc<Predecoded>,
+    stamp: u64,
+}
+
+#[derive(Default)]
+struct PredecodeCache {
+    entries: Vec<PredecodeEntry>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+fn predecode_cache() -> &'static Mutex<PredecodeCache> {
+    static CACHE: OnceLock<Mutex<PredecodeCache>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(PredecodeCache::default()))
+}
+
+/// Returns the predecoded form of `program` from the process-wide
+/// fragment cache, decoding on first sight. Entries are keyed by an
+/// FNV-1a hash of code + pool and verified byte-for-byte on a hit
+/// (a mutated fragment — e.g. a differently-recorded kernel that
+/// collides — predecodes fresh; stale results are impossible).
+pub fn predecode(program: &Program) -> Arc<Predecoded> {
+    let hash = program_hash(program);
+    {
+        let mut c = predecode_cache().lock().unwrap();
+        c.clock += 1;
+        let clock = c.clock;
+        if let Some(e) = c
+            .entries
+            .iter_mut()
+            .find(|e| e.hash == hash && e.pre.matches(program))
+        {
+            e.stamp = clock;
+            let pre = Arc::clone(&e.pre);
+            c.hits += 1;
+            return pre;
+        }
+        c.misses += 1;
+    }
+    let pre = Arc::new(Predecoded::new(program));
+    let mut c = predecode_cache().lock().unwrap();
+    if c.entries.len() >= PREDECODE_CACHE_CAPACITY {
+        if let Some(victim) = c
+            .entries
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| e.stamp)
+            .map(|(i, _)| i)
+        {
+            c.entries.swap_remove(victim);
+        }
+    }
+    let stamp = c.clock;
+    c.entries.push(PredecodeEntry {
+        hash,
+        pre: Arc::clone(&pre),
+        stamp,
+    });
+    pre
+}
+
+/// (hits, misses) of the predecode fragment cache.
+pub fn predecode_cache_stats() -> (u64, u64) {
+    let c = predecode_cache().lock().unwrap();
+    (c.hits, c.misses)
+}
+
+/// Empties the predecode cache and zeroes its counters.
+pub fn predecode_cache_reset() {
+    let mut c = predecode_cache().lock().unwrap();
+    c.entries.clear();
+    c.clock = 0;
+    c.hits = 0;
+    c.misses = 0;
+}
+
+static PREDECODE_ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Globally enables/disables the predecode path of
+/// [`execute_fragment_ctl`] (A/B switch for measuring the speedup;
+/// results are identical either way).
+pub fn set_predecode_enabled(on: bool) {
+    PREDECODE_ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether fragment execution currently uses the predecode cache.
+pub fn predecode_enabled() -> bool {
+    PREDECODE_ENABLED.load(Ordering::Relaxed)
 }
 
 /// Runs `program` on `machine` starting at `entry` (a label) until the
@@ -229,6 +437,24 @@ pub fn execute_fragment_ctl(
     machine: &mut Machine,
     program: &Program,
     max_steps: u64,
+    ctl: impl FnMut(&mut Machine, usize) -> StepAction,
+) -> Result<ExecStats, ExecError> {
+    if predecode_enabled() {
+        let pre = predecode(program);
+        execute_fragment_ctl_pre(machine, &pre, max_steps, ctl)
+    } else {
+        execute_fragment_ctl_uncached(machine, program, max_steps, ctl)
+    }
+}
+
+/// The decode-per-step fragment executor ([`execute_fragment_ctl`]
+/// with the predecode cache bypassed) — kept callable for the A/B
+/// speedup measurement and as the reference the predecoded path is
+/// differential-tested against.
+pub fn execute_fragment_ctl_uncached(
+    machine: &mut Machine,
+    program: &Program,
+    max_steps: u64,
     mut ctl: impl FnMut(&mut Machine, usize) -> StepAction,
 ) -> Result<ExecStats, ExecError> {
     let mut pc = 0usize;
@@ -313,7 +539,196 @@ pub fn execute_fragment_ctl(
     })
 }
 
+/// [`execute_fragment_ctl`] over an already-predecoded fragment: the
+/// per-step work drops to a table lookup plus dispatch — no halfword
+/// decode, no branch-offset arithmetic, no hash. Replay engines that
+/// run the same fragment millions of times (the fault and verify
+/// campaigns) hold the [`Predecoded`] and call this directly.
+///
+/// Semantics, error taxonomy, cycle and energy accounting are
+/// identical to the decode-per-step executor: literal-pool lookups
+/// still happen at execution time (so `BadLiteral` fires at the same
+/// step), invalid positions error before the hook runs, and a skipped
+/// instruction still falls through by its encoded width.
+///
+/// # Errors
+///
+/// Exactly those of [`execute_fragment_ctl`].
+pub fn execute_fragment_ctl_pre(
+    machine: &mut Machine,
+    pre: &Predecoded,
+    max_steps: u64,
+    mut ctl: impl FnMut(&mut Machine, usize) -> StepAction,
+) -> Result<ExecStats, ExecError> {
+    // A hook that always re-schedules itself for the very next step is
+    // exactly the per-step contract.
+    execute_fragment_ctl_scheduled(machine, pre, max_steps, |m, idx| (ctl(m, idx), 0))
+}
+
+/// [`execute_fragment_ctl_pre`] with a *scheduled* control hook: the
+/// hook returns, along with its [`StepAction`], the next
+/// retired-instruction index at which it must run again, and the
+/// executor does not call it in between. Replay engines whose per-step
+/// work is sparse — positioned register writes, category *runs*, a
+/// single fault index — use this so the millions of steps between
+/// boundaries pay no hook call at all.
+///
+/// A returned index at or below the current one is treated as
+/// "call me on the very next step"; `u64::MAX` means "never again".
+/// Instructions retired while the hook is dormant behave exactly as if
+/// the hook had returned [`StepAction::Execute`] at each of them, so a
+/// hook that asks to run at every index reproduces
+/// [`execute_fragment_ctl_pre`] bit for bit.
+///
+/// # Errors
+///
+/// Exactly those of [`execute_fragment_ctl`].
+pub fn execute_fragment_ctl_scheduled(
+    machine: &mut Machine,
+    pre: &Predecoded,
+    max_steps: u64,
+    mut ctl: impl FnMut(&mut Machine, usize) -> (StepAction, u64),
+) -> Result<ExecStats, ExecError> {
+    use Instr::*;
+    let mut pc = 0usize;
+    let mut call_stack: Vec<usize> = Vec::new();
+    let mut steps = 0u64;
+    let mut next_ctl = 0u64;
+    let start_cycles = machine.cycles();
+
+    while pc < pre.steps.len() {
+        if steps >= max_steps {
+            return Err(ExecError::StepLimit);
+        }
+        let step = pre.steps[pc];
+        if step.invalid {
+            return Err(ExecError::InvalidInstruction {
+                pc,
+                halfword: step.aux as u16,
+            });
+        }
+        let action = if steps >= next_ctl {
+            let (action, next) = ctl(machine, steps as usize);
+            next_ctl = next.max(steps + 1);
+            action
+        } else {
+            StepAction::Execute
+        };
+        steps += 1;
+        if action == StepAction::Skip {
+            pc = step.next;
+            continue;
+        }
+
+        // One flat match over the decoded instruction drives the whole
+        // step: control flow reads the precomputed `aux` target, memory
+        // ops range-check their (inlined) effective address, everything
+        // else goes straight to its machine method — the same effects,
+        // costs and error taxonomy as the decode-per-step loop, minus
+        // any second dispatch behind the first.
+        pc = match step.instr {
+            BCond { cond } => {
+                if machine.b_cond(cond) {
+                    step.aux
+                } else {
+                    step.next
+                }
+            }
+            B => {
+                machine.b();
+                step.aux
+            }
+            Bl => {
+                machine.bl();
+                call_stack.push(step.next);
+                step.aux
+            }
+            Bx => {
+                machine.bx();
+                match call_stack.pop() {
+                    Some(ret) => ret,
+                    None => break,
+                }
+            }
+            LdrLit { rt, imm_words } => {
+                let slot = imm_words as usize;
+                let value = *pre
+                    .pool
+                    .get(slot)
+                    .ok_or(ExecError::BadLiteral { pc, slot })?;
+                machine.ldr_const(rt, value);
+                step.next
+            }
+            Push { reg_count } | Pop { reg_count } => {
+                machine.stack_transfer(reg_count);
+                step.next
+            }
+            LdrImm { rt, rn, imm_words } => {
+                let addr = machine.reg(rn) as u64 + imm_words as u64;
+                if addr >= machine.ram_words() as u64 {
+                    return Err(ExecError::MemOutOfRange { pc, addr });
+                }
+                machine.ldr(rt, rn, imm_words);
+                step.next
+            }
+            StrImm { rt, rn, imm_words } => {
+                let addr = machine.reg(rn) as u64 + imm_words as u64;
+                if addr >= machine.ram_words() as u64 {
+                    return Err(ExecError::MemOutOfRange { pc, addr });
+                }
+                machine.str(rt, rn, imm_words);
+                step.next
+            }
+            LdrReg { rt, rn, rm } => {
+                let addr = machine.reg(rn) as u64 + machine.reg(rm) as u64;
+                if addr >= machine.ram_words() as u64 {
+                    return Err(ExecError::MemOutOfRange { pc, addr });
+                }
+                machine.ldr_reg(rt, rn, rm);
+                step.next
+            }
+            StrReg { rt, rn, rm } => {
+                let addr = machine.reg(rn) as u64 + machine.reg(rm) as u64;
+                if addr >= machine.ram_words() as u64 {
+                    return Err(ExecError::MemOutOfRange { pc, addr });
+                }
+                machine.str_reg(rt, rn, rm);
+                step.next
+            }
+            LdrSp { rt, imm_words } => {
+                let addr = machine.reg(Reg::Sp) as u64 + imm_words as u64;
+                if addr >= machine.ram_words() as u64 {
+                    return Err(ExecError::MemOutOfRange { pc, addr });
+                }
+                machine.ldr_sp(rt, imm_words);
+                step.next
+            }
+            StrSp { rt, imm_words } => {
+                let addr = machine.reg(Reg::Sp) as u64 + imm_words as u64;
+                if addr >= machine.ram_words() as u64 {
+                    return Err(ExecError::MemOutOfRange { pc, addr });
+                }
+                machine.str_sp(rt, imm_words);
+                step.next
+            }
+            other => {
+                dispatch(machine, other);
+                step.next
+            }
+        };
+    }
+
+    if pc > pre.steps.len() {
+        return Err(ExecError::PcOutOfRange(pc));
+    }
+    Ok(ExecStats {
+        instructions: steps,
+        cycles: machine.cycles() - start_cycles,
+    })
+}
+
 /// Dispatches a position-independent instruction to its machine method.
+#[inline]
 fn dispatch(m: &mut Machine, instr: Instr) {
     use Instr::*;
     match instr {
@@ -676,6 +1091,154 @@ mod tests {
         })
         .expect("runs");
         assert_eq!(m.reg(Reg::R0), 7);
+    }
+
+    fn looped_program() -> Program {
+        // r0 = 6; do { r1 += 3; r0 -= 1 } while (r0 != 0)
+        let mut a = Assembler::new();
+        a.label("entry");
+        a.push(Instr::MovsImm {
+            rd: Reg::R0,
+            imm: 6,
+        });
+        a.push(Instr::MovsImm {
+            rd: Reg::R1,
+            imm: 0,
+        });
+        a.label("loop");
+        a.push(Instr::AddsImm8 {
+            rdn: Reg::R1,
+            imm: 3,
+        });
+        a.push(Instr::SubsImm8 {
+            rdn: Reg::R0,
+            imm: 1,
+        });
+        a.branch_if(Cond::Ne, "loop");
+        a.assemble().expect("assembles")
+    }
+
+    #[test]
+    fn predecoded_fragment_matches_uncached_execution() {
+        let p = looped_program();
+        let mut m1 = Machine::new(64);
+        let s1 = execute_fragment_ctl_uncached(&mut m1, &p, 1000, |_, _| StepAction::Execute)
+            .expect("runs");
+        let pre = Predecoded::new(&p);
+        let mut m2 = Machine::new(64);
+        let s2 = execute_fragment_ctl_pre(&mut m2, &pre, 1000, |_, _| StepAction::Execute)
+            .expect("runs");
+        assert_eq!(s1, s2, "instruction and cycle counts must be identical");
+        assert_eq!(m1.reg(Reg::R0), m2.reg(Reg::R0));
+        assert_eq!(m1.reg(Reg::R1), m2.reg(Reg::R1));
+        assert_eq!(m1.cycles(), m2.cycles());
+        // Skips behave identically too (skip the first loop-body adds).
+        let mut m1 = Machine::new(64);
+        let s1 = execute_fragment_ctl_uncached(&mut m1, &p, 1000, |_, idx| {
+            if idx == 2 {
+                StepAction::Skip
+            } else {
+                StepAction::Execute
+            }
+        })
+        .expect("runs");
+        let mut m2 = Machine::new(64);
+        let s2 = execute_fragment_ctl_pre(&mut m2, &pre, 1000, |_, idx| {
+            if idx == 2 {
+                StepAction::Skip
+            } else {
+                StepAction::Execute
+            }
+        })
+        .expect("runs");
+        assert_eq!(s1, s2);
+        assert_eq!(m1.reg(Reg::R1), m2.reg(Reg::R1));
+        assert_eq!(m1.cycles(), m2.cycles());
+    }
+
+    #[test]
+    fn predecode_reproduces_every_error() {
+        use std::collections::HashMap;
+        // Invalid instruction.
+        let program = Program {
+            code: vec![0b11111 << 11],
+            pool: vec![],
+            labels: HashMap::new(),
+        };
+        let pre = Predecoded::new(&program);
+        let mut m = Machine::new(16);
+        assert_eq!(
+            execute_fragment_ctl_pre(&mut m, &pre, 10, |_, _| StepAction::Execute),
+            Err(ExecError::InvalidInstruction {
+                pc: 0,
+                halfword: 0b11111 << 11
+            })
+        );
+        // Missing literal slot: still an execution-time error.
+        let program = Program {
+            code: Instr::LdrLit {
+                rt: Reg::R0,
+                imm_words: 3,
+            }
+            .encode(),
+            pool: vec![],
+            labels: HashMap::new(),
+        };
+        let pre = Predecoded::new(&program);
+        let mut m = Machine::new(16);
+        assert_eq!(
+            execute_fragment_ctl_pre(&mut m, &pre, 10, |_, _| StepAction::Execute),
+            Err(ExecError::BadLiteral { pc: 0, slot: 3 })
+        );
+        // Out-of-range memory access.
+        let mut a = Assembler::new();
+        a.label("entry");
+        a.push(Instr::LdrImm {
+            rt: Reg::R1,
+            rn: Reg::R0,
+            imm_words: 3,
+        });
+        let p = a.assemble().expect("assembles");
+        let pre = Predecoded::new(&p);
+        let mut m = Machine::new(16);
+        m.set_reg(Reg::R0, 0xFFFF_FFFF);
+        assert_eq!(
+            execute_fragment_ctl_pre(&mut m, &pre, 10, |_, _| StepAction::Execute),
+            Err(ExecError::MemOutOfRange {
+                pc: 0,
+                addr: 0xFFFF_FFFFu64 + 3
+            })
+        );
+        // Step limit.
+        let p = looped_program();
+        let pre = Predecoded::new(&p);
+        let mut m = Machine::new(16);
+        assert_eq!(
+            execute_fragment_ctl_pre(&mut m, &pre, 3, |_, _| StepAction::Execute),
+            Err(ExecError::StepLimit)
+        );
+    }
+
+    #[test]
+    fn predecode_cache_hits_on_reuse() {
+        let p = looped_program();
+        let (h0, _) = predecode_cache_stats();
+        let a = predecode(&p);
+        let b = predecode(&p);
+        let (h1, _) = predecode_cache_stats();
+        assert!(h1 > h0, "second predecode of the same program must hit");
+        assert!(Arc::ptr_eq(&a, &b), "cache returns the same Arc");
+        // A different program is a distinct entry, not a false hit.
+        let q = {
+            let mut asm = Assembler::new();
+            asm.label("entry");
+            asm.push(Instr::Nop);
+            asm.assemble().expect("assembles")
+        };
+        let c = predecode(&q);
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(c.len(), 1);
+        assert!(!c.is_empty());
     }
 
     #[test]

@@ -15,10 +15,11 @@
 
 use crate::asm::Program;
 use crate::backend;
-use crate::exec::{self, ExecError, ExecStats, StepAction};
+use crate::exec::{self, ExecError, ExecStats, Predecoded, StepAction};
 use crate::machine::{Machine, Recording, Reg};
 use prng::SplitMix64;
 use std::ops::Range;
+use std::sync::Arc;
 
 /// The three single-fault glitch models of the campaign.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -124,32 +125,44 @@ impl FaultedRun {
     }
 }
 
-/// Replays `program` on a clone of `pre` — the machine state captured
-/// just before the kernel ran — reapplying the recording's positioned
-/// un-costed register writes and per-step category attribution exactly
-/// as the code backend's verified replay does, but *without* the
-/// shadow-state equality assertion (a faulted replay diverges by
-/// design) and with `fault`, if any, injected at its trace index.
-pub fn replay(
-    pre: &Machine,
-    program: &Program,
-    recording: &Recording,
-    fault: Option<&FaultPlan>,
-) -> FaultedRun {
-    let mut m = pre.clone();
-    let saved_override = m.category_override();
-    let steps = &recording.steps;
-    let writes = &recording.reg_writes;
-    let mut cursor = 0usize;
-    let stats = exec::execute_fragment_ctl(&mut m, program, steps.len() as u64 + 1, |mm, idx| {
-        while cursor < writes.len() && writes[cursor].at <= idx {
-            mm.set_reg(writes[cursor].reg, writes[cursor].value);
-            cursor += 1;
+/// The per-step replay contract, factored out of the executors: reapply
+/// the recording's positioned un-costed register writes, force the
+/// recorded per-step category, inject the fault at its trace index.
+///
+/// All of that work is *sparse* — writes sit at a handful of indices,
+/// categories run in long stretches, the fault hits one index — so the
+/// hook can also report ([`ReplayHook::next_break`]) the next index at
+/// which it has anything to do, which is what lets the campaign path
+/// run hook-free between boundaries via
+/// [`exec::execute_fragment_ctl_scheduled`].
+struct ReplayHook<'a> {
+    steps: &'a [crate::machine::RecordedStep],
+    writes: &'a [crate::machine::RecordedSetReg],
+    cursor: usize,
+    fault: Option<FaultPlan>,
+}
+
+impl<'a> ReplayHook<'a> {
+    fn new(recording: &'a Recording, fault: Option<&FaultPlan>) -> ReplayHook<'a> {
+        ReplayHook {
+            steps: &recording.steps,
+            writes: &recording.reg_writes,
+            cursor: 0,
+            fault: fault.copied(),
         }
-        if idx < steps.len() {
-            mm.set_category_override(Some(steps[idx].category));
+    }
+
+    /// The per-step work at retired-instruction index `idx`.
+    fn at(&mut self, mm: &mut Machine, idx: usize) -> StepAction {
+        while self.cursor < self.writes.len() && self.writes[self.cursor].at <= idx {
+            let w = &self.writes[self.cursor];
+            mm.set_reg(w.reg, w.value);
+            self.cursor += 1;
         }
-        if let Some(f) = fault {
+        if idx < self.steps.len() {
+            mm.set_category_override(Some(self.steps[idx].category));
+        }
+        if let Some(f) = self.fault {
             if f.at == idx as u64 {
                 match f.kind {
                     FaultKind::SkipInstruction => return StepAction::Skip,
@@ -161,14 +174,116 @@ pub fn replay(
             }
         }
         StepAction::Execute
-    });
+    }
+
+    /// The next index after `idx` at which [`ReplayHook::at`] would do
+    /// anything: a pending write, a category-run boundary, or the fault.
+    /// Walking the category run here costs one pass over the recording
+    /// in total, not one load per retired instruction.
+    fn next_break(&self, idx: usize) -> u64 {
+        let mut next = u64::MAX;
+        if self.cursor < self.writes.len() {
+            next = next.min(self.writes[self.cursor].at as u64);
+        }
+        if idx < self.steps.len() {
+            let cat = self.steps[idx].category;
+            let mut j = idx + 1;
+            while j < self.steps.len() && self.steps[j].category == cat {
+                j += 1;
+            }
+            if j < self.steps.len() {
+                next = next.min(j as u64);
+            }
+        }
+        if let Some(f) = self.fault {
+            if f.at > idx as u64 {
+                next = next.min(f.at);
+            }
+        }
+        next
+    }
+}
+
+/// Flushes trailing register writes (those recorded after the last
+/// costed instruction), restores the saved category override and
+/// packages the run.
+fn seal_replay(
+    mut m: Machine,
+    hook: ReplayHook<'_>,
+    saved_override: Option<crate::profile::Category>,
+    stats: Result<ExecStats, ExecError>,
+) -> FaultedRun {
     if stats.is_ok() {
-        for w in &writes[cursor..] {
+        for w in &hook.writes[hook.cursor..] {
             m.set_reg(w.reg, w.value);
         }
     }
     m.set_category_override(saved_override);
     FaultedRun { machine: m, stats }
+}
+
+/// Replays `program` on a clone of `pre` — the machine state captured
+/// just before the kernel ran — reapplying the recording's positioned
+/// un-costed register writes and per-step category attribution exactly
+/// as the code backend's verified replay does, but *without* the
+/// shadow-state equality assertion (a faulted replay diverges by
+/// design) and with `fault`, if any, injected at its trace index.
+///
+/// With predecode enabled (the default) this runs the scheduled-hook
+/// fast path of [`replay_predecoded`]; with it disabled
+/// ([`exec::set_predecode_enabled`]) it runs the original
+/// decode-per-step executor with the hook called at every instruction —
+/// the reference arm of the throughput A/B.
+pub fn replay(
+    pre: &Machine,
+    program: &Program,
+    recording: &Recording,
+    fault: Option<&FaultPlan>,
+) -> FaultedRun {
+    if exec::predecode_enabled() {
+        let predecoded = exec::predecode(program);
+        return replay_predecoded(pre, &predecoded, recording, fault);
+    }
+    let mut m = pre.clone();
+    let saved_override = m.category_override();
+    let mut hook = ReplayHook::new(recording, fault);
+    // The hook is deliberately kept behind dynamic dispatch here: this
+    // arm reproduces the original campaign engine (per-step decode, a
+    // `&mut dyn FnMut` hook called at every instruction), so the
+    // throughput A/B measures the real before/after of the predecoded
+    // scheduled path rather than a partially-optimised strawman.
+    let stats = {
+        let mut per_step = |mm: &mut Machine, idx: usize| hook.at(mm, idx);
+        let ctl: &mut dyn FnMut(&mut Machine, usize) -> StepAction = &mut per_step;
+        exec::execute_fragment_ctl_uncached(&mut m, program, recording.steps.len() as u64 + 1, ctl)
+    };
+    seal_replay(m, hook, saved_override, stats)
+}
+
+/// [`replay`] over an already-predecoded fragment: the campaign path.
+/// Holding the [`Predecoded`] means replaying a kernel millions of
+/// times pays neither per-step decode nor per-replay hashing, and the
+/// scheduled hook means the boundary work (register writes, category
+/// runs, the fault) is paid per *boundary*, not per instruction.
+pub fn replay_predecoded(
+    pre: &Machine,
+    predecoded: &Predecoded,
+    recording: &Recording,
+    fault: Option<&FaultPlan>,
+) -> FaultedRun {
+    let mut m = pre.clone();
+    let saved_override = m.category_override();
+    let mut hook = ReplayHook::new(recording, fault);
+    let stats = exec::execute_fragment_ctl_scheduled(
+        &mut m,
+        predecoded,
+        recording.steps.len() as u64 + 1,
+        |mm, idx| {
+            let action = hook.at(mm, idx);
+            (action, hook.next_break(idx))
+        },
+    );
+    seal_replay(m, hook, saved_override, stats)
 }
 
 /// Everything needed to replay one kernel under fault injection: the
@@ -182,9 +297,24 @@ pub struct RecordedKernel {
     pub program: Program,
     /// The captured trace (categories + positioned register writes).
     pub recording: Recording,
+    /// The fragment decoded once, shared by every replay.
+    predecoded: Arc<Predecoded>,
 }
 
 impl RecordedKernel {
+    /// Bundles a captured kernel, predecoding the fragment once (via
+    /// the process-wide cache) so every subsequent replay skips both
+    /// decode and hashing.
+    pub fn new(pre: Machine, program: Program, recording: Recording) -> RecordedKernel {
+        let predecoded = exec::predecode(&program);
+        RecordedKernel {
+            pre,
+            program,
+            recording,
+            predecoded,
+        }
+    }
+
     /// Records `f` running on a clone of `machine` and assembles the
     /// trace, returning the capture alongside `f`'s output.
     ///
@@ -199,19 +329,13 @@ impl RecordedKernel {
         let out = f(&mut rec);
         let recording = rec.take_recording();
         let program = backend::translate(&recording).expect("recorded trace assembles");
-        (
-            RecordedKernel {
-                pre,
-                program,
-                recording,
-            },
-            out,
-        )
+        (RecordedKernel::new(pre, program, recording), out)
     }
 
-    /// Replays the kernel, with an optional fault. See [`replay`].
+    /// Replays the kernel, with an optional fault, through the stored
+    /// predecoded fragment. See [`replay`].
     pub fn replay(&self, fault: Option<&FaultPlan>) -> FaultedRun {
-        replay(&self.pre, &self.program, &self.recording, fault)
+        replay_predecoded(&self.pre, &self.predecoded, &self.recording, fault)
     }
 
     /// Number of instructions in the captured trace.

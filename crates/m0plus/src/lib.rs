@@ -48,6 +48,7 @@ pub mod cost;
 pub mod energy;
 pub mod exec;
 pub mod fault;
+pub mod footprint;
 pub mod isa;
 pub mod machine;
 pub mod profile;
@@ -59,8 +60,12 @@ pub mod trace;
 pub use backend::{Backend, KernelRun};
 pub use cost::InstrClass;
 pub use energy::EnergyModel;
-pub use exec::{execute, execute_fragment, execute_fragment_ctl, ExecError, ExecStats, StepAction};
-pub use fault::{FaultKind, FaultPlan, FaultedRun, RecordedKernel};
+pub use exec::{
+    execute, execute_fragment, execute_fragment_ctl, predecode, predecode_cache_reset,
+    predecode_cache_stats, predecode_enabled, set_predecode_enabled, ExecError, ExecStats,
+    Predecoded, StepAction,
+};
+pub use fault::{replay_predecoded, FaultKind, FaultPlan, FaultedRun, RecordedKernel};
 pub use isa::Instr;
 pub use machine::{Addr, Cond, Machine, RecordedSetReg, RecordedStep, Recording, Reg};
 pub use profile::{Category, CategoryTotals};

@@ -232,7 +232,7 @@ pub struct Machine {
     model: EnergyModel,
     category_stack: Vec<Category>,
     category_override: Option<Category>,
-    by_category: Vec<CategoryTotals>,
+    by_category: [CategoryTotals; Category::ALL.len()],
     recording: Option<Recording>,
     #[cfg(feature = "trace")]
     trace: Option<crate::trace::Trace>,
@@ -262,7 +262,7 @@ impl Machine {
             model,
             category_stack: Vec::new(),
             category_override: None,
-            by_category: vec![CategoryTotals::default(); Category::ALL.len()],
+            by_category: [CategoryTotals::default(); Category::ALL.len()],
             recording: None,
             #[cfg(feature = "trace")]
             trace: None,
@@ -393,7 +393,7 @@ impl Machine {
             cycles: self.cycles,
             energy_pj: self.energy_pj,
             counts: self.counts.clone(),
-            by_category: self.by_category.clone(),
+            by_category: self.by_category.to_vec(),
         }
     }
 
@@ -505,6 +505,7 @@ impl Machine {
         self.by_category[category.index()]
     }
 
+    #[inline]
     fn current_category(&self) -> Category {
         self.category_override
             .unwrap_or_else(|| *self.category_stack.last().unwrap_or(&Category::Support))
@@ -561,18 +562,22 @@ impl Machine {
     #[inline]
     fn trace_mem(&mut self, _addr: usize) {}
 
+    #[inline]
     fn rec(&mut self, instr: Instr) {
         self.rec_with(instr, None);
     }
 
+    #[inline]
     fn rec_with(&mut self, instr: Instr, literal: Option<u32>) {
-        let category = self.current_category();
-        if let Some(rec) = self.recording.as_mut() {
-            rec.steps.push(RecordedStep {
-                instr,
-                category,
-                literal,
-            });
+        if self.recording.is_some() {
+            let category = self.current_category();
+            if let Some(rec) = self.recording.as_mut() {
+                rec.steps.push(RecordedStep {
+                    instr,
+                    category,
+                    literal,
+                });
+            }
         }
         #[cfg(feature = "trace")]
         if self.trace.is_some() {
@@ -580,6 +585,7 @@ impl Machine {
         }
     }
 
+    #[inline]
     fn record(&mut self, class: InstrClass) {
         let cycles = class.cycles();
         let energy = self.model.picojoules_per_instr(class);

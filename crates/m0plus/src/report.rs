@@ -12,6 +12,7 @@ pub struct ClassCounts {
 
 impl ClassCounts {
     /// Increments the counter for `class`.
+    #[inline]
     pub fn bump(&mut self, class: InstrClass) {
         self.counts[class.index()] += 1;
     }

@@ -102,11 +102,17 @@ impl Keypair {
         if shared.is_infinity() {
             return Err(EcdhError::DegenerateSharedSecret);
         }
-        let mut h = Sha256::new();
-        h.update(b"ecdh-sect233k1");
-        h.update(&shared.x().to_be_bytes());
-        Ok(h.finalize())
+        Ok(kdf(&shared))
     }
+}
+
+/// The ECDH key-derivation step: SHA-256 over a domain tag and the
+/// shared x-coordinate. `shared` must be finite.
+pub(crate) fn kdf(shared: &Affine) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(b"ecdh-sect233k1");
+    h.update(&shared.x().to_be_bytes());
+    h.finalize()
 }
 
 #[cfg(test)]

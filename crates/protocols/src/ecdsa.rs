@@ -45,7 +45,7 @@ impl std::fmt::Display for VerifyError {
 impl std::error::Error for VerifyError {}
 
 /// Hash-to-scalar: e = SHA-256(msg) interpreted as an integer mod n.
-fn hash_to_scalar(msg: &[u8]) -> Scalar {
+pub(crate) fn hash_to_scalar(msg: &[u8]) -> Scalar {
     Scalar::new(Int::from_be_bytes(&Sha256::digest(msg)))
 }
 
@@ -67,6 +67,11 @@ impl SigningKey {
     /// The verification (public) key.
     pub fn public(&self) -> &Affine {
         &self.public
+    }
+
+    /// The secret scalar, for the batch signer.
+    pub(crate) fn d(&self) -> &Scalar {
+        &self.d
     }
 
     /// Derives the deterministic signing nonce for `msg` (the nonce

@@ -17,6 +17,9 @@
 //! * [`ecdsa`] — signatures over sect233k1 with deterministic nonces;
 //! * [`ecies`] — public-key encryption (ephemeral ECDH + sealed frame),
 //!   the base-station-to-node direction;
+//! * [`batch`] — a multi-threaded batch scheduler (`sign_batch`,
+//!   `verify_batch`, `ecdh_batch`) that shards work across threads and
+//!   amortises the affine-conversion inversion over whole batches;
 //! * [`wire`] — radio formats: compressed 31-byte public keys, 60-byte
 //!   signatures, sealed (encrypt-then-MAC) telemetry frames.
 //!
@@ -34,6 +37,7 @@
 //! ```
 
 pub mod aes128;
+pub mod batch;
 pub mod ecdh;
 pub mod ecdsa;
 pub mod ecies;

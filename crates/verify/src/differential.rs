@@ -47,6 +47,11 @@ pub struct DiffConfig {
     pub scalar_cases: usize,
     /// Wire-frame mutation cases (each checked across decoder pairs).
     pub wire_cases: usize,
+    /// Batch-inversion cases: each case draws a batch (with ~10% zeros)
+    /// and cross-checks pointwise inversion vs the portable and counted
+    /// Montgomery batch, plus batch affine conversion at the curve
+    /// layer.
+    pub batch_cases: usize,
 }
 
 impl DiffConfig {
@@ -57,6 +62,7 @@ impl DiffConfig {
             field_cases: 120,
             scalar_cases: 24,
             wire_cases: 300,
+            batch_cases: 16,
         }
     }
 
@@ -67,6 +73,7 @@ impl DiffConfig {
             field_cases: 1000,
             scalar_cases: 1000,
             wire_cases: 1000,
+            batch_cases: 200,
         }
     }
 }
@@ -175,6 +182,7 @@ pub fn run(config: &DiffConfig) -> DiffReport {
     field_phase(config, &mut report);
     scalar_phase(config, &mut report);
     wire_phase(config, &mut report);
+    batch_phase(config, &mut report);
     report
 }
 
@@ -457,6 +465,95 @@ fn scalar_phase(config: &DiffConfig, report: &mut DiffReport) {
 }
 
 // ---------------------------------------------------------------------
+// Batch inversion and batch affine conversion.
+// ---------------------------------------------------------------------
+
+fn batch_phase(config: &DiffConfig, report: &mut DiffReport) {
+    let mut rng = SplitMix64::new(config.seed ^ 0xba7c4);
+    let g = curve::generator();
+    for case in 0..config.batch_cases {
+        // Sizes sweep the empty batch, a singleton, then random widths.
+        let len = match case {
+            0 => 0,
+            1 => 1,
+            _ => 2 + rng.below(62) as usize,
+        };
+        let elems: Vec<Fe> = (0..len)
+            .map(|_| {
+                // ~10% zeros so the skip-in-place path is exercised.
+                if rng.below(10) == 0 {
+                    Fe::ZERO
+                } else {
+                    rand_fe(&mut rng)
+                }
+            })
+            .collect();
+
+        // Portable Montgomery batch vs pointwise inversion.
+        let batch = gf2m::batch::batch_inverted(&elems);
+        let agreed = elems.iter().zip(&batch).all(|(e, b)| match e.invert() {
+            Some(inv) => *b == inv,
+            None => b.is_zero(),
+        });
+        report.record("pointwise_inv/batch_inv", agreed);
+        if !agreed {
+            report.disagreements.push(Disagreement {
+                domain: "batch",
+                pair: "pointwise_inv/batch_inv".to_string(),
+                case_index: case,
+                input: format!("len {len}"),
+                detail: "Montgomery batch disagrees with pointwise inversion".to_string(),
+            });
+        }
+
+        // Counted tier: identical values, and the 1 + 3(N−1) formula.
+        let counted_batch = gf2m::batch::batch_invert_counted(&elems);
+        let nonzero = elems.iter().filter(|e| !e.is_zero()).count();
+        let counts_ok = counted_batch.values == batch
+            && counted_batch.inversions == u64::from(nonzero > 0)
+            && counted_batch.muls as usize == 3 * nonzero.saturating_sub(1);
+        report.record("batch_inv/batch_inv_counted", counts_ok);
+        if !counts_ok {
+            report.disagreements.push(Disagreement {
+                domain: "batch",
+                pair: "batch_inv/batch_inv_counted".to_string(),
+                case_index: case,
+                input: format!("len {len}, nonzero {nonzero}"),
+                detail: format!(
+                    "counted batch: {} inversions, {} muls",
+                    counted_batch.inversions, counted_batch.muls
+                ),
+            });
+        }
+
+        // Curve layer: batch affine conversion vs per-point to_affine,
+        // with the point at infinity mixed in.
+        let points: Vec<koblitz::LdPoint> = (0..len.min(6))
+            .map(|_| {
+                if rng.below(8) == 0 {
+                    koblitz::LdPoint::INFINITY
+                } else {
+                    mul::mul_wtnaf_proj(&g, &rand_scalar_wide(&mut rng), 4)
+                }
+            })
+            .collect();
+        let converted = koblitz::batch_to_affine(&points);
+        let pointwise: Vec<_> = points.iter().map(|p| p.to_affine()).collect();
+        let agreed = converted == pointwise;
+        report.record("pointwise_affine/batch_affine", agreed);
+        if !agreed {
+            report.disagreements.push(Disagreement {
+                domain: "batch",
+                pair: "pointwise_affine/batch_affine".to_string(),
+                case_index: case,
+                input: format!("{} points", points.len()),
+                detail: "batch affine conversion disagrees with to_affine".to_string(),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Wire frames.
 // ---------------------------------------------------------------------
 
@@ -665,6 +762,7 @@ mod tests {
             field_cases: 24,
             scalar_cases: 14,
             wire_cases: 60,
+            batch_cases: 6,
         };
         let report = run(&cfg);
         assert!(report.ok(), "{}", report.render());
@@ -685,6 +783,9 @@ mod tests {
         assert_eq!(find("binary/wtnaf_w4"), 14);
         assert_eq!(find("binary/ladder"), 14);
         assert_eq!(find("recode/fixed_length"), 14);
+        assert_eq!(find("pointwise_inv/batch_inv"), 6);
+        assert_eq!(find("batch_inv/batch_inv_counted"), 6);
+        assert_eq!(find("pointwise_affine/batch_affine"), 6);
     }
 
     #[test]
@@ -694,6 +795,7 @@ mod tests {
             field_cases: 10,
             scalar_cases: 13,
             wire_cases: 40,
+            batch_cases: 5,
         };
         assert_eq!(run(&cfg).render(), run(&cfg).render());
     }
@@ -715,6 +817,7 @@ mod tests {
             field_cases: 0,
             scalar_cases: 0,
             wire_cases: 120,
+            batch_cases: 0,
         };
         let report = run(&cfg);
         assert!(report.ok(), "{}", report.render());

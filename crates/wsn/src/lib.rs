@@ -29,11 +29,13 @@
 //! ```
 
 pub mod energy;
+pub mod gateway;
 pub mod network;
 pub mod node;
 pub mod sim;
 
 pub use energy::{CryptoCosts, RadioModel};
+pub use gateway::{Gateway, GatewayStats, SignedTelemetry};
 pub use network::{FleetReport, Network};
 pub use node::{NodeConfig, SensorNode};
 pub use sim::{Outcome, Simulation};

@@ -1,8 +1,9 @@
 //! A sensor node: battery, identity, session state.
 
 use crate::energy::{CryptoCosts, RadioModel};
+use crate::gateway::SignedTelemetry;
 use protocols::wire::SealedFrame;
-use protocols::Keypair;
+use protocols::{Keypair, SigningKey};
 
 /// Static configuration of a node.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -32,12 +33,15 @@ impl Default for NodeConfig {
 /// frames (the cryptography is not pretend — the frames decrypt).
 #[derive(Debug)]
 pub struct SensorNode {
+    id: u32,
     config: NodeConfig,
     costs: CryptoCosts,
     battery_uj: f64,
     keypair: Keypair,
+    signer: SigningKey,
     session: Option<[u8; 32]>,
     seq: u32,
+    sig_seq: u32,
     rekeys: u64,
     frames: u64,
 }
@@ -46,13 +50,17 @@ impl SensorNode {
     /// Creates a node with a deterministic identity derived from `id`.
     pub fn new(id: u32, config: NodeConfig, costs: CryptoCosts) -> SensorNode {
         let seed = format!("wsn-node-{id}");
+        let sig_seed = format!("wsn-node-{id}-sig");
         SensorNode {
+            id,
             config,
             costs,
             battery_uj: config.battery_joules * 1e6,
             keypair: Keypair::generate(seed.as_bytes()),
+            signer: SigningKey::generate(sig_seed.as_bytes()),
             session: None,
             seq: 0,
+            sig_seq: 0,
             rekeys: 0,
             frames: 0,
         }
@@ -118,6 +126,27 @@ impl SensorNode {
     /// The current session secret (base-station side of the test rig).
     pub fn session(&self) -> Option<[u8; 32]> {
         self.session
+    }
+
+    /// The node's signing identity (the gateway registers its public
+    /// half at deployment).
+    pub fn signer(&self) -> &SigningKey {
+        &self.signer
+    }
+
+    /// Signs and "transmits" one authenticated telemetry frame for the
+    /// gateway's batch verifier, spending one kG (the signature's
+    /// fixed-point multiplication) plus the radio cost of payload +
+    /// 60-byte signature. Returns `None` once the battery dies.
+    pub fn sign_telemetry(&mut self, payload: &[u8]) -> Option<SignedTelemetry> {
+        let radio = self.config.radio.frame_uj(payload.len() + 60);
+        if !self.spend(self.costs.kg_uj + radio) {
+            return None;
+        }
+        let seq = self.sig_seq;
+        self.sig_seq += 1;
+        self.frames += 1;
+        Some(SignedTelemetry::sign(&self.signer, self.id, seq, payload))
     }
 }
 

@@ -16,6 +16,7 @@ const EDGE_CONFIG: DiffConfig = DiffConfig {
     field_cases: 10,
     scalar_cases: 16,
     wire_cases: 0,
+    batch_cases: 8,
 };
 
 #[test]

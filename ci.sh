@@ -19,6 +19,12 @@ target/release/fault_campaign --smoke > /tmp/fault_smoke_2.txt
 diff /tmp/fault_smoke_1.txt /tmp/fault_smoke_2.txt
 grep -q "overall full-profile detection: 100.0%" /tmp/fault_smoke_1.txt
 
+echo "==> fault campaign shard invariance (--shards 1 vs --shards 4)"
+target/release/fault_campaign --smoke --shards 1 > /tmp/fault_shard_1.txt
+target/release/fault_campaign --smoke --shards 4 > /tmp/fault_shard_4.txt
+diff /tmp/fault_shard_1.txt /tmp/fault_shard_4.txt
+diff /tmp/fault_smoke_1.txt /tmp/fault_shard_1.txt
+
 echo "==> verify campaign smoke (leakage + differential, deterministic)"
 target/release/verify_campaign --smoke > /tmp/verify_smoke_1.txt
 target/release/verify_campaign --smoke > /tmp/verify_smoke_2.txt
@@ -29,13 +35,21 @@ if grep -q -- "-> LEAK" /tmp/verify_smoke_1.txt; then
   exit 1
 fi
 
+echo "==> verify campaign shard invariance (--shards 1 vs --shards 4)"
+target/release/verify_campaign --smoke --shards 1 > /tmp/verify_shard_1.txt
+target/release/verify_campaign --smoke --shards 4 > /tmp/verify_shard_4.txt
+diff /tmp/verify_shard_1.txt /tmp/verify_shard_4.txt
+diff /tmp/verify_smoke_1.txt /tmp/verify_shard_1.txt
+
 echo "==> kernel cycle regression gate (vs committed BENCH_*.json)"
 target/release/kernel_gate
 
-echo "==> throughput smoke (batch amortisation + predecode A/B gates)"
+echo "==> throughput smoke (batch amortisation + executor A/B + shard gates)"
 target/release/throughput --smoke > /tmp/throughput_smoke.txt
 grep -q "GATE: batch-64 inversion shrink" /tmp/throughput_smoke.txt
 grep -q "GATE: predecoded replay bit-identical" /tmp/throughput_smoke.txt
+grep -q "GATE: superblock replay bit-identical" /tmp/throughput_smoke.txt
+grep -q "GATE: sharded campaign byte-identical" /tmp/throughput_smoke.txt
 
 echo "==> lean build without the trace recorder"
 cargo build -p m0plus --release --offline --no-default-features

@@ -4,10 +4,11 @@
 //! index). The document is deterministic — fixed key order, fixed
 //! seeds, no timestamps — so re-running on an unchanged tree produces a
 //! byte-identical file, with one scoped exception: the
-//! `throughput.wall_clock` subtree (marked `"host_dependent": true`)
-//! records ops/sec and the predecode replay speedup, which vary with
-//! the machine the export ran on. Everything outside that subtree is
-//! byte-stable.
+//! `throughput.wall_clock` and `campaign_engine` subtrees (marked
+//! `"host_dependent": true`) record ops/sec, the predecode and
+//! superblock replay speedups and the shard-scaling wall clocks, which
+//! vary with the machine the export ran on. Everything outside those
+//! subtrees is byte-stable.
 //!
 //! Run: `cargo run --release -p bench --bin export_json`
 
@@ -21,7 +22,7 @@ use std::path::{Path, PathBuf};
 
 /// Schema identifier for downstream consumers; bump when the document
 /// shape changes.
-const SCHEMA: &str = "ecc233-bench/2";
+const SCHEMA: &str = "ecc233-bench/3";
 
 fn main() {
     let doc = render();
@@ -246,6 +247,43 @@ fn render() -> String {
         tp.predecode.speedup()
     )
     .unwrap();
+    writeln!(w, "    }}").unwrap();
+    writeln!(w, "  }},").unwrap();
+    writeln!(w, "  \"campaign_engine\": {{").unwrap();
+    writeln!(w, "    \"host_dependent\": true,").unwrap();
+    writeln!(
+        w,
+        "    \"superblock\": {{ \"trace_len\": {}, \"replays\": {}, \"per_step_ns_per_replay\": {:.0}, \"superblock_ns_per_replay\": {:.0}, \"speedup\": {:.2} }},",
+        tp.superblock.trace_len,
+        tp.superblock.replays,
+        tp.superblock.per_step_ns,
+        tp.superblock.superblock_ns,
+        tp.superblock.speedup()
+    )
+    .unwrap();
+    writeln!(w, "    \"shard_scaling\": {{").unwrap();
+    writeln!(w, "      \"report_byte_identical\": true,").unwrap();
+    let serial_ns = tp.shard_scaling.first().map(|r| r.wall_ns).unwrap_or(0.0);
+    for (i, r) in tp.shard_scaling.iter().enumerate() {
+        let sep = if i + 1 == tp.shard_scaling.len() {
+            ""
+        } else {
+            ","
+        };
+        let speedup = if r.wall_ns > 0.0 {
+            serial_ns / r.wall_ns
+        } else {
+            1.0
+        };
+        writeln!(
+            w,
+            "      \"workers_{}\": {{ \"wall_ms\": {:.1}, \"speedup_vs_serial\": {:.2} }}{sep}",
+            r.workers,
+            r.wall_ns / 1e6,
+            speedup
+        )
+        .unwrap();
+    }
     writeln!(w, "    }}").unwrap();
     writeln!(w, "  }},").unwrap();
     writeln!(w, "  \"paper_targets\": {{").unwrap();

@@ -7,18 +7,25 @@
 //! by the measured overhead of every countermeasure.
 //!
 //! Usage:
-//!   fault_campaign [--smoke] [--seed N] [--runs N]
+//!   fault_campaign [--smoke] [--seed N] [--runs N] [--shards N]
 //!
 //! `--smoke` pins seed 7 and 24 runs/kernel — the bounded CI
 //! configuration (run twice and diffed byte-for-byte by ci.sh).
-//! Defaults: seed 7, 200 runs/kernel.
+//! `--shards N` splits each kernel's case list into N windows run on
+//! up to `available_parallelism()` threads; per-case PRNG substreams
+//! and canonical-order merging make the report byte-identical for any
+//! shard count (ci.sh diffs `--shards 1` against `--shards 4`).
+//! Defaults: seed 7, 200 runs/kernel, 1 shard.
 
-use bench::campaign::{measure_overheads, render_campaign, render_overheads, run_campaign};
+use bench::campaign::{measure_overheads, render_campaign, render_overheads, run_campaign_sharded};
+use bench::shard;
 
 fn main() {
     let mut seed = 7u64;
     let mut runs = 200usize;
-    let mut args = std::env::args().skip(1);
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let shards = shard::shards_from_args(&argv);
+    let mut args = argv.iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => {
@@ -33,14 +40,24 @@ fn main() {
                 let v = args.next().expect("--runs requires a value");
                 runs = v.parse().expect("--runs takes an integer");
             }
-            other => panic!("unknown argument {other:?}: expected --smoke | --seed N | --runs N"),
+            "--shards" => {
+                args.next(); // value consumed by shards_from_args
+            }
+            other if other.starts_with("--shards=") => {}
+            other => panic!(
+                "unknown argument {other:?}: expected --smoke | --seed N | --runs N | --shards N"
+            ),
         }
     }
 
-    let report = run_campaign(&bench::campaign::CampaignConfig {
-        seed,
-        runs_per_kernel: runs,
-    });
+    let report = run_campaign_sharded(
+        &bench::campaign::CampaignConfig {
+            seed,
+            runs_per_kernel: runs,
+        },
+        shards,
+        shard::default_workers(),
+    );
     print!("{}", render_campaign(&report));
     println!();
     print!("{}", render_overheads(&measure_overheads()));

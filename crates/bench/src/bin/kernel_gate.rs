@@ -1,11 +1,13 @@
 //! Kernel-cycle regression gate: re-measures the headline field-kernel
-//! cycle counts and compares them, exactly, against the committed
-//! `BENCH_<n>.json` baseline.
+//! cycle counts and the full point-multiplication totals
+//! (`kp_this_work_asm`, `kg_this_work_asm`, `relic_style`) and
+//! compares them, exactly, against the committed `BENCH_<n>.json`
+//! baseline.
 //!
 //! The cost model is deterministic, so any drift in `mul_asm_cycles`,
-//! `sqr_asm_cycles` or `inv_cycles` is a real modeling change and must
-//! arrive together with a regenerated baseline — this gate turns a
-//! silent drift into a CI failure.
+//! `sqr_asm_cycles`, `inv_cycles` or a point-multiplication total is a
+//! real modeling change and must arrive together with a regenerated
+//! baseline — this gate turns a silent drift into a CI failure.
 //!
 //! Run: `cargo run --release -p bench --bin kernel_gate [-- <baseline.json>]`
 //! (defaults to the highest `BENCH_<n>.json` at the repository root).
@@ -50,6 +52,17 @@ fn extract_u64(doc: &str, key: &str) -> u64 {
         .unwrap_or_else(|e| panic!("unparsable value for {key:?} in {line:?}: {e}"))
 }
 
+/// Extracts `"key": <integer>` scoped to the part of the baseline that
+/// starts at `"section":` — the export has a fixed key order, so the
+/// first `key` after the section header belongs to that section.
+fn extract_section_u64(doc: &str, section: &str, key: &str) -> u64 {
+    let header = format!("\"{section}\":");
+    let start = doc
+        .find(&header)
+        .unwrap_or_else(|| panic!("baseline has no section {section:?}"));
+    extract_u64(&doc[start..], key)
+}
+
 fn main() {
     let path = std::env::args()
         .nth(1)
@@ -72,6 +85,26 @@ fn main() {
         let ok = baseline == fresh;
         println!(
             "  {key:<16} baseline {baseline:>8}  fresh {fresh:>8}  {}",
+            if ok { "ok" } else { "MISMATCH" }
+        );
+        failed |= !ok;
+    }
+
+    // Point-multiplication totals: the whole modeled stack (field
+    // kernels, wTNAF recoding, the executor) folded into one number
+    // each, so any drift anywhere surfaces here.
+    let kp = workloads::average_kp(Tier::Asm, 1..3);
+    let kg = workloads::average_kg(Tier::Asm, 1..3);
+    let relic = workloads::average_relic(1..3);
+    for (section, fresh) in [
+        ("kp_this_work_asm", kp.report.cycles),
+        ("kg_this_work_asm", kg.report.cycles),
+        ("relic_style", relic.report.cycles),
+    ] {
+        let baseline = extract_section_u64(&doc, section, "cycles");
+        let ok = baseline == fresh;
+        println!(
+            "  {section:<16} baseline {baseline:>8}  fresh {fresh:>8}  {}",
             if ok { "ok" } else { "MISMATCH" }
         );
         failed |= !ok;

@@ -1,5 +1,6 @@
 //! Batch-throughput suite: batch-inversion amortisation, wTNAF cache
-//! hit rates, scheduler ops/sec and the predecode A/B.
+//! hit rates, scheduler ops/sec, the predecode and superblock A/Bs,
+//! and the sharded-campaign scaling sweep.
 //!
 //! Run: `cargo run --release -p bench --bin throughput [-- --smoke]`
 //!
@@ -36,5 +37,13 @@ fn main() {
     println!(
         "GATE: predecoded replay bit-identical, {:.2}x wall-clock",
         report.predecode.speedup()
+    );
+    println!(
+        "GATE: superblock replay bit-identical, {:.2}x wall-clock",
+        report.superblock.speedup()
+    );
+    println!(
+        "GATE: sharded campaign byte-identical at {} widths",
+        report.shard_scaling.len()
     );
 }

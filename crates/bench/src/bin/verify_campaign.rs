@@ -11,20 +11,27 @@
 //!    cross-tier agreement counters and a decoder error taxonomy.
 //!
 //! Usage:
-//!   verify_campaign [--smoke] [--seed N]
+//!   verify_campaign [--smoke] [--seed N] [--shards N]
 //!
 //! `--smoke` is the bounded CI configuration (run twice and diffed
-//! byte-for-byte by ci.sh). The default is the full campaign: ≥ 1000
+//! byte-for-byte by ci.sh). `--shards N` splits the differential case
+//! list into N windows run on up to `available_parallelism()` threads;
+//! per-case PRNG substreams and the canonical merge keep the report
+//! byte-identical for any shard count (ci.sh diffs `--shards 1`
+//! against `--shards 4`). The default is the full campaign: ≥ 1000
 //! differential cases per tier pair. Output is fully deterministic for
 //! a given configuration. Exit status is non-zero if any kernel leaks
 //! outside its documented allowance or any tier pair disagrees.
 
+use bench::shard;
 use verify::{differential, leakage, DiffConfig, LeakageConfig};
 
 fn main() {
     let mut smoke = false;
     let mut seed: Option<u64> = None;
-    let mut args = std::env::args().skip(1);
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let shards = shard::shards_from_args(&argv);
+    let mut args = argv.iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
@@ -32,7 +39,11 @@ fn main() {
                 let v = args.next().expect("--seed requires a value");
                 seed = Some(v.parse().expect("--seed takes an integer"));
             }
-            other => panic!("unknown argument {other:?}: expected --smoke | --seed N"),
+            "--shards" => {
+                args.next(); // value consumed by shards_from_args
+            }
+            other if other.starts_with("--shards=") => {}
+            other => panic!("unknown argument {other:?}: expected --smoke | --seed N | --shards N"),
         }
     }
 
@@ -78,7 +89,13 @@ fn main() {
 
     println!();
     println!("== cross-tier differential harness ==");
-    let report = differential::run(&diff_cfg);
+    let parts = shard::run_shards(
+        differential::total_cases(&diff_cfg),
+        shards,
+        shard::default_workers(),
+        |_, window| differential::run_window(&diff_cfg, window),
+    );
+    let report = differential::merge(&diff_cfg, parts);
     print!("{}", report.render());
 
     if leaks > 0 || !report.ok() {

@@ -273,18 +273,94 @@ fn recompute_coherent(op: Op, af: Fe, bf: Fe, zf: Fe) -> bool {
     }
 }
 
+/// Outcome counters accumulated by one shard window of one kernel's
+/// case list; summed in window order into [`KernelStats`].
+#[derive(Debug, Default, Clone, Copy)]
+struct PartialStats {
+    skip_faults: usize,
+    reg_faults: usize,
+    mem_faults: usize,
+    aborted: usize,
+    benign: usize,
+    altered: usize,
+    detected_recompute: usize,
+    detected_full: usize,
+}
+
+/// Replays and classifies the cases of one shard window. Each case's
+/// fault is drawn from its own PRNG substream keyed by (seed, kernel,
+/// case index), so any worker computes case `c` without replaying
+/// `0..c` — the foundation of shard-count-invariant reports.
+fn run_cases(
+    seed: u64,
+    kernel: u64,
+    t: &PreparedTarget,
+    window: std::ops::Range<usize>,
+) -> PartialStats {
+    let mut p = PartialStats::default();
+    for case in window {
+        let mut rng = SplitMix64::substream(seed, kernel, case as u64);
+        let plan = FaultPlan::sample(&mut rng, t.kernel.trace_len(), &t.regions);
+        match plan.kind {
+            FaultKind::SkipInstruction => p.skip_faults += 1,
+            FaultKind::RegisterBitFlip { .. } => p.reg_faults += 1,
+            FaultKind::MemoryBitFlip { .. } => p.mem_faults += 1,
+        }
+        let run = t.kernel.replay(Some(&plan));
+        if run.aborted() {
+            p.aborted += 1;
+            continue;
+        }
+        let zf = load_fe(&run.machine, t.z);
+        if zf == t.expected {
+            p.benign += 1;
+            continue;
+        }
+        p.altered += 1;
+        let af = load_fe(&run.machine, t.a);
+        let bf = match t.op {
+            Op::Sqr | Op::Inv => af, // unary: b unused
+            _ => load_fe(&run.machine, t.b),
+        };
+        let recompute_detects = !recompute_coherent(t.op, af, bf, zf);
+        let inputs_detect = af != t.a0
+            || match t.op {
+                Op::Sqr | Op::Inv => false,
+                _ => bf != t.b0,
+            };
+        if recompute_detects {
+            p.detected_recompute += 1;
+        }
+        if recompute_detects || inputs_detect {
+            p.detected_full += 1;
+        }
+    }
+    p
+}
+
 /// Runs the full campaign: N sampled faults per kernel, deterministic
-/// in `cfg.seed`.
+/// in `cfg.seed`. Single shard, calling thread only — byte-identical
+/// to [`run_campaign_sharded`] at any shard/worker count.
 pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
+    run_campaign_sharded(cfg, 1, 1)
+}
+
+/// [`run_campaign`] with each kernel's case list split into `shards`
+/// contiguous windows executed on up to `workers` threads (see
+/// [`crate::shard`]). Per-case PRNG substreams make every case a pure
+/// function of its index, and the window counters are merged in
+/// canonical case order, so the report — down to the rendered bytes —
+/// is identical for any shard and worker count.
+pub fn run_campaign_sharded(cfg: &CampaignConfig, shards: usize, workers: usize) -> CampaignReport {
     let kernels = targets()
         .iter()
         .enumerate()
         .map(|(i, target)| {
             let t = prepare(target);
-            // Per-kernel stream: decoupled from the other kernels so
-            // adding a target never reshuffles existing results.
-            let mut rng =
-                SplitMix64::new(cfg.seed ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let partials =
+                crate::shard::run_shards(cfg.runs_per_kernel, shards, workers, |_, w| {
+                    run_cases(cfg.seed, i as u64, &t, w)
+                });
             let mut stats = KernelStats {
                 name: t.stats_name,
                 tier: t.tier_label,
@@ -299,41 +375,15 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
                 detected_recompute: 0,
                 detected_full: 0,
             };
-            for _ in 0..cfg.runs_per_kernel {
-                let plan = FaultPlan::sample(&mut rng, t.kernel.trace_len(), &t.regions);
-                match plan.kind {
-                    FaultKind::SkipInstruction => stats.skip_faults += 1,
-                    FaultKind::RegisterBitFlip { .. } => stats.reg_faults += 1,
-                    FaultKind::MemoryBitFlip { .. } => stats.mem_faults += 1,
-                }
-                let run = t.kernel.replay(Some(&plan));
-                if run.aborted() {
-                    stats.aborted += 1;
-                    continue;
-                }
-                let zf = load_fe(&run.machine, t.z);
-                if zf == t.expected {
-                    stats.benign += 1;
-                    continue;
-                }
-                stats.altered += 1;
-                let af = load_fe(&run.machine, t.a);
-                let bf = match t.op {
-                    Op::Sqr | Op::Inv => af, // unary: b unused
-                    _ => load_fe(&run.machine, t.b),
-                };
-                let recompute_detects = !recompute_coherent(t.op, af, bf, zf);
-                let inputs_detect = af != t.a0
-                    || match t.op {
-                        Op::Sqr | Op::Inv => false,
-                        _ => bf != t.b0,
-                    };
-                if recompute_detects {
-                    stats.detected_recompute += 1;
-                }
-                if recompute_detects || inputs_detect {
-                    stats.detected_full += 1;
-                }
+            for p in partials {
+                stats.skip_faults += p.skip_faults;
+                stats.reg_faults += p.reg_faults;
+                stats.mem_faults += p.mem_faults;
+                stats.aborted += p.aborted;
+                stats.benign += p.benign;
+                stats.altered += p.altered;
+                stats.detected_recompute += p.detected_recompute;
+                stats.detected_full += p.detected_full;
             }
             stats
         })
@@ -624,6 +674,22 @@ mod tests {
                 k.name,
                 k.altered - k.detected_full,
                 k.altered
+            );
+        }
+    }
+
+    #[test]
+    fn report_is_invariant_under_shard_and_worker_count() {
+        let cfg = CampaignConfig {
+            seed: 11,
+            runs_per_kernel: 9,
+        };
+        let baseline = render_campaign(&run_campaign_sharded(&cfg, 1, 1));
+        for (shards, workers) in [(2, 1), (4, 2), (4, 4), (9, 3)] {
+            assert_eq!(
+                render_campaign(&run_campaign_sharded(&cfg, shards, workers)),
+                baseline,
+                "shards = {shards}, workers = {workers}"
             );
         }
     }

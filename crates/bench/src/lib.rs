@@ -14,6 +14,7 @@
 //! `m0plus::backend` instead of the call-per-instruction direct path.
 
 pub mod campaign;
+pub mod shard;
 pub mod tables;
 pub mod throughput;
 pub mod timing;

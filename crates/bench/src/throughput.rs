@@ -14,16 +14,25 @@
 //!   kernel through the per-step decoder vs the predecoded fragment,
 //!   with a machine-state equality check proving the modeled outputs
 //!   are bit-identical.
+//! * **Superblock executor** — A/B wall clock of the predecoded
+//!   fragment with per-step dispatch vs superblock dispatch (whole
+//!   straight-line runs executed per interpreter iteration), again
+//!   with a full machine-state equality check.
+//! * **Sharded campaign** — wall clock of the fault campaign at 1, 2
+//!   and 4 workers, asserting the rendered report stays byte-identical
+//!   at every width.
 //!
-//! The wall-clock numbers (`ops_per_sec`, predecode speedup) vary with
-//! the host; everything else is deterministic.
+//! The wall-clock numbers (`ops_per_sec`, the executor speedups, the
+//! shard scaling) vary with the host; everything else is
+//! deterministic.
 
 use gf2m::modeled::{ModeledField, Tier};
 use koblitz::projective::batch_to_affine_counted;
 use koblitz::{mul, LdPoint};
 use m0plus::fault::{self, RecordedKernel};
 use m0plus::{predecode_enabled, set_predecode_enabled};
-use protocols::batch::{ecdh_batch, sign_batch, verify_batch, VerifyJob};
+use m0plus::{set_superblock_enabled, superblock_enabled};
+use protocols::batch::{ecdh_batch, sign_batch, verify_batch, BatchConfig, VerifyJob};
 use protocols::{Keypair, Signature, SigningKey};
 use std::time::{Duration, Instant};
 
@@ -42,6 +51,12 @@ pub struct ThroughputConfig {
     pub cache_ops_per_key: usize,
     /// Replays per arm of the predecode A/B.
     pub predecode_replays: usize,
+    /// Replays per arm of the superblock A/B.
+    pub superblock_replays: usize,
+    /// Runs per kernel for the sharded-campaign scaling sweep.
+    pub shard_campaign_runs: usize,
+    /// Worker counts for the sharded-campaign scaling sweep.
+    pub shard_worker_counts: Vec<usize>,
     /// Minimum wall-clock window per ops/sec measurement.
     pub min_measure: Duration,
 }
@@ -55,7 +70,10 @@ impl ThroughputConfig {
             worker_counts: vec![1, 4],
             cache_keys: 3,
             cache_ops_per_key: 8,
-            predecode_replays: 6,
+            predecode_replays: 12,
+            superblock_replays: 24,
+            shard_campaign_runs: 8,
+            shard_worker_counts: vec![1, 2, 4],
             min_measure: Duration::from_millis(50),
         }
     }
@@ -69,6 +87,9 @@ impl ThroughputConfig {
             cache_keys: 8,
             cache_ops_per_key: 32,
             predecode_replays: 40,
+            superblock_replays: 40,
+            shard_campaign_runs: 48,
+            shard_worker_counts: vec![1, 2, 4],
             min_measure: Duration::from_millis(250),
         }
     }
@@ -290,6 +311,22 @@ pub fn ops_sweep(
     rows
 }
 
+/// Best (minimum) wall-clock nanoseconds for one call of `f` over
+/// `replays` timed calls, after one untimed warm-up. The A/Bs run on
+/// shared CI hosts whose load fluctuates by 2× between runs; the
+/// minimum is the standard way to read through scheduler interference,
+/// since noise only ever adds time.
+fn best_replay_ns(replays: usize, f: &mut dyn FnMut()) -> f64 {
+    f(); // warm-up
+    let mut best = f64::INFINITY;
+    for _ in 0..replays.max(1) {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_nanos() as f64);
+    }
+    best
+}
+
 /// A/B comparison of the fragment executor with and without the
 /// predecode layer on a replay-heavy kernel.
 #[derive(Debug, Clone, Copy)]
@@ -298,9 +335,9 @@ pub struct PredecodeReport {
     pub trace_len: u64,
     /// Replays measured per arm.
     pub replays: usize,
-    /// Mean wall-clock nanoseconds per replay, per-step decoder.
+    /// Best wall-clock nanoseconds per replay, per-step decoder.
     pub decoded_ns: f64,
-    /// Mean wall-clock nanoseconds per replay, predecoded fragment.
+    /// Best wall-clock nanoseconds per replay, predecoded fragment.
     pub predecoded_ns: f64,
 }
 
@@ -332,20 +369,13 @@ impl PredecodeReport {
 /// Panics if the two paths produce any machine-state divergence — the
 /// predecode layer must not change a single modeled cycle.
 pub fn predecode_ab(replays: usize) -> PredecodeReport {
-    let mut f = ModeledField::new(Tier::C);
-    let a = f.alloc_init(crate::workloads::element(5));
-    let z = f.alloc();
-    let pre = f.machine().clone();
-    f.machine_mut().start_recording();
-    f.inv(z, a);
-    let recording = f.machine_mut().take_recording();
-    let program = m0plus::backend::translate(&recording).expect("recorded trace assembles");
-    let kernel = RecordedKernel::new(pre.clone(), program.clone(), recording.clone());
+    let kernel = record_inv_kernel();
+    let (pre, program, recording) = (&kernel.pre, &kernel.program, &kernel.recording);
 
     // Bit-identical first: one replay per path, full state equality.
     let was_enabled = predecode_enabled();
     set_predecode_enabled(false);
-    let decoded_run = fault::replay(&pre, &program, &recording, None);
+    let decoded_run = fault::replay(pre, program, recording, None);
     set_predecode_enabled(was_enabled);
     let predecoded_run = kernel.replay(None);
     assert_eq!(
@@ -356,20 +386,12 @@ pub fn predecode_ab(replays: usize) -> PredecodeReport {
         .machine
         .assert_same_state(&predecoded_run.machine, "predecode A/B");
 
-    let time_arm = |f: &mut dyn FnMut()| {
-        f(); // warm-up
-        let start = Instant::now();
-        for _ in 0..replays {
-            f();
-        }
-        start.elapsed().as_nanos() as f64 / replays.max(1) as f64
-    };
     set_predecode_enabled(false);
-    let decoded_ns = time_arm(&mut || {
-        std::hint::black_box(fault::replay(&pre, &program, &recording, None));
+    let decoded_ns = best_replay_ns(replays, &mut || {
+        std::hint::black_box(fault::replay(pre, program, recording, None));
     });
     set_predecode_enabled(was_enabled);
-    let predecoded_ns = time_arm(&mut || {
+    let predecoded_ns = best_replay_ns(replays, &mut || {
         std::hint::black_box(kernel.replay(None));
     });
 
@@ -379,6 +401,129 @@ pub fn predecode_ab(replays: usize) -> PredecodeReport {
         decoded_ns,
         predecoded_ns,
     }
+}
+
+/// Records the C-tier EEA inversion — the longest recorded kernel
+/// (~75k instructions), so the most replay-heavy A/B subject — as a
+/// replayable kernel.
+fn record_inv_kernel() -> RecordedKernel {
+    let mut f = ModeledField::new(Tier::C);
+    let a = f.alloc_init(crate::workloads::element(5));
+    let z = f.alloc();
+    let pre = f.machine().clone();
+    f.machine_mut().start_recording();
+    f.inv(z, a);
+    let recording = f.machine_mut().take_recording();
+    let program = m0plus::backend::translate(&recording).expect("recorded trace assembles");
+    RecordedKernel::new(pre, program, recording)
+}
+
+/// A/B comparison of the predecoded executor with per-step dispatch
+/// vs superblock dispatch on the same replay-heavy kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct SuperblockReport {
+    /// Instructions in the replayed trace.
+    pub trace_len: u64,
+    /// Replays measured per arm.
+    pub replays: usize,
+    /// Best wall-clock nanoseconds per replay, per-step dispatch.
+    pub per_step_ns: f64,
+    /// Best wall-clock nanoseconds per replay, superblock dispatch.
+    pub superblock_ns: f64,
+}
+
+impl SuperblockReport {
+    /// Wall-clock speedup of superblock dispatch (> 1 is faster).
+    pub fn speedup(&self) -> f64 {
+        if self.superblock_ns == 0.0 {
+            return 1.0;
+        }
+        self.per_step_ns / self.superblock_ns
+    }
+}
+
+/// Replays the recorded C-tier EEA inversion through the predecoded
+/// executor with superblock dispatch disabled and enabled, asserting
+/// the final machine states are bit-identical (down to the f64 energy
+/// bits) before reporting the wall-clock difference. Both arms run the
+/// same predecoded fragment; only the dispatch granularity differs.
+///
+/// # Panics
+///
+/// Panics on any machine-state divergence — superblock dispatch must
+/// not change a single modeled cycle.
+pub fn superblock_ab(replays: usize) -> SuperblockReport {
+    let kernel = record_inv_kernel();
+
+    let was_enabled = superblock_enabled();
+    set_superblock_enabled(false);
+    let per_step_run = kernel.replay(None);
+    set_superblock_enabled(true);
+    let superblock_run = kernel.replay(None);
+    assert_eq!(
+        per_step_run.stats.as_ref().expect("clean replay").cycles,
+        superblock_run.stats.as_ref().expect("clean replay").cycles,
+    );
+    per_step_run
+        .machine
+        .assert_same_state(&superblock_run.machine, "superblock A/B");
+
+    set_superblock_enabled(false);
+    let per_step_ns = best_replay_ns(replays, &mut || {
+        std::hint::black_box(kernel.replay(None));
+    });
+    set_superblock_enabled(true);
+    let superblock_ns = best_replay_ns(replays, &mut || {
+        std::hint::black_box(kernel.replay(None));
+    });
+    set_superblock_enabled(was_enabled);
+
+    SuperblockReport {
+        trace_len: kernel.trace_len(),
+        replays,
+        per_step_ns,
+        superblock_ns,
+    }
+}
+
+/// One point of the sharded fault-campaign scaling sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardScalingRow {
+    /// Worker threads (and shard windows — one per worker).
+    pub workers: usize,
+    /// Wall-clock nanoseconds for the whole campaign at this width.
+    pub wall_ns: f64,
+}
+
+/// Times the fault campaign at each worker count (shards == workers),
+/// asserting the rendered report stays byte-identical to the serial
+/// run at every width. The wall clock is host-dependent; the asserted
+/// invariance is the deterministic part.
+///
+/// # Panics
+///
+/// Panics if any sharded run renders differently from the serial run.
+pub fn shard_scaling(runs_per_kernel: usize, worker_counts: &[usize]) -> Vec<ShardScalingRow> {
+    let cfg = crate::campaign::CampaignConfig {
+        seed: 7,
+        runs_per_kernel,
+    };
+    let baseline =
+        crate::campaign::render_campaign(&crate::campaign::run_campaign_sharded(&cfg, 1, 1));
+    worker_counts
+        .iter()
+        .map(|&workers| {
+            let start = Instant::now();
+            let report = crate::campaign::run_campaign_sharded(&cfg, workers, workers);
+            let wall_ns = start.elapsed().as_nanos() as f64;
+            assert_eq!(
+                crate::campaign::render_campaign(&report),
+                baseline,
+                "sharded campaign diverged at {workers} workers"
+            );
+            ShardScalingRow { workers, wall_ns }
+        })
+        .collect()
 }
 
 /// Everything one throughput run measured.
@@ -392,6 +537,13 @@ pub struct ThroughputReport {
     pub ops: Vec<OpsRow>,
     /// Predecode A/B result.
     pub predecode: PredecodeReport,
+    /// Superblock A/B result.
+    pub superblock: SuperblockReport,
+    /// Sharded-campaign scaling sweep.
+    pub shard_scaling: Vec<ShardScalingRow>,
+    /// Worker-pool width `BatchConfig::default()` resolves to on this
+    /// host (`available_parallelism()`).
+    pub batch_workers_default: usize,
 }
 
 /// Runs the full throughput suite under `config`.
@@ -405,6 +557,9 @@ pub fn run(config: &ThroughputConfig) -> ThroughputReport {
             config.min_measure,
         ),
         predecode: predecode_ab(config.predecode_replays),
+        superblock: superblock_ab(config.superblock_replays),
+        shard_scaling: shard_scaling(config.shard_campaign_runs, &config.shard_worker_counts),
+        batch_workers_default: BatchConfig::default().effective_workers(),
     }
 }
 
@@ -443,7 +598,12 @@ pub fn render(r: &ThroughputReport) -> String {
         100.0 * r.cache.hit_rate()
     )
     .unwrap();
-    writeln!(w, "\nbatch scheduler ops/sec (wall clock, host-dependent)").unwrap();
+    writeln!(
+        w,
+        "\nbatch scheduler ops/sec (wall clock, host-dependent; default pool width {})",
+        r.batch_workers_default
+    )
+    .unwrap();
     writeln!(
         w,
         "  {:>8} {:>6} {:>8} {:>12}",
@@ -472,6 +632,42 @@ pub fn render(r: &ThroughputReport) -> String {
         r.predecode.speedup()
     )
     .unwrap();
+    writeln!(
+        w,
+        "\nsuperblock executor: {} instruction trace, {} replays/arm",
+        r.superblock.trace_len, r.superblock.replays
+    )
+    .unwrap();
+    writeln!(
+        w,
+        "  per-step dispatch {:>10.0} ns/replay, superblock {:>10.0} ns/replay ({:.2}x)",
+        r.superblock.per_step_ns,
+        r.superblock.superblock_ns,
+        r.superblock.speedup()
+    )
+    .unwrap();
+    if !r.shard_scaling.is_empty() {
+        let serial_ns = r.shard_scaling[0].wall_ns;
+        writeln!(
+            w,
+            "\nsharded fault campaign (shards == workers; report byte-identical at every width)"
+        )
+        .unwrap();
+        for row in &r.shard_scaling {
+            writeln!(
+                w,
+                "  workers {:>2}: {:>9.1} ms ({:.2}x vs serial)",
+                row.workers,
+                row.wall_ns / 1e6,
+                if row.wall_ns > 0.0 {
+                    serial_ns / row.wall_ns
+                } else {
+                    1.0
+                }
+            )
+            .unwrap();
+        }
+    }
     out
 }
 
@@ -514,6 +710,22 @@ mod tests {
         let report = predecode_ab(2);
         assert!(report.trace_len > 50_000, "inv trace is replay-heavy");
         assert!(report.decoded_ns > 0.0 && report.predecoded_ns > 0.0);
+    }
+
+    #[test]
+    fn superblock_replays_are_bit_identical() {
+        // The state-equality assertions live inside superblock_ab; two
+        // replays per arm keep the test quick.
+        let report = superblock_ab(2);
+        assert!(report.trace_len > 50_000, "inv trace is replay-heavy");
+        assert!(report.per_step_ns > 0.0 && report.superblock_ns > 0.0);
+    }
+
+    #[test]
+    fn shard_scaling_asserts_byte_identical_reports() {
+        let rows = shard_scaling(4, &[1, 2]);
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().all(|r| r.wall_ns > 0.0));
     }
 
     #[test]

@@ -127,6 +127,15 @@ impl EnergyModel {
         self.pj_per_instr[class.index()]
     }
 
+    /// [`EnergyModel::picojoules_per_instr`] by dense class index: the
+    /// superblock lowering precomputes `InstrClass::index()` once per
+    /// position, so the block interpreter skips the enum round-trip on
+    /// every retired instruction. Same table, same `f64` values.
+    #[inline]
+    pub(crate) fn pj_per_instr_idx(&self, idx: usize) -> f64 {
+        self.pj_per_instr[idx]
+    }
+
     /// Average power in microwatts of a workload that used `energy_pj`
     /// picojoules over `cycles` cycles at `clock_hz`.
     ///

@@ -9,7 +9,7 @@
 
 use crate::asm::{decode_bl, Program};
 use crate::isa::Instr;
-use crate::machine::{Machine, Reg};
+use crate::machine::{Machine, MicroOp, Reg};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -115,12 +115,23 @@ struct PreStep {
 /// of the code image and literal pool, so running a fragment needs no
 /// `Program` — and so the cache can verify a hash hit byte-for-byte.
 ///
+/// Besides the flat per-position [`PreStep`] table, predecoding
+/// partitions the image into *superblocks*: maximal straight-line runs
+/// of positions that lower to a runnable micro-op (no control flow, no
+/// invalid halfword, no unresolvable pool slot). `run_end[pc]` is the
+/// exclusive end of the run starting at `pc` (== `pc` when the
+/// position is not runnable), so entering a run at *any* position —
+/// e.g. via a branch into the middle of a block — yields the correct
+/// remainder with no special casing.
+///
 /// The modeled cycle and energy accounting is **identical** to
 /// decode-per-step execution: predecoding changes when instructions
 /// are decoded, never what they charge.
 #[derive(Debug)]
 pub struct Predecoded {
     steps: Vec<PreStep>,
+    ops: Vec<MicroOp>,
+    run_end: Vec<u32>,
     code: Vec<u16>,
     pool: Vec<u32>,
 }
@@ -131,7 +142,7 @@ impl Predecoded {
     pub fn new(program: &Program) -> Predecoded {
         let code = program.code.clone();
         let pool = program.pool.clone();
-        let steps = (0..code.len())
+        let steps: Vec<PreStep> = (0..code.len())
             .map(|pc| {
                 let window = &code[pc..(pc + 2).min(code.len())];
                 let Some((instr, width)) = Instr::decode(window) else {
@@ -159,7 +170,14 @@ impl Predecoded {
                 }
             })
             .collect();
-        Predecoded { steps, code, pool }
+        let (ops, run_end) = compile_superblocks(&steps, &pool);
+        Predecoded {
+            steps,
+            ops,
+            run_end,
+            code,
+            pool,
+        }
     }
 
     /// Exact (not just hash) equality with a program's code and pool.
@@ -176,6 +194,52 @@ impl Predecoded {
     pub fn is_empty(&self) -> bool {
         self.steps.is_empty()
     }
+}
+
+/// Builds the superblock tables for a predecoded step table: the
+/// per-position [`MicroOp`] (registers resolved to indices, pool slots
+/// to constants, shift immediates normalised, cost precomputed — see
+/// [`MicroOp::lower`]) and `run_end`, the exclusive end of the maximal
+/// straight-line runnable run starting at each position (== the
+/// position itself when it is not runnable). All runnable positions
+/// are one halfword wide, so a run's successor chain is simply
+/// `pc + 1`.
+///
+/// Branches whose target is their own fall-through position
+/// (`aux == next`) are folded into blocks: the backend linearises
+/// recorded traces so every `B`/`BCond` jumps to the label that
+/// immediately follows it, making them pure charge-and-continue
+/// operations. `Bl` and `Bx` always end a block — they push/pop the
+/// executor's call stack (and an empty-stack `Bx` terminates the run),
+/// which only the per-step loop models.
+fn compile_superblocks(steps: &[PreStep], pool: &[u32]) -> (Vec<MicroOp>, Vec<u32>) {
+    let ops: Vec<MicroOp> = steps
+        .iter()
+        .map(|s| {
+            if s.invalid {
+                MicroOp::BLOCKED
+            } else {
+                match s.instr {
+                    Instr::B if s.aux == s.next => MicroOp::branch_fall(),
+                    Instr::BCond { cond } if s.aux == s.next => MicroOp::bcond_fall(cond),
+                    instr => MicroOp::lower(instr, pool),
+                }
+            }
+        })
+        .collect();
+    let mut run_end = vec![0u32; steps.len()];
+    for pc in (0..steps.len()).rev() {
+        run_end[pc] = if !ops[pc].runnable() {
+            pc as u32
+        } else if pc + 1 < steps.len() {
+            // run_end[pc + 1] is pc + 1 itself when that position is
+            // not runnable, which closes this run correctly.
+            run_end[pc + 1].max(pc as u32 + 1)
+        } else {
+            pc as u32 + 1
+        };
+    }
+    (ops, run_end)
 }
 
 /// FNV-1a over the code image and literal pool (lengths included, so
@@ -294,6 +358,20 @@ pub fn set_predecode_enabled(on: bool) {
 /// Whether fragment execution currently uses the predecode cache.
 pub fn predecode_enabled() -> bool {
     PREDECODE_ENABLED.load(Ordering::Relaxed)
+}
+
+static SUPERBLOCK_ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Globally enables/disables superblock execution inside the
+/// predecoded executor (A/B switch for measuring the speedup; modeled
+/// state, cycles and energy are bit-identical either way).
+pub fn set_superblock_enabled(on: bool) {
+    SUPERBLOCK_ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether the predecoded executor currently runs superblocks.
+pub fn superblock_enabled() -> bool {
+    SUPERBLOCK_ENABLED.load(Ordering::Relaxed)
 }
 
 /// Runs `program` on `machine` starting at `entry` (a label) until the
@@ -580,6 +658,15 @@ pub fn execute_fragment_ctl_pre(
 /// hook that asks to run at every index reproduces
 /// [`execute_fragment_ctl_pre`] bit for bit.
 ///
+/// While the hook is dormant (and no recording or trace capture is
+/// armed), the executor runs whole predecoded *superblocks* — maximal
+/// straight-line runs of non-control instructions — with one dispatch
+/// per position and the category resolved once per block, truncating
+/// each block at the next hook index and the step budget so hooks,
+/// faults and the step limit land on exactly the per-step boundaries.
+/// Disable via [`set_superblock_enabled`] for A/B timing; results are
+/// bit-identical either way.
+///
 /// # Errors
 ///
 /// Exactly those of [`execute_fragment_ctl`].
@@ -587,6 +674,19 @@ pub fn execute_fragment_ctl_scheduled(
     machine: &mut Machine,
     pre: &Predecoded,
     max_steps: u64,
+    ctl: impl FnMut(&mut Machine, usize) -> (StepAction, u64),
+) -> Result<ExecStats, ExecError> {
+    execute_fragment_ctl_scheduled_with(machine, pre, max_steps, superblock_enabled(), ctl)
+}
+
+/// [`execute_fragment_ctl_scheduled`] with the superblock switch as an
+/// explicit argument instead of the process-wide toggle, so tests can
+/// compare both paths without racing the global.
+fn execute_fragment_ctl_scheduled_with(
+    machine: &mut Machine,
+    pre: &Predecoded,
+    max_steps: u64,
+    superblocks: bool,
     mut ctl: impl FnMut(&mut Machine, usize) -> (StepAction, u64),
 ) -> Result<ExecStats, ExecError> {
     use Instr::*;
@@ -599,6 +699,28 @@ pub fn execute_fragment_ctl_scheduled(
     while pc < pre.steps.len() {
         if steps >= max_steps {
             return Err(ExecError::StepLimit);
+        }
+        if superblocks && steps < next_ctl {
+            let end = pre.run_end[pc] as usize;
+            if end > pc && !machine.block_capture_active() {
+                // Truncate the block at the next hook index and the
+                // step budget: any prefix of a straight-line run is
+                // per-step-equivalent, so the hook (or StepLimit)
+                // fires at exactly the per-step position. Both bounds
+                // exceed `steps` here, so at least one position runs.
+                let budget = (next_ctl - steps).min(max_steps - steps);
+                let len = (end - pc).min(budget as usize);
+                let cat = machine.current_category();
+                if let Err((i, addr)) = machine.run_block(&pre.ops[pc..pc + len], cat) {
+                    // The faulting instruction retires no cost; the
+                    // prefix is applied+charged — exactly the per-step
+                    // error state.
+                    return Err(ExecError::MemOutOfRange { pc: pc + i, addr });
+                }
+                steps += len as u64;
+                pc += len;
+                continue;
+            }
         }
         let step = pre.steps[pc];
         if step.invalid {
@@ -1239,6 +1361,172 @@ mod tests {
         assert!(!Arc::ptr_eq(&a, &c));
         assert_eq!(c.len(), 1);
         assert!(!c.is_empty());
+    }
+
+    /// A hook that never runs again after index 0 — the sparse
+    /// schedule under which superblocks engage.
+    fn dormant(_: &mut Machine, _: usize) -> (StepAction, u64) {
+        (StepAction::Execute, u64::MAX)
+    }
+
+    /// Runs `pre` twice with the scheduled executor — superblocks on
+    /// and off — and asserts results and full machine state (cycles,
+    /// bitwise energy, per-category totals, memory) are identical.
+    fn assert_superblock_parity(
+        pre: &Predecoded,
+        max_steps: u64,
+        ctl: impl Fn(&mut Machine, usize) -> (StepAction, u64) + Copy,
+        context: &str,
+    ) {
+        let mut slow = Machine::new(64);
+        let r1 = execute_fragment_ctl_scheduled_with(&mut slow, pre, max_steps, false, ctl);
+        let mut fast = Machine::new(64);
+        let r2 = execute_fragment_ctl_scheduled_with(&mut fast, pre, max_steps, true, ctl);
+        assert_eq!(r1, r2, "{context}: results diverged");
+        slow.assert_same_state(&fast, context);
+    }
+
+    #[test]
+    fn superblocks_match_per_step_including_branch_into_block_middle() {
+        // The bne of looped_program() targets "loop" — the middle of
+        // the [movs, movs, adds, subs] straight-line run — and the
+        // fragment ends on that branch's fall-through (a
+        // fragment-final branch). Both paths must agree bit for bit.
+        let pre = Predecoded::new(&looped_program());
+        assert_superblock_parity(&pre, 1000, dormant, "branch into block middle");
+    }
+
+    #[test]
+    fn superblocks_run_literals_and_stack_transfers() {
+        let mut a = Assembler::new();
+        a.label("entry");
+        a.load_literal(Reg::R0, 0xDEAD_BEEF);
+        a.push(Instr::Push { reg_count: 3 });
+        a.load_literal(Reg::R1, 0x1FF);
+        a.push(Instr::Ands {
+            rdn: Reg::R0,
+            rm: Reg::R1,
+        });
+        a.push(Instr::Pop { reg_count: 3 });
+        let p = a.assemble().expect("assembles");
+        let pre = Predecoded::new(&p);
+        assert_superblock_parity(&pre, 100, dormant, "literals and stack transfers");
+        let mut m = Machine::new(64);
+        execute_fragment_ctl_scheduled_with(&mut m, &pre, 100, true, dormant).expect("runs");
+        assert_eq!(m.reg(Reg::R0), 0xDEAD_BEEF & 0x1FF);
+    }
+
+    #[test]
+    fn superblock_hook_lands_on_per_step_boundaries() {
+        // A scheduled hook that skips one instruction — first mid-run
+        // (index 2, the loop-body adds), then exactly on a block
+        // boundary (index 4, the bne) — must see the same machine
+        // state and produce the same outcome with blocks on or off:
+        // the fault injector's window is a per-step boundary.
+        let pre = Predecoded::new(&looped_program());
+        for fault_at in [2usize, 4, 7] {
+            let ctl = move |_: &mut Machine, idx: usize| {
+                if idx == fault_at {
+                    (StepAction::Skip, u64::MAX)
+                } else {
+                    (StepAction::Execute, fault_at as u64)
+                }
+            };
+            assert_superblock_parity(&pre, 1000, ctl, "fault on block boundary");
+        }
+    }
+
+    #[test]
+    fn superblock_step_limit_fires_mid_block() {
+        let pre = Predecoded::new(&looped_program());
+        for limit in 1..=6 {
+            assert_superblock_parity(&pre, limit, dormant, "step limit mid-block");
+        }
+        let mut m = Machine::new(64);
+        assert_eq!(
+            execute_fragment_ctl_scheduled_with(&mut m, &pre, 3, true, dormant),
+            Err(ExecError::StepLimit)
+        );
+    }
+
+    #[test]
+    fn superblock_errors_match_per_step_positions() {
+        // MemOutOfRange mid-block: the prefix retires, the faulting
+        // load charges nothing, the reported pc is the per-step one.
+        let mut a = Assembler::new();
+        a.label("entry");
+        a.push(Instr::AddsImm8 {
+            rdn: Reg::R1,
+            imm: 1,
+        });
+        a.push(Instr::LdrImm {
+            rt: Reg::R2,
+            rn: Reg::R0,
+            imm_words: 3,
+        });
+        let p = a.assemble().expect("assembles");
+        let pre = Predecoded::new(&p);
+        let mut slow = Machine::new(16);
+        slow.set_reg(Reg::R0, 0xFFFF_FFFF);
+        let r1 = execute_fragment_ctl_scheduled_with(&mut slow, &pre, 10, false, dormant);
+        let mut fast = Machine::new(16);
+        fast.set_reg(Reg::R0, 0xFFFF_FFFF);
+        let r2 = execute_fragment_ctl_scheduled_with(&mut fast, &pre, 10, true, dormant);
+        assert_eq!(
+            r2,
+            Err(ExecError::MemOutOfRange {
+                pc: 1,
+                addr: 0xFFFF_FFFFu64 + 3
+            })
+        );
+        assert_eq!(r1, r2);
+        slow.assert_same_state(&fast, "MemOutOfRange mid-block");
+        // A missing literal slot is never block-runnable: BadLiteral
+        // fires from per-step dispatch at the same retired index.
+        use std::collections::HashMap;
+        let program = Program {
+            code: [
+                Instr::MovsImm {
+                    rd: Reg::R0,
+                    imm: 1,
+                }
+                .encode(),
+                Instr::LdrLit {
+                    rt: Reg::R0,
+                    imm_words: 3,
+                }
+                .encode(),
+            ]
+            .concat(),
+            pool: vec![],
+            labels: HashMap::new(),
+        };
+        let pre = Predecoded::new(&program);
+        let mut m = Machine::new(16);
+        assert_eq!(
+            execute_fragment_ctl_scheduled_with(&mut m, &pre, 10, true, dormant),
+            Err(ExecError::BadLiteral { pc: 1, slot: 3 })
+        );
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn superblocks_fall_back_per_step_while_tracing() {
+        // An armed trace needs every instruction at its own position,
+        // so superblock execution must defer to per-step dispatch —
+        // and still match the blocks-off run bit for bit.
+        let pre = Predecoded::new(&looped_program());
+        let mut slow = Machine::new(64);
+        slow.start_trace();
+        execute_fragment_ctl_scheduled_with(&mut slow, &pre, 1000, false, dormant).expect("runs");
+        let t1 = slow.take_trace();
+        let mut fast = Machine::new(64);
+        fast.start_trace();
+        execute_fragment_ctl_scheduled_with(&mut fast, &pre, 1000, true, dormant).expect("runs");
+        let t2 = fast.take_trace();
+        assert_eq!(t1.events.len(), t2.events.len());
+        assert!(!t2.events.is_empty(), "trace captured despite blocks on");
+        slow.assert_same_state(&fast, "trace fallback");
     }
 
     #[test]

@@ -62,8 +62,8 @@ pub use cost::InstrClass;
 pub use energy::EnergyModel;
 pub use exec::{
     execute, execute_fragment, execute_fragment_ctl, predecode, predecode_cache_reset,
-    predecode_cache_stats, predecode_enabled, set_predecode_enabled, ExecError, ExecStats,
-    Predecoded, StepAction,
+    predecode_cache_stats, predecode_enabled, set_predecode_enabled, set_superblock_enabled,
+    superblock_enabled, ExecError, ExecStats, Predecoded, StepAction,
 };
 pub use fault::{replay_predecoded, FaultKind, FaultPlan, FaultedRun, RecordedKernel};
 pub use isa::Instr;

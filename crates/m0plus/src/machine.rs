@@ -73,7 +73,7 @@ impl Reg {
         Reg::R7,
     ];
 
-    fn index(self) -> usize {
+    pub(crate) fn index(self) -> usize {
         match self {
             Reg::R0 => 0,
             Reg::R1 => 1,
@@ -216,6 +216,211 @@ impl Recording {
     /// Whether nothing costed was captured.
     pub fn is_empty(&self) -> bool {
         self.steps.is_empty()
+    }
+}
+
+/// Dense opcode of a [`MicroOp`] — one variant per architectural shape
+/// the superblock interpreter executes, so [`Machine::run_block`]
+/// dispatches a single flat match per retired instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum MicroKind {
+    /// `LDR rt, [base, #imm]` — `LdrImm` and `LdrSp` with the base
+    /// register index pre-resolved.
+    LdrOff,
+    /// `STR rt, [base, #imm]` — `StrImm` and `StrSp` likewise.
+    StrOff,
+    /// `LDR rt, [rn, rm]`.
+    LdrReg,
+    /// `STR rt, [rn, rm]`.
+    StrReg,
+    /// Literal-pool load with the constant resolved at lowering time.
+    Const,
+    MovsImm,
+    /// `MOV rd, rm`, hi-register capable (indices pre-resolved).
+    MovAny,
+    Uxth,
+    Eors,
+    Ands,
+    Orrs,
+    Bics,
+    Mvns,
+    Tst,
+    LslsImm,
+    LsrsImm,
+    AsrsImm,
+    LslsReg,
+    LsrsReg,
+    AddsReg,
+    AddsImm8,
+    Adcs,
+    SubsReg,
+    SubsImm8,
+    Sbcs,
+    Rsbs,
+    CmpReg,
+    CmpImm,
+    Muls,
+    Nop,
+    /// `PUSH`/`POP` of `imm` registers: no architectural effect in the
+    /// model, one Mov-class base cycle plus `imm` stack words.
+    Stack,
+    /// An unconditional `B` whose precomputed target is its own
+    /// fall-through — the only shape a linearised recording assembles
+    /// (see [`crate::backend::translate`]): charges a taken branch and
+    /// continues straight-line.
+    BranchFall,
+    /// A `B<cond>` whose precomputed target is its own fall-through:
+    /// charges taken or not-taken from the live flags and continues
+    /// straight-line either way.
+    BCondFall(Cond),
+    /// Not runnable inside a superblock (control flow, invalid
+    /// halfword, unresolvable pool slot, `LSLS #0`); terminates
+    /// straight-line runs and never reaches [`Machine::run_block`].
+    Blocked,
+}
+
+/// The flat, pre-resolved form of one code position for the superblock
+/// interpreter: a dense opcode, register *indices* instead of [`Reg`]
+/// values, the normalised immediate (or pool constant, or stack word
+/// count), and the cost — class index and cycle count — precomputed at
+/// lowering time. [`Machine::run_block`] never touches the
+/// decode-shaped [`Instr`] again.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct MicroOp {
+    kind: MicroKind,
+    /// Destination / transfer register index.
+    a: u8,
+    /// First source / base register index.
+    b: u8,
+    /// Second source register index.
+    c: u8,
+    /// `InstrClass::index()` of the charged class.
+    class_idx: u8,
+    /// `InstrClass::cycles()` of the charged class.
+    cycles: u8,
+    /// Immediate / pool constant / stack word count.
+    imm: u32,
+}
+
+impl MicroOp {
+    /// A position the superblock interpreter refuses to run.
+    pub(crate) const BLOCKED: MicroOp = MicroOp {
+        kind: MicroKind::Blocked,
+        a: 0,
+        b: 0,
+        c: 0,
+        class_idx: 0,
+        cycles: 0,
+        imm: 0,
+    };
+
+    /// Whether this position can run inside a superblock.
+    #[inline]
+    pub(crate) fn runnable(&self) -> bool {
+        self.kind != MicroKind::Blocked
+    }
+
+    /// An unconditional branch to its own fall-through (charge only).
+    pub(crate) fn branch_fall() -> MicroOp {
+        Self::new(MicroKind::BranchFall, InstrClass::BranchTaken, 0, 0, 0, 0)
+    }
+
+    /// A conditional branch to its own fall-through (flag-dependent
+    /// charge only; the class/cycle fields are unused because the cost
+    /// is resolved from the live flags at run time).
+    pub(crate) fn bcond_fall(cond: Cond) -> MicroOp {
+        Self::new(
+            MicroKind::BCondFall(cond),
+            InstrClass::BranchTaken,
+            0,
+            0,
+            0,
+            0,
+        )
+    }
+
+    fn new(kind: MicroKind, class: InstrClass, a: usize, b: usize, c: usize, imm: u32) -> MicroOp {
+        MicroOp {
+            kind,
+            a: a as u8,
+            b: b as u8,
+            c: c as u8,
+            class_idx: class.index() as u8,
+            cycles: class.cycles() as u8,
+            imm,
+        }
+    }
+
+    /// Lowers one decoded instruction: registers to indices, shift
+    /// immediates to their architectural amounts (`LSRS`/`ASRS` `#0` →
+    /// 32), pool slots to constants, the cost class to its dense index.
+    /// Control flow, invalid pool slots (per-step dispatch raises
+    /// `BadLiteral` at the same retired index) and `LSLS #0` (whose
+    /// per-step dispatch asserts) lower to [`MicroOp::BLOCKED`]. Each
+    /// runnable arm must mirror its [`Machine`] per-instruction method
+    /// exactly; the bit-identity assertions run by every campaign hold
+    /// this to account.
+    pub(crate) fn lower(instr: Instr, pool: &[u32]) -> MicroOp {
+        use Instr as I;
+        use MicroKind as K;
+        let lo = Machine::lo;
+        let class = instr.class();
+        match instr {
+            I::LdrImm { rt, rn, imm_words } => {
+                Self::new(K::LdrOff, class, lo(rt), lo(rn), 0, imm_words)
+            }
+            I::StrImm { rt, rn, imm_words } => {
+                Self::new(K::StrOff, class, lo(rt), lo(rn), 0, imm_words)
+            }
+            I::LdrSp { rt, imm_words } => {
+                Self::new(K::LdrOff, class, lo(rt), Reg::Sp.index(), 0, imm_words)
+            }
+            I::StrSp { rt, imm_words } => {
+                Self::new(K::StrOff, class, lo(rt), Reg::Sp.index(), 0, imm_words)
+            }
+            I::LdrReg { rt, rn, rm } => Self::new(K::LdrReg, class, lo(rt), lo(rn), lo(rm), 0),
+            I::StrReg { rt, rn, rm } => Self::new(K::StrReg, class, lo(rt), lo(rn), lo(rm), 0),
+            I::LdrLit { rt, imm_words } => match pool.get(imm_words as usize) {
+                Some(&value) => Self::new(K::Const, class, lo(rt), 0, 0, value),
+                None => Self::BLOCKED,
+            },
+            I::MovsImm { rd, imm } => Self::new(K::MovsImm, class, lo(rd), 0, 0, imm as u32),
+            I::Mov { rd, rm } => Self::new(K::MovAny, class, rd.index(), rm.index(), 0, 0),
+            I::Uxth { rd, rm } => Self::new(K::Uxth, class, lo(rd), lo(rm), 0, 0),
+            I::Eors { rdn, rm } => Self::new(K::Eors, class, lo(rdn), lo(rm), 0, 0),
+            I::Ands { rdn, rm } => Self::new(K::Ands, class, lo(rdn), lo(rm), 0, 0),
+            I::Orrs { rdn, rm } => Self::new(K::Orrs, class, lo(rdn), lo(rm), 0, 0),
+            I::Bics { rdn, rm } => Self::new(K::Bics, class, lo(rdn), lo(rm), 0, 0),
+            I::Mvns { rd, rm } => Self::new(K::Mvns, class, lo(rd), lo(rm), 0, 0),
+            I::Tst { rn, rm } => Self::new(K::Tst, class, lo(rn), lo(rm), 0, 0),
+            I::LslsImm { imm: 0, .. } => Self::BLOCKED,
+            I::LslsImm { rd, rm, imm } => Self::new(K::LslsImm, class, lo(rd), lo(rm), 0, imm),
+            I::LsrsImm { rd, rm, imm } => {
+                let imm = if imm == 0 { 32 } else { imm };
+                Self::new(K::LsrsImm, class, lo(rd), lo(rm), 0, imm)
+            }
+            I::AsrsImm { rd, rm, imm } => {
+                let imm = if imm == 0 { 32 } else { imm };
+                Self::new(K::AsrsImm, class, lo(rd), lo(rm), 0, imm)
+            }
+            I::LslsReg { rdn, rm } => Self::new(K::LslsReg, class, lo(rdn), lo(rm), 0, 0),
+            I::LsrsReg { rdn, rm } => Self::new(K::LsrsReg, class, lo(rdn), lo(rm), 0, 0),
+            I::AddsReg { rd, rn, rm } => Self::new(K::AddsReg, class, lo(rd), lo(rn), lo(rm), 0),
+            I::AddsImm8 { rdn, imm } => Self::new(K::AddsImm8, class, lo(rdn), 0, 0, imm as u32),
+            I::Adcs { rdn, rm } => Self::new(K::Adcs, class, lo(rdn), lo(rm), 0, 0),
+            I::SubsReg { rd, rn, rm } => Self::new(K::SubsReg, class, lo(rd), lo(rn), lo(rm), 0),
+            I::SubsImm8 { rdn, imm } => Self::new(K::SubsImm8, class, lo(rdn), 0, 0, imm as u32),
+            I::Sbcs { rdn, rm } => Self::new(K::Sbcs, class, lo(rdn), lo(rm), 0, 0),
+            I::Rsbs { rd, rn } => Self::new(K::Rsbs, class, lo(rd), lo(rn), 0, 0),
+            I::CmpReg { rn, rm } => Self::new(K::CmpReg, class, lo(rn), lo(rm), 0, 0),
+            I::CmpImm { rn, imm } => Self::new(K::CmpImm, class, lo(rn), 0, 0, imm as u32),
+            I::Muls { rdn, rm } => Self::new(K::Muls, class, lo(rdn), lo(rm), 0, 0),
+            I::Nop => Self::new(K::Nop, class, 0, 0, 0, 0),
+            I::Push { reg_count } | I::Pop { reg_count } => {
+                Self::new(K::Stack, class, 0, 0, 0, reg_count as u32)
+            }
+            I::BCond { .. } | I::B | I::Bl | I::Bx => Self::BLOCKED,
+        }
     }
 }
 
@@ -506,7 +711,7 @@ impl Machine {
     }
 
     #[inline]
-    fn current_category(&self) -> Category {
+    pub(crate) fn current_category(&self) -> Category {
         self.category_override
             .unwrap_or_else(|| *self.category_stack.last().unwrap_or(&Category::Support))
     }
@@ -605,6 +810,267 @@ impl Machine {
                     .events
                     .push(crate::trace::TraceEvent { instr, class, addr });
             }
+        }
+    }
+
+    /// Executes a lowered straight-line superblock: the architectural
+    /// effect *and* the cost of every [`MicroOp`] in order, charged
+    /// against an already-resolved category — the superblock fast path
+    /// of [`crate::exec`] resolves the category once per block (nothing
+    /// can change it while the control hook is dormant) and carries no
+    /// trace plumbing (blocks never run while a capture is armed).
+    ///
+    /// The accounting mirrors [`Machine::record`] term for term — the
+    /// same `f64` values added to the same accumulators in the same
+    /// order — so cycle, count and energy totals stay bit-identical to
+    /// per-step execution; the hot totals simply live in locals for the
+    /// duration of the block. On an out-of-range memory operand the
+    /// prefix stays applied and charged, the faulting op retires
+    /// nothing, and `Err((position, word address))` reproduces the
+    /// per-step error state exactly.
+    pub(crate) fn run_block(&mut self, ops: &[MicroOp], cat: Category) -> Result<(), (usize, u64)> {
+        use MicroKind as K;
+        const MOV: usize = InstrClass::Mov.index();
+        const STACK_WORD: usize = InstrClass::StackWord.index();
+        let cat_idx = cat.index();
+        let mut cycles = self.cycles;
+        let mut energy = self.energy_pj;
+        let mut totals = self.by_category[cat_idx];
+        let mut fault: Option<(usize, u64)> = None;
+        for (i, &op) in ops.iter().enumerate() {
+            let (a, b, c) = (op.a as usize, op.b as usize, op.c as usize);
+            match op.kind {
+                K::LdrOff => {
+                    let addr = self.regs[b] as u64 + op.imm as u64;
+                    if addr >= self.mem.len() as u64 {
+                        fault = Some((i, addr));
+                        break;
+                    }
+                    self.regs[a] = self.mem[addr as usize];
+                }
+                K::StrOff => {
+                    let addr = self.regs[b] as u64 + op.imm as u64;
+                    if addr >= self.mem.len() as u64 {
+                        fault = Some((i, addr));
+                        break;
+                    }
+                    self.mem[addr as usize] = self.regs[a];
+                }
+                K::LdrReg => {
+                    let addr = self.regs[b] as u64 + self.regs[c] as u64;
+                    if addr >= self.mem.len() as u64 {
+                        fault = Some((i, addr));
+                        break;
+                    }
+                    self.regs[a] = self.mem[addr as usize];
+                }
+                K::StrReg => {
+                    let addr = self.regs[b] as u64 + self.regs[c] as u64;
+                    if addr >= self.mem.len() as u64 {
+                        fault = Some((i, addr));
+                        break;
+                    }
+                    self.mem[addr as usize] = self.regs[a];
+                }
+                K::Const => self.regs[a] = op.imm,
+                K::MovsImm => {
+                    self.regs[a] = op.imm;
+                    self.set_nz(op.imm);
+                }
+                K::MovAny => self.regs[a] = self.regs[b],
+                K::Uxth => self.regs[a] = self.regs[b] & 0xFFFF,
+                K::Eors => {
+                    let v = self.regs[a] ^ self.regs[b];
+                    self.regs[a] = v;
+                    self.set_nz(v);
+                }
+                K::Ands => {
+                    let v = self.regs[a] & self.regs[b];
+                    self.regs[a] = v;
+                    self.set_nz(v);
+                }
+                K::Orrs => {
+                    let v = self.regs[a] | self.regs[b];
+                    self.regs[a] = v;
+                    self.set_nz(v);
+                }
+                K::Bics => {
+                    let v = self.regs[a] & !self.regs[b];
+                    self.regs[a] = v;
+                    self.set_nz(v);
+                }
+                K::Mvns => {
+                    let v = !self.regs[b];
+                    self.regs[a] = v;
+                    self.set_nz(v);
+                }
+                K::Tst => {
+                    let v = self.regs[a] & self.regs[b];
+                    self.set_nz(v);
+                }
+                K::LslsImm => {
+                    let x = self.regs[b];
+                    self.flags.c = (x >> (32 - op.imm)) & 1 != 0;
+                    let v = x << op.imm;
+                    self.regs[a] = v;
+                    self.set_nz(v);
+                }
+                K::LsrsImm => {
+                    let x = self.regs[b];
+                    self.flags.c = (x >> (op.imm - 1)) & 1 != 0;
+                    let v = if op.imm == 32 { 0 } else { x >> op.imm };
+                    self.regs[a] = v;
+                    self.set_nz(v);
+                }
+                K::AsrsImm => {
+                    let x = self.regs[b] as i32;
+                    let sh = op.imm.min(31);
+                    self.flags.c = ((x >> (op.imm - 1).min(31)) & 1) != 0;
+                    let v = (x >> sh) as u32;
+                    self.regs[a] = v;
+                    self.set_nz(v);
+                }
+                K::LslsReg => {
+                    let sh = self.regs[b] & 0xFF;
+                    let x = self.regs[a];
+                    let v = if sh >= 32 { 0 } else { x << sh };
+                    if (1..=32).contains(&sh) {
+                        self.flags.c = (x >> (32 - sh)) & 1 != 0;
+                    } else if sh > 32 {
+                        self.flags.c = false;
+                    }
+                    self.regs[a] = v;
+                    self.set_nz(v);
+                }
+                K::LsrsReg => {
+                    let sh = self.regs[b] & 0xFF;
+                    let x = self.regs[a];
+                    let v = if sh >= 32 { 0 } else { x >> sh };
+                    if (1..=32).contains(&sh) {
+                        self.flags.c = (x >> (sh - 1)) & 1 != 0;
+                    } else if sh > 32 {
+                        self.flags.c = false;
+                    }
+                    self.regs[a] = v;
+                    self.set_nz(v);
+                }
+                K::AddsReg => {
+                    let (x, y) = (self.regs[b], self.regs[c]);
+                    let v = self.add_with_carry(x, y, false);
+                    self.regs[a] = v;
+                }
+                K::AddsImm8 => {
+                    let x = self.regs[a];
+                    let v = self.add_with_carry(x, op.imm, false);
+                    self.regs[a] = v;
+                }
+                K::Adcs => {
+                    let (x, y, cin) = (self.regs[a], self.regs[b], self.flags.c);
+                    let v = self.add_with_carry(x, y, cin);
+                    self.regs[a] = v;
+                }
+                K::SubsReg => {
+                    let (x, y) = (self.regs[b], self.regs[c]);
+                    let v = self.add_with_carry(x, !y, true);
+                    self.regs[a] = v;
+                }
+                K::SubsImm8 => {
+                    let x = self.regs[a];
+                    let v = self.add_with_carry(x, !op.imm, true);
+                    self.regs[a] = v;
+                }
+                K::Sbcs => {
+                    let (x, y, cin) = (self.regs[a], self.regs[b], self.flags.c);
+                    let v = self.add_with_carry(x, !y, cin);
+                    self.regs[a] = v;
+                }
+                K::Rsbs => {
+                    let x = self.regs[b];
+                    let v = self.add_with_carry(!x, 0, true);
+                    self.regs[a] = v;
+                }
+                K::CmpReg => {
+                    let (x, y) = (self.regs[a], self.regs[b]);
+                    self.add_with_carry(x, !y, true);
+                }
+                K::CmpImm => {
+                    let x = self.regs[a];
+                    self.add_with_carry(x, !op.imm, true);
+                }
+                K::Muls => {
+                    let v = self.regs[a].wrapping_mul(self.regs[b]);
+                    self.regs[a] = v;
+                    self.set_nz(v);
+                }
+                K::Nop => {}
+                K::BranchFall => {}
+                K::BCondFall(cond) => {
+                    // Mirrors Machine::b_cond: taken and not-taken
+                    // charge different classes, control falls through
+                    // either way (the target is the next position).
+                    let class = if self.cond(cond) {
+                        InstrClass::BranchTaken
+                    } else {
+                        InstrClass::BranchNotTaken
+                    };
+                    let e = self.model.pj_per_instr_idx(class.index());
+                    cycles += class.cycles();
+                    energy += e;
+                    self.counts.bump_idx(class.index());
+                    totals.cycles += class.cycles();
+                    totals.energy_pj += e;
+                    continue;
+                }
+                K::Stack => {
+                    // One Mov-class base cycle plus `imm` stack words,
+                    // exactly the split the push/pop helpers charge.
+                    let base = self.model.pj_per_instr_idx(MOV);
+                    cycles += InstrClass::Mov.cycles();
+                    energy += base;
+                    self.counts.bump_idx(MOV);
+                    totals.cycles += InstrClass::Mov.cycles();
+                    totals.energy_pj += base;
+                    let word = self.model.pj_per_instr_idx(STACK_WORD);
+                    for _ in 0..op.imm {
+                        cycles += InstrClass::StackWord.cycles();
+                        energy += word;
+                        self.counts.bump_idx(STACK_WORD);
+                        totals.cycles += InstrClass::StackWord.cycles();
+                        totals.energy_pj += word;
+                    }
+                    continue;
+                }
+                K::Blocked => unreachable!("non-runnable position inside a superblock"),
+            }
+            let e = self.model.pj_per_instr_idx(op.class_idx as usize);
+            cycles += op.cycles as u64;
+            energy += e;
+            self.counts.bump_idx(op.class_idx as usize);
+            totals.cycles += op.cycles as u64;
+            totals.energy_pj += e;
+        }
+        self.cycles = cycles;
+        self.energy_pj = energy;
+        self.by_category[cat_idx] = totals;
+        match fault {
+            Some(f) => Err(f),
+            None => Ok(()),
+        }
+    }
+
+    /// Whether an instruction-stream capture is armed (a recording, or
+    /// a trace under the `trace` feature). Superblock execution must
+    /// fall back to per-step dispatch while this holds so every
+    /// instruction is captured at its own position.
+    #[inline]
+    pub(crate) fn block_capture_active(&self) -> bool {
+        #[cfg(feature = "trace")]
+        {
+            self.recording.is_some() || self.trace.is_some()
+        }
+        #[cfg(not(feature = "trace"))]
+        {
+            self.recording.is_some()
         }
     }
 

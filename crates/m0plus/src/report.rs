@@ -17,6 +17,13 @@ impl ClassCounts {
         self.counts[class.index()] += 1;
     }
 
+    /// [`ClassCounts::bump`] by dense class index (precomputed by the
+    /// superblock lowering, see [`crate::exec`]).
+    #[inline]
+    pub(crate) fn bump_idx(&mut self, idx: usize) {
+        self.counts[idx] += 1;
+    }
+
     /// Number of instructions of `class` executed.
     pub fn count(&self, class: InstrClass) -> u64 {
         self.counts[class.index()]

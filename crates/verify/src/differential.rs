@@ -14,12 +14,20 @@
 //!   signatures and sealed frames through the slice and owned decoders,
 //!   which must never panic and must return the same typed error.
 //!
-//! Every case is derived from the configured seed, so the rendered
-//! report is byte-identical across runs — determinism is itself part of
-//! the CI gate. A disagreement is reported with a greedily shrunk
-//! minimal counterexample (see [`crate::shrink`]).
+//! Every case is derived from the configured seed through a per-case
+//! PRNG substream (`prng::SplitMix64::substream` keyed by seed, phase
+//! domain and case index), so a case's inputs are a pure function of
+//! its index: any contiguous window of the global case list (see
+//! [`total_cases`]) can run on its own via [`run_window`], and
+//! [`merge`] folds the window reports — in window order — into the
+//! same canonical report [`run`] produces. The sharded
+//! `verify_campaign` runner splits the case list across worker threads
+//! that way, and CI diffs `--shards 1` against `--shards 4` to hold
+//! the output byte-identical. A disagreement is reported with a
+//! greedily shrunk minimal counterexample (see [`crate::shrink`]).
 
 use std::collections::BTreeMap;
+use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use gf2m::generic::GenericField;
@@ -173,17 +181,94 @@ impl DiffReport {
     }
 }
 
-/// Runs all three differential phases under `config`.
-pub fn run(config: &DiffConfig) -> DiffReport {
+/// Substream domains, one per phase, so the phases draw from
+/// unrelated generators even for equal case indices.
+const FIELD_DOMAIN: u64 = 0xf1e1d;
+const SCALAR_DOMAIN: u64 = 0x5ca1a7;
+const WIRE_DOMAIN: u64 = 0x3175;
+const BATCH_DOMAIN: u64 = 0xba7c4;
+
+/// Size of the global case list: the four phase case lists
+/// concatenated (field, then scalar, then wire, then batch). This is
+/// the range sharded runners split into windows for [`run_window`].
+pub fn total_cases(config: &DiffConfig) -> usize {
+    config.field_cases + config.scalar_cases + config.wire_cases + config.batch_cases
+}
+
+/// Intersects a global-index window with one phase's sub-range and
+/// rebases it to phase-local case indices.
+fn phase_window(window: &Range<usize>, base: usize, count: usize) -> Range<usize> {
+    let lo = window.start.clamp(base, base + count) - base;
+    let hi = window.end.clamp(base, base + count) - base;
+    lo..hi
+}
+
+/// Runs the cases of one contiguous window of the global case list
+/// (`0..total_cases`). Every case draws from its own substream, so the
+/// produced counters depend only on the window contents — never on
+/// which shard ran them. The result is a *partial* report; fold the
+/// windows with [`merge`].
+pub fn run_window(config: &DiffConfig, window: Range<usize>) -> DiffReport {
     let mut report = DiffReport {
         seed: config.seed,
         ..DiffReport::default()
     };
-    field_phase(config, &mut report);
-    scalar_phase(config, &mut report);
-    wire_phase(config, &mut report);
-    batch_phase(config, &mut report);
+    let scalar_base = config.field_cases;
+    let wire_base = scalar_base + config.scalar_cases;
+    let batch_base = wire_base + config.wire_cases;
+    field_phase(
+        config,
+        &mut report,
+        phase_window(&window, 0, config.field_cases),
+    );
+    scalar_phase(
+        config,
+        &mut report,
+        phase_window(&window, scalar_base, config.scalar_cases),
+    );
+    wire_phase(
+        config,
+        &mut report,
+        phase_window(&window, wire_base, config.wire_cases),
+    );
+    batch_phase(
+        config,
+        &mut report,
+        phase_window(&window, batch_base, config.batch_cases),
+    );
     report
+}
+
+/// Folds window reports (in window order) into the canonical report:
+/// pair counters summed and sorted by pair name, disagreements
+/// concatenated (window order == global case order), taxonomy and
+/// panic counters summed. [`run`] goes through the same fold, so a
+/// single-window run renders byte-identically to any sharded split.
+pub fn merge(config: &DiffConfig, parts: Vec<DiffReport>) -> DiffReport {
+    let mut out = DiffReport {
+        seed: config.seed,
+        ..DiffReport::default()
+    };
+    for part in parts {
+        for p in part.pairs {
+            let entry = out.pair_entry(&p.pair);
+            entry.cases += p.cases;
+            entry.disagreements += p.disagreements;
+        }
+        out.disagreements.extend(part.disagreements);
+        for (variant, count) in part.wire_taxonomy {
+            *out.wire_taxonomy.entry(variant).or_insert(0) += count;
+        }
+        out.wire_panics += part.wire_panics;
+    }
+    out.pairs.sort_by(|a, b| a.pair.cmp(&b.pair));
+    out
+}
+
+/// Runs all differential phases under `config`.
+pub fn run(config: &DiffConfig) -> DiffReport {
+    let full = run_window(config, 0..total_cases(config));
+    merge(config, vec![full])
 }
 
 // ---------------------------------------------------------------------
@@ -246,8 +331,10 @@ fn bytes_to_fe_pair(bytes: &[u8]) -> (Fe, Fe) {
     (Fe::from_be_bytes(&a), Fe::from_be_bytes(&b))
 }
 
-fn field_phase(config: &DiffConfig, report: &mut DiffReport) {
-    let mut rng = SplitMix64::new(config.seed ^ 0xf1e1d);
+fn field_phase(config: &DiffConfig, report: &mut DiffReport, cases: Range<usize>) {
+    if cases.is_empty() {
+        return;
+    }
     let oracle = GenericField::sect233k1();
     let mut direct = ModeledField::new(Tier::Asm);
     let (da, db, dz) = (direct.alloc(), direct.alloc(), direct.alloc());
@@ -255,7 +342,8 @@ fn field_phase(config: &DiffConfig, report: &mut DiffReport) {
     let (ca, cb, cz) = (code.alloc(), code.alloc(), code.alloc());
 
     let edges = field_edges();
-    for case in 0..config.field_cases {
+    for case in cases {
+        let mut rng = SplitMix64::substream(config.seed, FIELD_DOMAIN, case as u64);
         let (a, b) = edges
             .get(case)
             .copied()
@@ -418,11 +506,14 @@ fn rand_scalar_wide(rng: &mut SplitMix64) -> Int {
     Int::from_limbs(false, limbs)
 }
 
-fn scalar_phase(config: &DiffConfig, report: &mut DiffReport) {
-    let mut rng = SplitMix64::new(config.seed ^ 0x5ca1a7);
+fn scalar_phase(config: &DiffConfig, report: &mut DiffReport, cases: Range<usize>) {
+    if cases.is_empty() {
+        return;
+    }
     let g = curve::generator();
     let edges = scalar_edges();
-    for case in 0..config.scalar_cases {
+    for case in cases {
+        let mut rng = SplitMix64::substream(config.seed, SCALAR_DOMAIN, case as u64);
         let k = edges
             .get(case)
             .cloned()
@@ -468,10 +559,13 @@ fn scalar_phase(config: &DiffConfig, report: &mut DiffReport) {
 // Batch inversion and batch affine conversion.
 // ---------------------------------------------------------------------
 
-fn batch_phase(config: &DiffConfig, report: &mut DiffReport) {
-    let mut rng = SplitMix64::new(config.seed ^ 0xba7c4);
+fn batch_phase(config: &DiffConfig, report: &mut DiffReport, cases: Range<usize>) {
+    if cases.is_empty() {
+        return;
+    }
     let g = curve::generator();
-    for case in 0..config.batch_cases {
+    for case in cases {
+        let mut rng = SplitMix64::substream(config.seed, BATCH_DOMAIN, case as u64);
         // Sizes sweep the empty batch, a singleton, then random widths.
         let len = match case {
             0 => 0,
@@ -572,8 +666,10 @@ fn wire_error_label(e: &protocols::wire::WireError) -> &'static str {
     }
 }
 
-fn wire_phase(config: &DiffConfig, report: &mut DiffReport) {
-    let mut rng = SplitMix64::new(config.seed ^ 0x3175);
+fn wire_phase(config: &DiffConfig, report: &mut DiffReport, cases: Range<usize>) {
+    if cases.is_empty() {
+        return;
+    }
     let key = SigningKey::generate(b"verify differential wire identity");
     let pk_bytes = encode_public_key(key.public()).to_vec();
     let sig_bytes = encode_signature(&key.sign(b"wire differential message")).to_vec();
@@ -582,7 +678,8 @@ fn wire_phase(config: &DiffConfig, report: &mut DiffReport) {
         .as_bytes()
         .to_vec();
 
-    for case in 0..config.wire_cases {
+    for case in cases {
+        let mut rng = SplitMix64::substream(config.seed, WIRE_DOMAIN, case as u64);
         let template: &[u8] = match case % 3 {
             0 => &pk_bytes,
             1 => &sig_bytes,
@@ -798,6 +895,31 @@ mod tests {
             batch_cases: 5,
         };
         assert_eq!(run(&cfg).render(), run(&cfg).render());
+    }
+
+    #[test]
+    fn windowed_runs_merge_to_the_full_report() {
+        let cfg = DiffConfig {
+            seed: 5,
+            field_cases: 20,
+            scalar_cases: 13,
+            wire_cases: 33,
+            batch_cases: 5,
+        };
+        let baseline = run(&cfg).render();
+        let total = total_cases(&cfg);
+        for shards in [2usize, 3, 7] {
+            // Contiguous balanced windows, like bench::shard::windows.
+            let mut parts = Vec::new();
+            let mut start = 0;
+            for i in 0..shards {
+                let len = total / shards + usize::from(i < total % shards);
+                parts.push(run_window(&cfg, start..start + len));
+                start += len;
+            }
+            assert_eq!(start, total);
+            assert_eq!(merge(&cfg, parts).render(), baseline, "shards = {shards}");
+        }
     }
 
     #[test]

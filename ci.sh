@@ -25,6 +25,14 @@ target/release/fault_campaign --smoke --shards 4 > /tmp/fault_shard_4.txt
 diff /tmp/fault_shard_1.txt /tmp/fault_shard_4.txt
 diff /tmp/fault_smoke_1.txt /tmp/fault_shard_1.txt
 
+echo "==> fault campaign cross-target smoke (--target cortex-m0, deterministic)"
+target/release/fault_campaign --smoke --target cortex-m0 > /tmp/fault_m0_1.txt
+target/release/fault_campaign --smoke --target cortex-m0 > /tmp/fault_m0_2.txt
+diff /tmp/fault_m0_1.txt /tmp/fault_m0_2.txt
+grep -q "target cortex-m0 " /tmp/fault_m0_1.txt
+# Fault verdicts are target-invariant; only costs may move.
+grep -q "overall full-profile detection: 100.0%" /tmp/fault_m0_1.txt
+
 echo "==> verify campaign smoke (leakage + differential, deterministic)"
 target/release/verify_campaign --smoke > /tmp/verify_smoke_1.txt
 target/release/verify_campaign --smoke > /tmp/verify_smoke_2.txt

@@ -12,6 +12,7 @@ fn main() {
         bench::tables::table6(),
         bench::tables::table7(),
         bench::tables::figure1(),
+        bench::tables::cross_targets(),
     ] {
         println!("{section}");
     }

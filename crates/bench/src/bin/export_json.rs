@@ -22,7 +22,7 @@ use std::path::{Path, PathBuf};
 
 /// Schema identifier for downstream consumers; bump when the document
 /// shape changes.
-const SCHEMA: &str = "ecc233-bench/3";
+const SCHEMA: &str = "ecc233-bench/4";
 
 fn main() {
     let doc = render();
@@ -115,15 +115,12 @@ fn render() -> String {
     }
     writeln!(w, "  }},").unwrap();
     writeln!(w, "  \"robustness\": {{").unwrap();
-    let cfg = CampaignConfig {
-        seed: 7,
-        runs_per_kernel: 200,
-    };
+    let cfg = CampaignConfig::new(7, 200);
     let campaign = campaign::run_campaign(&cfg);
     writeln!(
         w,
-        "    \"campaign\": {{ \"seed\": {}, \"runs_per_kernel\": {} }},",
-        campaign.seed, campaign.runs_per_kernel
+        "    \"campaign\": {{ \"seed\": {}, \"runs_per_kernel\": {}, \"target\": \"{}\" }},",
+        campaign.seed, campaign.runs_per_kernel, campaign.target
     )
     .unwrap();
     writeln!(w, "    \"kernels\": {{").unwrap();
@@ -173,6 +170,7 @@ fn render() -> String {
         seed: 0x1ea4a9e,
         cheap_pairs: 4,
         expensive_pairs: 1,
+        target: m0plus::target::default_target(),
     };
     let verdicts = verify::leakage::run_campaign(&leak_cfg);
     writeln!(
@@ -285,6 +283,23 @@ fn render() -> String {
         .unwrap();
     }
     writeln!(w, "    }}").unwrap();
+    writeln!(w, "  }},").unwrap();
+    writeln!(w, "  \"targets\": {{").unwrap();
+    let specs = m0plus::target::registry();
+    for (i, spec) in specs.iter().enumerate() {
+        let sep = if i + 1 == specs.len() { "" } else { "," };
+        let run = workloads::kp_under_target(Tier::Asm, spec, 1);
+        writeln!(
+            w,
+            "    \"{}\": {{ \"clock_hz\": {}, \"kp_cycles\": {}, \"kp_uj\": {:.4}, \"kp_time_ms\": {:.4} }}{sep}",
+            spec.name(),
+            spec.clock_hz(),
+            run.report.cycles,
+            run.report.energy_uj(),
+            run.report.time_ms(),
+        )
+        .unwrap();
+    }
     writeln!(w, "  }},").unwrap();
     writeln!(w, "  \"paper_targets\": {{").unwrap();
     writeln!(w, "    \"kp_cycles\": 2814827, \"kp_uj\": 34.16,").unwrap();

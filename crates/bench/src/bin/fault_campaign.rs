@@ -7,10 +7,13 @@
 //! by the measured overhead of every countermeasure.
 //!
 //! Usage:
-//!   fault_campaign [--smoke] [--seed N] [--runs N] [--shards N]
+//!   fault_campaign [--smoke] [--seed N] [--runs N] [--shards N] [--target NAME]
 //!
 //! `--smoke` pins seed 7 and 24 runs/kernel — the bounded CI
 //! configuration (run twice and diffed byte-for-byte by ci.sh).
+//! `--target NAME` prices every replay under a [`m0plus::target`]
+//! registry entry (default `cortex-m0plus`; fault verdicts are
+//! target-invariant but the overhead costs move with the model).
 //! `--shards N` splits each kernel's case list into N windows run on
 //! up to `available_parallelism()` threads; per-case PRNG substreams
 //! and canonical-order merging make the report byte-identical for any
@@ -23,6 +26,7 @@ use bench::shard;
 fn main() {
     let mut seed = 7u64;
     let mut runs = 200usize;
+    let mut target = m0plus::target::default_target();
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let shards = shard::shards_from_args(&argv);
     let mut args = argv.iter();
@@ -40,21 +44,28 @@ fn main() {
                 let v = args.next().expect("--runs requires a value");
                 runs = v.parse().expect("--runs takes an integer");
             }
+            "--target" => {
+                let v = args.next().expect("--target requires a name");
+                target = m0plus::target::by_name(v).unwrap_or_else(|| {
+                    let known: Vec<&str> = m0plus::target::registry()
+                        .iter()
+                        .map(|t| t.name())
+                        .collect();
+                    panic!("unknown target {v:?}: expected one of {known:?}")
+                });
+            }
             "--shards" => {
                 args.next(); // value consumed by shards_from_args
             }
             other if other.starts_with("--shards=") => {}
             other => panic!(
-                "unknown argument {other:?}: expected --smoke | --seed N | --runs N | --shards N"
+                "unknown argument {other:?}: expected --smoke | --seed N | --runs N | --shards N | --target NAME"
             ),
         }
     }
 
     let report = run_campaign_sharded(
-        &bench::campaign::CampaignConfig {
-            seed,
-            runs_per_kernel: runs,
-        },
+        &bench::campaign::CampaignConfig::new(seed, runs).with_target(target),
         shards,
         shard::default_workers(),
     );

@@ -11,7 +11,12 @@
 //!    cross-tier agreement counters and a decoder error taxonomy.
 //!
 //! Usage:
-//!   verify_campaign [--smoke] [--seed N] [--shards N]
+//!   verify_campaign [--smoke] [--seed N] [--shards N] [--target NAME]
+//!
+//! `--target NAME` runs both engines under a [`m0plus::target`]
+//! registry entry (default `cortex-m0plus`). Leakage verdicts and
+//! cross-tier agreement are target-invariant; only the costs the
+//! traces record move with the model.
 //!
 //! `--smoke` is the bounded CI configuration (run twice and diffed
 //! byte-for-byte by ci.sh). `--shards N` splits the differential case
@@ -29,6 +34,7 @@ use verify::{differential, leakage, DiffConfig, LeakageConfig};
 fn main() {
     let mut smoke = false;
     let mut seed: Option<u64> = None;
+    let mut target: Option<&'static m0plus::TargetSpec> = None;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let shards = shard::shards_from_args(&argv);
     let mut args = argv.iter();
@@ -39,11 +45,23 @@ fn main() {
                 let v = args.next().expect("--seed requires a value");
                 seed = Some(v.parse().expect("--seed takes an integer"));
             }
+            "--target" => {
+                let v = args.next().expect("--target requires a name");
+                target = Some(m0plus::target::by_name(v).unwrap_or_else(|| {
+                    let known: Vec<&str> = m0plus::target::registry()
+                        .iter()
+                        .map(|t| t.name())
+                        .collect();
+                    panic!("unknown target {v:?}: expected one of {known:?}")
+                }));
+            }
             "--shards" => {
                 args.next(); // value consumed by shards_from_args
             }
             other if other.starts_with("--shards=") => {}
-            other => panic!("unknown argument {other:?}: expected --smoke | --seed N | --shards N"),
+            other => panic!(
+                "unknown argument {other:?}: expected --smoke | --seed N | --shards N | --target NAME"
+            ),
         }
     }
 
@@ -60,6 +78,10 @@ fn main() {
     if let Some(s) = seed {
         leak_cfg.seed = s;
         diff_cfg.seed = s;
+    }
+    if let Some(t) = target {
+        leak_cfg.target = t;
+        diff_cfg.target = t;
     }
 
     println!("== secret-independence campaign ==");

@@ -52,10 +52,31 @@ use std::fmt::Write as _;
 #[derive(Debug, Clone, Copy)]
 pub struct CampaignConfig {
     /// Seed for the fault sampler (the whole campaign is a pure
-    /// function of this seed and the code).
+    /// function of this seed, the target and the code).
     pub seed: u64,
     /// Sampled faults per target kernel.
     pub runs_per_kernel: usize,
+    /// The core the kernels are recorded and replayed on (fault
+    /// *verdicts* are architectural and thus target-invariant; trace
+    /// lengths and replay costs are not).
+    pub target: &'static m0plus::TargetSpec,
+}
+
+impl CampaignConfig {
+    /// A campaign on the default target (`cortex-m0plus`).
+    pub fn new(seed: u64, runs_per_kernel: usize) -> CampaignConfig {
+        CampaignConfig {
+            seed,
+            runs_per_kernel,
+            target: m0plus::target::default_target(),
+        }
+    }
+
+    /// The same campaign priced under another registry target.
+    pub fn with_target(mut self, target: &'static m0plus::TargetSpec) -> CampaignConfig {
+        self.target = target;
+        self
+    }
 }
 
 /// The field operation a target kernel computes.
@@ -183,6 +204,8 @@ pub struct CampaignReport {
     pub seed: u64,
     /// Faults per kernel.
     pub runs_per_kernel: usize,
+    /// Registry name of the target the kernels ran on.
+    pub target: &'static str,
     /// Per-kernel outcome counters, in fixed target order.
     pub kernels: Vec<KernelStats>,
 }
@@ -221,8 +244,8 @@ fn load_fe(machine: &Machine, slot: FeSlot) -> Fe {
 }
 
 /// Records one target kernel on the direct tier.
-fn prepare(target: &Target) -> PreparedTarget {
-    let mut f = ModeledField::new(target.tier);
+fn prepare(target: &Target, spec: &'static m0plus::TargetSpec) -> PreparedTarget {
+    let mut f = ModeledField::with_target(target.tier, spec);
     let a0 = crate::workloads::element(1);
     let b0 = crate::workloads::element(2);
     let a = f.alloc_init(a0);
@@ -356,7 +379,7 @@ pub fn run_campaign_sharded(cfg: &CampaignConfig, shards: usize, workers: usize)
         .iter()
         .enumerate()
         .map(|(i, target)| {
-            let t = prepare(target);
+            let t = prepare(target, cfg.target);
             let partials =
                 crate::shard::run_shards(cfg.runs_per_kernel, shards, workers, |_, w| {
                     run_cases(cfg.seed, i as u64, &t, w)
@@ -391,6 +414,7 @@ pub fn run_campaign_sharded(cfg: &CampaignConfig, shards: usize, workers: usize)
     CampaignReport {
         seed: cfg.seed,
         runs_per_kernel: cfg.runs_per_kernel,
+        target: cfg.target.name(),
         kernels,
     }
 }
@@ -569,8 +593,8 @@ pub fn render_campaign(report: &CampaignReport) -> String {
     let w = &mut out;
     writeln!(
         w,
-        "fault campaign: seed {}, {} faults/kernel (skip / reg-flip / mem-flip)",
-        report.seed, report.runs_per_kernel
+        "fault campaign: seed {}, {} faults/kernel, target {} (skip / reg-flip / mem-flip)",
+        report.seed, report.runs_per_kernel, report.target
     )
     .unwrap();
     writeln!(
@@ -645,10 +669,7 @@ mod tests {
 
     #[test]
     fn campaign_is_deterministic_and_full_profile_detects_everything() {
-        let cfg = CampaignConfig {
-            seed: 7,
-            runs_per_kernel: 4,
-        };
+        let cfg = CampaignConfig::new(7, 4);
         let r1 = run_campaign(&cfg);
         let r2 = run_campaign(&cfg);
         assert_eq!(render_campaign(&r1), render_campaign(&r2));
@@ -680,10 +701,7 @@ mod tests {
 
     #[test]
     fn report_is_invariant_under_shard_and_worker_count() {
-        let cfg = CampaignConfig {
-            seed: 11,
-            runs_per_kernel: 9,
-        };
+        let cfg = CampaignConfig::new(11, 9);
         let baseline = render_campaign(&run_campaign_sharded(&cfg, 1, 1));
         for (shards, workers) in [(2, 1), (4, 2), (4, 4), (9, 3)] {
             assert_eq!(
@@ -696,14 +714,8 @@ mod tests {
 
     #[test]
     fn different_seeds_draw_different_faults() {
-        let a = run_campaign(&CampaignConfig {
-            seed: 1,
-            runs_per_kernel: 6,
-        });
-        let b = run_campaign(&CampaignConfig {
-            seed: 2,
-            runs_per_kernel: 6,
-        });
+        let a = run_campaign(&CampaignConfig::new(1, 6));
+        let b = run_campaign(&CampaignConfig::new(2, 6));
         assert_ne!(render_campaign(&a), render_campaign(&b));
     }
 }

@@ -504,10 +504,7 @@ pub struct ShardScalingRow {
 ///
 /// Panics if any sharded run renders differently from the serial run.
 pub fn shard_scaling(runs_per_kernel: usize, worker_counts: &[usize]) -> Vec<ShardScalingRow> {
-    let cfg = crate::campaign::CampaignConfig {
-        seed: 7,
-        runs_per_kernel,
-    };
+    let cfg = crate::campaign::CampaignConfig::new(7, runs_per_kernel);
     let baseline =
         crate::campaign::render_campaign(&crate::campaign::run_campaign_sharded(&cfg, 1, 1));
     worker_counts

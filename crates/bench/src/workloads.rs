@@ -103,6 +103,15 @@ pub fn average_kp_with(tier: Tier, backend: Backend, seeds: std::ops::Range<u64>
     average(runs)
 }
 
+/// One modeled kP priced under a [`m0plus::target`] registry entry
+/// (direct backend) — the cross-target export and table rows. With the
+/// default target this is bit-identical to [`average_kp`] over the
+/// same single seed.
+pub fn kp_under_target(tier: Tier, target: &'static m0plus::TargetSpec, seed: u64) -> PointMulRun {
+    let mut mm = ModeledMul::with_target(tier, target);
+    mm.kp(&koblitz::generator(), &scalar(seed))
+}
+
 /// Averaged modeled kG over `seeds` scalars.
 pub fn average_kg(tier: Tier, seeds: std::ops::Range<u64>) -> PointMulRun {
     average_kg_with(tier, Backend::Direct, seeds)

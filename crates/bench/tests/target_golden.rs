@@ -1,0 +1,112 @@
+//! Target-model golden tests.
+//!
+//! Pins the tentpole invariant of the target registry: the default
+//! `cortex-m0plus` entry is *bit-identical* to the legacy hard-coded
+//! cost model — checked both against a live default-path run
+//! (`f64::to_bits` on the energy totals) and against the newest
+//! committed `BENCH_<n>.json` baseline (exact cycles, exact rendered
+//! energy). The cross-target checks then pin the direction every
+//! non-default entry is allowed to move in.
+
+use bench::workloads;
+use gf2m::modeled::Tier;
+use koblitz::modeled::ModeledMul;
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/bench has a grandparent")
+        .to_path_buf()
+}
+
+/// Highest-numbered committed `BENCH_<n>.json`.
+fn latest_baseline() -> String {
+    let root = repo_root();
+    let last = (1..)
+        .take_while(|n| root.join(format!("BENCH_{n}.json")).exists())
+        .last()
+        .expect("at least BENCH_1.json is committed");
+    std::fs::read_to_string(root.join(format!("BENCH_{last}.json"))).expect("read baseline")
+}
+
+/// First `"key": <value>` after the `"section":` header (the export has
+/// a fixed key order; no JSON dependency needed).
+fn section_value(doc: &str, section: &str, key: &str) -> String {
+    let start = doc
+        .find(&format!("\"{section}\":"))
+        .unwrap_or_else(|| panic!("baseline has no section {section:?}"));
+    let needle = format!("\"{key}\":");
+    let rest = &doc[start..];
+    let line = rest
+        .lines()
+        .find(|l| l.contains(&needle))
+        .unwrap_or_else(|| panic!("no {key:?} in section {section:?}"));
+    line.split(&needle)
+        .nth(1)
+        .expect("value after key")
+        .trim()
+        .trim_end_matches(',')
+        .to_string()
+}
+
+#[test]
+fn default_target_reproduces_the_committed_baseline_exactly() {
+    let doc = latest_baseline();
+    let kp = workloads::average_kp(Tier::Asm, 1..3);
+    let kg = workloads::average_kg(Tier::Asm, 1..3);
+    for (section, run) in [("kp_this_work_asm", &kp), ("kg_this_work_asm", &kg)] {
+        assert_eq!(
+            section_value(&doc, section, "cycles"),
+            run.report.cycles.to_string(),
+            "{section} cycles drifted from the committed baseline"
+        );
+        assert_eq!(
+            section_value(&doc, section, "energy_uj"),
+            format!("{:.4}", run.report.energy_uj()),
+            "{section} energy drifted from the committed baseline"
+        );
+    }
+}
+
+#[test]
+fn with_default_target_is_bit_identical_to_the_legacy_path() {
+    let g = koblitz::generator();
+    let k = workloads::scalar(1);
+    let mut legacy_mm = ModeledMul::new(Tier::Asm);
+    let legacy = legacy_mm.kp(&g, &k);
+    let mut targeted_mm = ModeledMul::with_target(Tier::Asm, m0plus::target::default_target());
+    let targeted = targeted_mm.kp(&g, &k);
+    assert_eq!(legacy.result, targeted.result);
+    assert_eq!(legacy.report.cycles, targeted.report.cycles);
+    assert_eq!(
+        legacy.report.energy_pj.to_bits(),
+        targeted.report.energy_pj.to_bits(),
+        "default target must not perturb energy even in the last ulp"
+    );
+}
+
+#[test]
+fn cross_target_directions_are_sane() {
+    let default = workloads::kp_under_target(Tier::Asm, m0plus::target::cortex_m0plus(), 1);
+    let m0 = workloads::kp_under_target(Tier::Asm, m0plus::target::cortex_m0(), 1);
+    let mul32 = workloads::kp_under_target(Tier::Asm, m0plus::target::cortex_m0plus_mul32(), 1);
+    let m3 = workloads::kp_under_target(Tier::Asm, m0plus::target::cortex_m3(), 1);
+
+    // The computed point is target-invariant: only costs move.
+    for run in [&m0, &mul32, &m3] {
+        assert_eq!(run.result, default.result);
+    }
+    // The M0's 3-stage pipeline pays more per taken branch, and a full
+    // kP is branch-heavy (field-kernel loops), so it is strictly slower.
+    assert!(
+        m0.report.cycles > default.report.cycles,
+        "cortex-m0 kP {} must exceed cortex-m0plus kP {}",
+        m0.report.cycles,
+        default.report.cycles
+    );
+    // Binary-field arithmetic is shift/XOR — a 32-cycle multiplier may
+    // only ever add cycles, never remove them.
+    assert!(mul32.report.cycles >= default.report.cycles);
+}

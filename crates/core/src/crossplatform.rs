@@ -12,6 +12,10 @@
 //! regenerated table prints predicted vs cited side by side.
 
 use gf2m::formulas::OpCounts;
+use gf2m::modeled::{ModeledField, Tier};
+use gf2m::Fe;
+use m0plus::target::{registry, TargetModel, TargetSpec};
+use m0plus::{ClassCounts, InstrClass};
 
 /// A target platform for the generalised model.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -147,6 +151,100 @@ pub fn predict_table5() -> Vec<PredictionRow> {
         .collect()
 }
 
+// ---------------------------------------------------------------------
+// Registry-target re-costing: the generated (not cited) cross-core rows.
+// ---------------------------------------------------------------------
+
+/// One field kernel's per-class instruction counts, recorded once on
+/// the modeled machine. The cost model is purely per-class — every
+/// instruction of a class charges exactly `cycles[class]` and
+/// `pj_per_cycle[class] × cycles[class]` — so re-pricing a recorded
+/// count vector under another target's tables reproduces the cycle
+/// total a machine built for that target would charge, without
+/// replaying the kernel.
+#[derive(Debug, Clone)]
+pub struct RecordedCounts {
+    /// Kernel label (`mul`, `sqr`, `inv`).
+    pub kernel: &'static str,
+    /// Per-class instruction counts of one call.
+    pub counts: ClassCounts,
+}
+
+/// Records one call of each F₂²³³ field kernel (multiplication,
+/// squaring, inversion) on `tier` and returns their per-class counts.
+pub fn recorded_field_kernels(tier: Tier) -> Vec<RecordedCounts> {
+    let mut f = ModeledField::new(tier);
+    let a = f.alloc_init(
+        Fe::from_hex("0123456789abcdef0123456789abcdef0123456789abcdef01234567").expect("hex"),
+    );
+    let b = f.alloc_init(
+        Fe::from_hex("0fedcba9876543210fedcba9876543210fedcba9876543210fedcba9").expect("hex"),
+    );
+    let z = f.alloc();
+    let capture =
+        |name: &'static str, f: &mut ModeledField, body: &mut dyn FnMut(&mut ModeledField)| {
+            let before = f.machine().counts().clone();
+            body(f);
+            RecordedCounts {
+                kernel: name,
+                counts: f.machine().counts().delta(&before),
+            }
+        };
+    vec![
+        capture("mul", &mut f, &mut |f| f.mul(z, a, b)),
+        capture("sqr", &mut f, &mut |f| f.sqr(z, a)),
+        capture("inv", &mut f, &mut |f| f.inv(z, a)),
+    ]
+}
+
+/// One re-costed row: a recorded kernel priced under one registry
+/// target.
+#[derive(Debug, Clone)]
+pub struct RecostRow {
+    /// Registry target name.
+    pub target: &'static str,
+    /// Kernel label.
+    pub kernel: &'static str,
+    /// Total cycles under the target's cycle table.
+    pub cycles: u64,
+    /// Total energy under the target's tables, picojoules.
+    pub energy_pj: f64,
+}
+
+/// Prices one recorded count vector under one target.
+pub fn recost(counts: &ClassCounts, target: &TargetSpec) -> (u64, f64) {
+    let mut cycles = 0u64;
+    let mut energy_pj = 0.0f64;
+    for c in InstrClass::ALL {
+        let n = counts.count(c);
+        let cyc = target.cycles(c);
+        cycles += n * cyc;
+        energy_pj += n as f64 * (target.pj_per_cycle(c) * cyc as f64);
+    }
+    (cycles, energy_pj)
+}
+
+/// The generated cross-target table: every registry target × every
+/// recorded field kernel, re-costed from the recorded counts. This is
+/// what replaced the cited-constant rows — the numbers are *derived*
+/// from the kernels this repository actually executes.
+pub fn recost_rows() -> Vec<RecostRow> {
+    let kernels = recorded_field_kernels(Tier::Asm);
+    let mut rows = Vec::new();
+    for target in registry() {
+        for k in &kernels {
+            let (cycles, energy_pj) = recost(&k.counts, target);
+            rows.push(RecostRow {
+                target: target.name(),
+                kernel: k.kernel,
+                cycles,
+                energy_pj,
+            });
+        }
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -195,5 +293,106 @@ mod tests {
         let p = platforms()[4];
         assert!(predict_mul_cycles(&p, 283) > predict_mul_cycles(&p, 233));
         assert!(predict_mul_cycles(&p, 233) > predict_mul_cycles(&p, 163));
+    }
+
+    fn rows_for<'a>(rows: &'a [RecostRow], target: &str) -> Vec<&'a RecostRow> {
+        rows.iter().filter(|r| r.target == target).collect()
+    }
+
+    #[test]
+    fn recost_covers_every_registry_target() {
+        let rows = recost_rows();
+        let non_default: Vec<_> = registry()
+            .iter()
+            .filter(|t| t.name() != "cortex-m0plus")
+            .collect();
+        assert!(non_default.len() >= 3, "registry too small");
+        for t in registry() {
+            let mine = rows_for(&rows, t.name());
+            assert_eq!(mine.len(), 3, "{}: mul/sqr/inv rows", t.name());
+            for r in mine {
+                assert!(r.cycles > 0 && r.energy_pj > 0.0, "{:?}", r);
+            }
+        }
+    }
+
+    #[test]
+    fn m0_is_never_cheaper_and_costs_more_where_branches_live() {
+        // The M0's only differences are taken-branch (3) and BL (4):
+        // every kernel re-costs ≥ the M0+, and the branch-heavy EEA
+        // inversion strictly more.
+        let rows = recost_rows();
+        let m0p = rows_for(&rows, "cortex-m0plus");
+        let m0 = rows_for(&rows, "cortex-m0");
+        for (a, b) in m0p.iter().zip(&m0) {
+            assert_eq!(a.kernel, b.kernel);
+            assert!(
+                b.cycles >= a.cycles,
+                "{}: M0 {} < M0+ {}",
+                a.kernel,
+                b.cycles,
+                a.cycles
+            );
+        }
+        let inv_m0p = m0p.iter().find(|r| r.kernel == "inv").expect("inv row");
+        let inv_m0 = m0.iter().find(|r| r.kernel == "inv").expect("inv row");
+        assert!(
+            inv_m0.cycles > inv_m0p.cycles,
+            "EEA inversion must pay the 3-cycle taken branches"
+        );
+    }
+
+    #[test]
+    fn mul32_leaves_binary_field_kernels_untouched() {
+        // F₂²³³ arithmetic is shift/XOR only — no MULS retires — so the
+        // iterative-multiplier target re-costs bit-identically.
+        let kernels = recorded_field_kernels(Tier::Asm);
+        let m0p = m0plus::target::cortex_m0plus();
+        let mul32 = m0plus::target::cortex_m0plus_mul32();
+        for k in &kernels {
+            assert_eq!(
+                k.counts.count(InstrClass::Mul),
+                0,
+                "{} retires MULS",
+                k.kernel
+            );
+            let (c_a, e_a) = recost(&k.counts, m0p);
+            let (c_b, e_b) = recost(&k.counts, mul32);
+            assert_eq!(c_a, c_b, "{}", k.kernel);
+            assert_eq!(e_a.to_bits(), e_b.to_bits(), "{}", k.kernel);
+        }
+    }
+
+    #[test]
+    fn recost_matches_an_actual_run_on_the_target() {
+        // Re-pricing recorded counts is exact for cycles (the model is
+        // purely per-class); check against a machine actually built for
+        // the M0 — and that the architectural result is
+        // target-invariant.
+        let a_fe =
+            Fe::from_hex("0123456789abcdef0123456789abcdef0123456789abcdef01234567").unwrap();
+        let b_fe =
+            Fe::from_hex("0fedcba9876543210fedcba9876543210fedcba9876543210fedcba9").unwrap();
+        let run = |target: &'static TargetSpec| {
+            let mut f = ModeledField::with_target(Tier::Asm, target);
+            let a = f.alloc_init(a_fe);
+            let b = f.alloc_init(b_fe);
+            let z = f.alloc();
+            let before = f.machine().cycles();
+            f.mul(z, a, b);
+            (f.load(z), f.machine().cycles() - before)
+        };
+        let (z_m0p, cycles_m0p) = run(m0plus::target::cortex_m0plus());
+        let (z_m0, cycles_m0) = run(m0plus::target::cortex_m0());
+        assert_eq!(z_m0p, z_m0, "result must be target-invariant");
+        let rows = recost_rows();
+        let find = |t: &str| {
+            rows.iter()
+                .find(|r| r.target == t && r.kernel == "mul")
+                .expect("mul row")
+                .cycles
+        };
+        assert_eq!(find("cortex-m0plus"), cycles_m0p);
+        assert_eq!(find("cortex-m0"), cycles_m0);
     }
 }

@@ -168,10 +168,29 @@ impl ModeledField {
         Self::with_ram_and_model(tier, ram_words, m0plus::EnergyModel::cortex_m0plus())
     }
 
+    /// Creates a modeled field costed for a target from the
+    /// [`m0plus::target`] registry (the default target reproduces
+    /// [`ModeledField::new`] bit for bit).
+    pub fn with_target(tier: Tier, target: &dyn m0plus::TargetModel) -> Self {
+        Self::with_ram_and_target(tier, Self::DEFAULT_RAM_WORDS, target)
+    }
+
+    /// [`ModeledField::with_target`] with explicit machine RAM.
+    pub fn with_ram_and_target(
+        tier: Tier,
+        ram_words: usize,
+        target: &dyn m0plus::TargetModel,
+    ) -> Self {
+        Self::with_machine(Machine::with_target(ram_words, target), tier)
+    }
+
     /// Creates a modeled field with a custom [`m0plus::EnergyModel`]
     /// (for sensitivity analysis of the §3.1 energy argument).
     pub fn with_ram_and_model(tier: Tier, ram_words: usize, model: m0plus::EnergyModel) -> Self {
-        let mut machine = Machine::with_model(ram_words, model);
+        Self::with_machine(Machine::with_model(ram_words, model), tier)
+    }
+
+    fn with_machine(mut machine: Machine, tier: Tier) -> Self {
         let lut = machine.alloc(16 * 8);
         let frame = machine.alloc(32);
         let sqr_table = machine.alloc(256);

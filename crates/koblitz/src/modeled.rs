@@ -143,6 +143,23 @@ impl ModeledMul {
         Self::with_field(ModeledField::with_ram_and_model(tier, 64 * 1024, model))
     }
 
+    /// Creates a modeled multiplier costed for a target from the
+    /// [`m0plus::target`] registry (default target ≡ [`ModeledMul::new`]).
+    pub fn with_target(tier: Tier, target: &dyn m0plus::TargetModel) -> Self {
+        Self::with_target_and_backend(tier, target, Backend::Direct)
+    }
+
+    /// [`ModeledMul::with_target`] on an explicit execution backend.
+    pub fn with_target_and_backend(
+        tier: Tier,
+        target: &dyn m0plus::TargetModel,
+        backend: Backend,
+    ) -> Self {
+        let mut f = ModeledField::with_ram_and_target(tier, 64 * 1024, target);
+        f.set_backend(backend);
+        Self::with_field(f)
+    }
+
     /// Wraps an existing modeled field.
     pub fn with_field(mut f: ModeledField) -> Self {
         let acc = PointSlots {

@@ -72,7 +72,13 @@ impl InstrClass {
         InstrClass::Nop,
     ];
 
-    /// The cycle cost of one instruction of this class on the Cortex-M0+.
+    /// The cycle cost of one instruction of this class on the default
+    /// Cortex-M0+ target. Other cores carry their own tables in the
+    /// [`crate::target`] registry; this accessor stays `const` because
+    /// the decoder and the seed-era call sites use it in constant
+    /// positions, and it reads the same
+    /// [`crate::target::M0PLUS_CYCLES`] table the registry's default
+    /// entry is built from.
     ///
     /// ```
     /// use m0plus::InstrClass;
@@ -81,23 +87,7 @@ impl InstrClass {
     /// assert_eq!(InstrClass::BranchTaken.cycles(), 2);
     /// ```
     pub const fn cycles(self) -> u64 {
-        match self {
-            InstrClass::Ldr | InstrClass::Str => 2,
-            InstrClass::BranchTaken => 2,
-            InstrClass::Bl => 3,
-            InstrClass::Lsl
-            | InstrClass::Lsr
-            | InstrClass::Eor
-            | InstrClass::Logic
-            | InstrClass::Add
-            | InstrClass::Sub
-            | InstrClass::Mul
-            | InstrClass::Mov
-            | InstrClass::Cmp
-            | InstrClass::BranchNotTaken
-            | InstrClass::StackWord
-            | InstrClass::Nop => 1,
-        }
+        crate::target::M0PLUS_CYCLES[self.index()]
     }
 
     /// A short mnemonic used in reports.

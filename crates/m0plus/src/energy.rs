@@ -54,7 +54,13 @@ pub mod table3 {
 #[derive(Debug, Clone, PartialEq)]
 pub struct EnergyModel {
     pj_per_cycle: [f64; InstrClass::ALL.len()],
-    /// `pj_per_cycle[i] * cycles(i)`, cached because the machine charges
+    /// Per-class cycle counts of the target this model was built for.
+    /// The default constructors use the Cortex-M0+ table; target-aware
+    /// constructors ([`EnergyModel::for_target`]) carry their core's
+    /// table so the [`Machine`](crate::Machine) charges cycles and
+    /// energy from one coherent source.
+    cycles: [u64; InstrClass::ALL.len()],
+    /// `pj_per_cycle[i] * cycles[i]`, cached because the machine charges
     /// energy on every retired instruction and the replay engines run
     /// millions of them.
     pj_per_instr: [f64; InstrClass::ALL.len()],
@@ -63,55 +69,50 @@ pub struct EnergyModel {
 impl EnergyModel {
     /// The paper's measured Cortex-M0+ model (Table 3) plus the documented
     /// estimates for unmeasured classes.
+    ///
+    /// This delegates to the `cortex-m0plus` entry of the
+    /// [`crate::target`] registry — the registry is the single source of
+    /// truth for the table; this constructor and
+    /// [`Machine::new`](crate::Machine::new) are views of it.
     pub fn cortex_m0plus() -> Self {
-        use table3::*;
-        let mut pj = [0.0; InstrClass::ALL.len()];
-        let mut set = |c: InstrClass, v: f64| pj[c.index()] = v;
-        set(InstrClass::Ldr, LDR_PJ);
-        // Assumption: a store drives the same memory interface as a load.
-        set(InstrClass::Str, LDR_PJ);
-        set(InstrClass::Lsl, LSL_PJ);
-        set(InstrClass::Lsr, LSR_PJ);
-        set(InstrClass::Eor, XOR_PJ);
-        // Assumption: other bitwise logic switches the same datapath as XOR.
-        set(InstrClass::Logic, XOR_PJ);
-        set(InstrClass::Add, ADD_PJ);
-        // Assumption: SUB uses the same adder as ADD.
-        set(InstrClass::Sub, ADD_PJ);
-        set(InstrClass::Mul, MUL_PJ);
-        // Assumption: moves/compares are among the cheapest ALU operations.
-        set(InstrClass::Mov, LSR_PJ);
-        set(InstrClass::Cmp, LSR_PJ);
-        // Assumption: branch cycles cost like the mid-range LSL class.
-        set(InstrClass::BranchTaken, LSL_PJ);
-        set(InstrClass::BranchNotTaken, LSL_PJ);
-        set(InstrClass::Bl, LSL_PJ);
-        // PUSH/POP transfers words over the memory interface like LDR.
-        set(InstrClass::StackWord, LDR_PJ);
-        set(InstrClass::Nop, LSR_PJ);
-        Self::from_per_cycle(pj)
+        Self::for_target(crate::target::default_target())
+    }
+
+    /// The model induced by a target: its pJ/cycle table multiplied by
+    /// its own cycle table.
+    pub fn for_target(target: &dyn crate::target::TargetModel) -> Self {
+        Self::from_tables(target.energy_table(), target.cycle_table())
     }
 
     /// Builds a model with a uniform energy per cycle (useful as a null
     /// hypothesis: with a flat model the §3.1 instruction-mix argument
-    /// disappears and only cycle counts matter).
+    /// disappears and only cycle counts matter). Cycle counts are the
+    /// default Cortex-M0+ table.
     pub fn uniform(pj_per_cycle: f64) -> Self {
-        Self::from_per_cycle([pj_per_cycle; InstrClass::ALL.len()])
+        Self::from_tables(
+            [pj_per_cycle; InstrClass::ALL.len()],
+            crate::target::M0PLUS_CYCLES,
+        )
     }
 
-    /// Returns a copy of this model with one class overridden.
+    /// Returns a copy of this model with one class's pJ/cycle overridden
+    /// (the cycle table — and hence the target — is preserved).
     pub fn with_class(mut self, class: InstrClass, pj_per_cycle: f64) -> Self {
         self.pj_per_cycle[class.index()] = pj_per_cycle;
-        Self::from_per_cycle(self.pj_per_cycle)
+        Self::from_tables(self.pj_per_cycle, self.cycles)
     }
 
-    fn from_per_cycle(pj_per_cycle: [f64; InstrClass::ALL.len()]) -> Self {
+    fn from_tables(
+        pj_per_cycle: [f64; InstrClass::ALL.len()],
+        cycles: [u64; InstrClass::ALL.len()],
+    ) -> Self {
         let mut pj_per_instr = [0.0; InstrClass::ALL.len()];
         for c in InstrClass::ALL {
-            pj_per_instr[c.index()] = pj_per_cycle[c.index()] * c.cycles() as f64;
+            pj_per_instr[c.index()] = pj_per_cycle[c.index()] * cycles[c.index()] as f64;
         }
         Self {
             pj_per_cycle,
+            cycles,
             pj_per_instr,
         }
     }
@@ -119,6 +120,25 @@ impl EnergyModel {
     /// Energy per cycle for `class`, in pJ.
     pub fn picojoules_per_cycle(&self, class: InstrClass) -> f64 {
         self.pj_per_cycle[class.index()]
+    }
+
+    /// Cycle cost of one instruction of `class` on this model's target.
+    #[inline]
+    pub fn cycles_of(&self, class: InstrClass) -> u64 {
+        self.cycles[class.index()]
+    }
+
+    /// [`EnergyModel::cycles_of`] by dense class index (superblock fast
+    /// path, mirroring [`EnergyModel::pj_per_instr_idx`]).
+    #[inline]
+    pub(crate) fn cycles_idx(&self, idx: usize) -> u64 {
+        self.cycles[idx]
+    }
+
+    /// The full per-class cycle table, in [`InstrClass::ALL`] order —
+    /// what the predecoder bakes into its per-target `MicroOp` tables.
+    pub fn cycle_table(&self) -> &[u64; InstrClass::ALL.len()] {
+        &self.cycles
     }
 
     /// Energy of one complete instruction of `class` (cycles × pJ/cycle).

@@ -134,12 +134,27 @@ pub struct Predecoded {
     run_end: Vec<u32>,
     code: Vec<u16>,
     pool: Vec<u32>,
+    /// The per-class cycle table the superblock `MicroOp` costs were
+    /// materialised from. [`PreStep`]s are target-independent (pure
+    /// decode), but `ops` bakes per-op cycle counts, so a predecoded
+    /// fragment is only valid for machines whose model carries this
+    /// exact table.
+    cycles: crate::target::CycleTable,
 }
 
 impl Predecoded {
-    /// Decodes every halfword position of `program` up front
-    /// (bypassing the process-wide cache — see [`predecode`]).
+    /// Decodes every halfword position of `program` up front for the
+    /// default Cortex-M0+ cycle table (bypassing the process-wide
+    /// cache — see [`predecode`]).
     pub fn new(program: &Program) -> Predecoded {
+        Self::for_cycles(program, &crate::target::M0PLUS_CYCLES)
+    }
+
+    /// [`Predecoded::new`] with an explicit per-class cycle table: the
+    /// superblock micro-ops' precomputed cycle costs are materialised
+    /// from `cycle_table`, so the fragment replays correctly on a
+    /// machine built for the corresponding target.
+    pub fn for_cycles(program: &Program, cycle_table: &crate::target::CycleTable) -> Predecoded {
         let code = program.code.clone();
         let pool = program.pool.clone();
         let steps: Vec<PreStep> = (0..code.len())
@@ -170,19 +185,21 @@ impl Predecoded {
                 }
             })
             .collect();
-        let (ops, run_end) = compile_superblocks(&steps, &pool);
+        let (ops, run_end) = compile_superblocks(&steps, &pool, cycle_table);
         Predecoded {
             steps,
             ops,
             run_end,
             code,
             pool,
+            cycles: *cycle_table,
         }
     }
 
-    /// Exact (not just hash) equality with a program's code and pool.
-    fn matches(&self, program: &Program) -> bool {
-        self.code == program.code && self.pool == program.pool
+    /// Exact (not just hash) equality with a program's code and pool
+    /// under a given cycle table.
+    fn matches(&self, program: &Program, cycle_table: &crate::target::CycleTable) -> bool {
+        self.cycles == *cycle_table && self.code == program.code && self.pool == program.pool
     }
 
     /// Number of halfword positions.
@@ -212,7 +229,11 @@ impl Predecoded {
 /// operations. `Bl` and `Bx` always end a block — they push/pop the
 /// executor's call stack (and an empty-stack `Bx` terminates the run),
 /// which only the per-step loop models.
-fn compile_superblocks(steps: &[PreStep], pool: &[u32]) -> (Vec<MicroOp>, Vec<u32>) {
+fn compile_superblocks(
+    steps: &[PreStep],
+    pool: &[u32],
+    cycle_table: &crate::target::CycleTable,
+) -> (Vec<MicroOp>, Vec<u32>) {
     let ops: Vec<MicroOp> = steps
         .iter()
         .map(|s| {
@@ -220,9 +241,9 @@ fn compile_superblocks(steps: &[PreStep], pool: &[u32]) -> (Vec<MicroOp>, Vec<u3
                 MicroOp::BLOCKED
             } else {
                 match s.instr {
-                    Instr::B if s.aux == s.next => MicroOp::branch_fall(),
+                    Instr::B if s.aux == s.next => MicroOp::branch_fall(cycle_table),
                     Instr::BCond { cond } if s.aux == s.next => MicroOp::bcond_fall(cond),
-                    instr => MicroOp::lower(instr, pool),
+                    instr => MicroOp::lower(instr, pool, cycle_table),
                 }
             }
         })
@@ -242,9 +263,11 @@ fn compile_superblocks(steps: &[PreStep], pool: &[u32]) -> (Vec<MicroOp>, Vec<u3
     (ops, run_end)
 }
 
-/// FNV-1a over the code image and literal pool (lengths included, so
-/// the code/pool boundary is unambiguous).
-fn program_hash(program: &Program) -> u64 {
+/// FNV-1a over the code image, literal pool and cycle table (lengths
+/// included, so the section boundaries are unambiguous). The cycle
+/// table is part of the key because the cached superblock micro-ops
+/// bake per-target cycle costs.
+fn program_hash(program: &Program, cycle_table: &crate::target::CycleTable) -> u64 {
     const PRIME: u64 = 0x100_0000_01b3;
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     let mut eat = |v: u64| {
@@ -258,6 +281,9 @@ fn program_hash(program: &Program) -> u64 {
     eat(program.pool.len() as u64);
     for &w in &program.pool {
         eat(w as u64);
+    }
+    for &c in cycle_table {
+        eat(c);
     }
     h
 }
@@ -292,7 +318,18 @@ fn predecode_cache() -> &'static Mutex<PredecodeCache> {
 /// (a mutated fragment — e.g. a differently-recorded kernel that
 /// collides — predecodes fresh; stale results are impossible).
 pub fn predecode(program: &Program) -> Arc<Predecoded> {
-    let hash = program_hash(program);
+    predecode_with(program, &crate::target::M0PLUS_CYCLES)
+}
+
+/// [`predecode`] for an explicit per-class cycle table: entries are
+/// additionally keyed on the table, so fragments predecoded for
+/// different targets coexist in the cache without contaminating each
+/// other's precomputed costs.
+pub fn predecode_with(
+    program: &Program,
+    cycle_table: &crate::target::CycleTable,
+) -> Arc<Predecoded> {
+    let hash = program_hash(program, cycle_table);
     {
         let mut c = predecode_cache().lock().unwrap();
         c.clock += 1;
@@ -300,7 +337,7 @@ pub fn predecode(program: &Program) -> Arc<Predecoded> {
         if let Some(e) = c
             .entries
             .iter_mut()
-            .find(|e| e.hash == hash && e.pre.matches(program))
+            .find(|e| e.hash == hash && e.pre.matches(program, cycle_table))
         {
             e.stamp = clock;
             let pre = Arc::clone(&e.pre);
@@ -309,7 +346,7 @@ pub fn predecode(program: &Program) -> Arc<Predecoded> {
         }
         c.misses += 1;
     }
-    let pre = Arc::new(Predecoded::new(program));
+    let pre = Arc::new(Predecoded::for_cycles(program, cycle_table));
     let mut c = predecode_cache().lock().unwrap();
     if c.entries.len() >= PREDECODE_CACHE_CAPACITY {
         if let Some(victim) = c
@@ -518,7 +555,7 @@ pub fn execute_fragment_ctl(
     ctl: impl FnMut(&mut Machine, usize) -> StepAction,
 ) -> Result<ExecStats, ExecError> {
     if predecode_enabled() {
-        let pre = predecode(program);
+        let pre = predecode_with(program, machine.model().cycle_table());
         execute_fragment_ctl_pre(machine, &pre, max_steps, ctl)
     } else {
         execute_fragment_ctl_uncached(machine, program, max_steps, ctl)
@@ -690,6 +727,14 @@ fn execute_fragment_ctl_scheduled_with(
     mut ctl: impl FnMut(&mut Machine, usize) -> (StepAction, u64),
 ) -> Result<ExecStats, ExecError> {
     use Instr::*;
+    // The superblock micro-ops bake per-op cycle costs from one cycle
+    // table; running them on a machine modelling a different target
+    // would charge the wrong costs silently.
+    debug_assert_eq!(
+        &pre.cycles,
+        machine.model().cycle_table(),
+        "predecoded fragment built for a different target's cycle table"
+    );
     let mut pc = 0usize;
     let mut call_stack: Vec<usize> = Vec::new();
     let mut steps = 0u64;

@@ -241,7 +241,7 @@ pub fn replay(
     fault: Option<&FaultPlan>,
 ) -> FaultedRun {
     if exec::predecode_enabled() {
-        let predecoded = exec::predecode(program);
+        let predecoded = exec::predecode_with(program, pre.model().cycle_table());
         return replay_predecoded(pre, &predecoded, recording, fault);
     }
     let mut m = pre.clone();
@@ -306,7 +306,7 @@ impl RecordedKernel {
     /// the process-wide cache) so every subsequent replay skips both
     /// decode and hashing.
     pub fn new(pre: Machine, program: Program, recording: Recording) -> RecordedKernel {
-        let predecoded = exec::predecode(&program);
+        let predecoded = exec::predecode_with(&program, pre.model().cycle_table());
         RecordedKernel {
             pre,
             program,

@@ -54,6 +54,7 @@ pub mod machine;
 pub mod profile;
 pub mod report;
 pub mod rig;
+pub mod target;
 #[cfg(feature = "trace")]
 pub mod trace;
 
@@ -62,8 +63,8 @@ pub use cost::InstrClass;
 pub use energy::EnergyModel;
 pub use exec::{
     execute, execute_fragment, execute_fragment_ctl, predecode, predecode_cache_reset,
-    predecode_cache_stats, predecode_enabled, set_predecode_enabled, set_superblock_enabled,
-    superblock_enabled, ExecError, ExecStats, Predecoded, StepAction,
+    predecode_cache_stats, predecode_enabled, predecode_with, set_predecode_enabled,
+    set_superblock_enabled, superblock_enabled, ExecError, ExecStats, Predecoded, StepAction,
 };
 pub use fault::{replay_predecoded, FaultKind, FaultPlan, FaultedRun, RecordedKernel};
 pub use isa::Instr;
@@ -71,6 +72,7 @@ pub use machine::{Addr, Cond, Machine, RecordedSetReg, RecordedStep, Recording, 
 pub use profile::{Category, CategoryTotals};
 pub use report::{ClassCounts, RunReport, Snapshot};
 pub use rig::MeasurementRig;
+pub use target::{TargetModel, TargetSpec};
 #[cfg(feature = "trace")]
 pub use trace::{Trace, TraceClass, TraceDivergence, TraceEvent};
 

@@ -321,32 +321,55 @@ impl MicroOp {
     }
 
     /// An unconditional branch to its own fall-through (charge only).
-    pub(crate) fn branch_fall() -> MicroOp {
-        Self::new(MicroKind::BranchFall, InstrClass::BranchTaken, 0, 0, 0, 0)
-    }
-
-    /// A conditional branch to its own fall-through (flag-dependent
-    /// charge only; the class/cycle fields are unused because the cost
-    /// is resolved from the live flags at run time).
-    pub(crate) fn bcond_fall(cond: Cond) -> MicroOp {
+    pub(crate) fn branch_fall(cycle_table: &[u64; InstrClass::ALL.len()]) -> MicroOp {
         Self::new(
-            MicroKind::BCondFall(cond),
+            MicroKind::BranchFall,
             InstrClass::BranchTaken,
             0,
             0,
             0,
             0,
+            cycle_table,
         )
     }
 
-    fn new(kind: MicroKind, class: InstrClass, a: usize, b: usize, c: usize, imm: u32) -> MicroOp {
+    /// A conditional branch to its own fall-through (flag-dependent
+    /// charge only; the class/cycle fields are unused because the cost
+    /// is resolved from the machine's live flags — and its target's
+    /// cycle table — at run time).
+    pub(crate) fn bcond_fall(cond: Cond) -> MicroOp {
+        MicroOp {
+            kind: MicroKind::BCondFall(cond),
+            a: 0,
+            b: 0,
+            c: 0,
+            class_idx: InstrClass::BranchTaken.index() as u8,
+            cycles: 0,
+            imm: 0,
+        }
+    }
+
+    fn new(
+        kind: MicroKind,
+        class: InstrClass,
+        a: usize,
+        b: usize,
+        c: usize,
+        imm: u32,
+        cycle_table: &[u64; InstrClass::ALL.len()],
+    ) -> MicroOp {
+        let cycles = cycle_table[class.index()];
+        debug_assert!(
+            cycles <= u8::MAX as u64,
+            "cycle cost exceeds MicroOp::cycles"
+        );
         MicroOp {
             kind,
             a: a as u8,
             b: b as u8,
             c: c as u8,
             class_idx: class.index() as u8,
-            cycles: class.cycles() as u8,
+            cycles: cycles as u8,
             imm,
         }
     }
@@ -360,64 +383,67 @@ impl MicroOp {
     /// runnable arm must mirror its [`Machine`] per-instruction method
     /// exactly; the bit-identity assertions run by every campaign hold
     /// this to account.
-    pub(crate) fn lower(instr: Instr, pool: &[u32]) -> MicroOp {
+    pub(crate) fn lower(
+        instr: Instr,
+        pool: &[u32],
+        cycle_table: &[u64; InstrClass::ALL.len()],
+    ) -> MicroOp {
         use Instr as I;
         use MicroKind as K;
         let lo = Machine::lo;
         let class = instr.class();
+        let new = |kind: MicroKind, class: InstrClass, a: usize, b: usize, c: usize, imm: u32| {
+            Self::new(kind, class, a, b, c, imm, cycle_table)
+        };
         match instr {
-            I::LdrImm { rt, rn, imm_words } => {
-                Self::new(K::LdrOff, class, lo(rt), lo(rn), 0, imm_words)
-            }
-            I::StrImm { rt, rn, imm_words } => {
-                Self::new(K::StrOff, class, lo(rt), lo(rn), 0, imm_words)
-            }
+            I::LdrImm { rt, rn, imm_words } => new(K::LdrOff, class, lo(rt), lo(rn), 0, imm_words),
+            I::StrImm { rt, rn, imm_words } => new(K::StrOff, class, lo(rt), lo(rn), 0, imm_words),
             I::LdrSp { rt, imm_words } => {
-                Self::new(K::LdrOff, class, lo(rt), Reg::Sp.index(), 0, imm_words)
+                new(K::LdrOff, class, lo(rt), Reg::Sp.index(), 0, imm_words)
             }
             I::StrSp { rt, imm_words } => {
-                Self::new(K::StrOff, class, lo(rt), Reg::Sp.index(), 0, imm_words)
+                new(K::StrOff, class, lo(rt), Reg::Sp.index(), 0, imm_words)
             }
-            I::LdrReg { rt, rn, rm } => Self::new(K::LdrReg, class, lo(rt), lo(rn), lo(rm), 0),
-            I::StrReg { rt, rn, rm } => Self::new(K::StrReg, class, lo(rt), lo(rn), lo(rm), 0),
+            I::LdrReg { rt, rn, rm } => new(K::LdrReg, class, lo(rt), lo(rn), lo(rm), 0),
+            I::StrReg { rt, rn, rm } => new(K::StrReg, class, lo(rt), lo(rn), lo(rm), 0),
             I::LdrLit { rt, imm_words } => match pool.get(imm_words as usize) {
-                Some(&value) => Self::new(K::Const, class, lo(rt), 0, 0, value),
+                Some(&value) => new(K::Const, class, lo(rt), 0, 0, value),
                 None => Self::BLOCKED,
             },
-            I::MovsImm { rd, imm } => Self::new(K::MovsImm, class, lo(rd), 0, 0, imm as u32),
-            I::Mov { rd, rm } => Self::new(K::MovAny, class, rd.index(), rm.index(), 0, 0),
-            I::Uxth { rd, rm } => Self::new(K::Uxth, class, lo(rd), lo(rm), 0, 0),
-            I::Eors { rdn, rm } => Self::new(K::Eors, class, lo(rdn), lo(rm), 0, 0),
-            I::Ands { rdn, rm } => Self::new(K::Ands, class, lo(rdn), lo(rm), 0, 0),
-            I::Orrs { rdn, rm } => Self::new(K::Orrs, class, lo(rdn), lo(rm), 0, 0),
-            I::Bics { rdn, rm } => Self::new(K::Bics, class, lo(rdn), lo(rm), 0, 0),
-            I::Mvns { rd, rm } => Self::new(K::Mvns, class, lo(rd), lo(rm), 0, 0),
-            I::Tst { rn, rm } => Self::new(K::Tst, class, lo(rn), lo(rm), 0, 0),
+            I::MovsImm { rd, imm } => new(K::MovsImm, class, lo(rd), 0, 0, imm as u32),
+            I::Mov { rd, rm } => new(K::MovAny, class, rd.index(), rm.index(), 0, 0),
+            I::Uxth { rd, rm } => new(K::Uxth, class, lo(rd), lo(rm), 0, 0),
+            I::Eors { rdn, rm } => new(K::Eors, class, lo(rdn), lo(rm), 0, 0),
+            I::Ands { rdn, rm } => new(K::Ands, class, lo(rdn), lo(rm), 0, 0),
+            I::Orrs { rdn, rm } => new(K::Orrs, class, lo(rdn), lo(rm), 0, 0),
+            I::Bics { rdn, rm } => new(K::Bics, class, lo(rdn), lo(rm), 0, 0),
+            I::Mvns { rd, rm } => new(K::Mvns, class, lo(rd), lo(rm), 0, 0),
+            I::Tst { rn, rm } => new(K::Tst, class, lo(rn), lo(rm), 0, 0),
             I::LslsImm { imm: 0, .. } => Self::BLOCKED,
-            I::LslsImm { rd, rm, imm } => Self::new(K::LslsImm, class, lo(rd), lo(rm), 0, imm),
+            I::LslsImm { rd, rm, imm } => new(K::LslsImm, class, lo(rd), lo(rm), 0, imm),
             I::LsrsImm { rd, rm, imm } => {
                 let imm = if imm == 0 { 32 } else { imm };
-                Self::new(K::LsrsImm, class, lo(rd), lo(rm), 0, imm)
+                new(K::LsrsImm, class, lo(rd), lo(rm), 0, imm)
             }
             I::AsrsImm { rd, rm, imm } => {
                 let imm = if imm == 0 { 32 } else { imm };
-                Self::new(K::AsrsImm, class, lo(rd), lo(rm), 0, imm)
+                new(K::AsrsImm, class, lo(rd), lo(rm), 0, imm)
             }
-            I::LslsReg { rdn, rm } => Self::new(K::LslsReg, class, lo(rdn), lo(rm), 0, 0),
-            I::LsrsReg { rdn, rm } => Self::new(K::LsrsReg, class, lo(rdn), lo(rm), 0, 0),
-            I::AddsReg { rd, rn, rm } => Self::new(K::AddsReg, class, lo(rd), lo(rn), lo(rm), 0),
-            I::AddsImm8 { rdn, imm } => Self::new(K::AddsImm8, class, lo(rdn), 0, 0, imm as u32),
-            I::Adcs { rdn, rm } => Self::new(K::Adcs, class, lo(rdn), lo(rm), 0, 0),
-            I::SubsReg { rd, rn, rm } => Self::new(K::SubsReg, class, lo(rd), lo(rn), lo(rm), 0),
-            I::SubsImm8 { rdn, imm } => Self::new(K::SubsImm8, class, lo(rdn), 0, 0, imm as u32),
-            I::Sbcs { rdn, rm } => Self::new(K::Sbcs, class, lo(rdn), lo(rm), 0, 0),
-            I::Rsbs { rd, rn } => Self::new(K::Rsbs, class, lo(rd), lo(rn), 0, 0),
-            I::CmpReg { rn, rm } => Self::new(K::CmpReg, class, lo(rn), lo(rm), 0, 0),
-            I::CmpImm { rn, imm } => Self::new(K::CmpImm, class, lo(rn), 0, 0, imm as u32),
-            I::Muls { rdn, rm } => Self::new(K::Muls, class, lo(rdn), lo(rm), 0, 0),
-            I::Nop => Self::new(K::Nop, class, 0, 0, 0, 0),
+            I::LslsReg { rdn, rm } => new(K::LslsReg, class, lo(rdn), lo(rm), 0, 0),
+            I::LsrsReg { rdn, rm } => new(K::LsrsReg, class, lo(rdn), lo(rm), 0, 0),
+            I::AddsReg { rd, rn, rm } => new(K::AddsReg, class, lo(rd), lo(rn), lo(rm), 0),
+            I::AddsImm8 { rdn, imm } => new(K::AddsImm8, class, lo(rdn), 0, 0, imm as u32),
+            I::Adcs { rdn, rm } => new(K::Adcs, class, lo(rdn), lo(rm), 0, 0),
+            I::SubsReg { rd, rn, rm } => new(K::SubsReg, class, lo(rd), lo(rn), lo(rm), 0),
+            I::SubsImm8 { rdn, imm } => new(K::SubsImm8, class, lo(rdn), 0, 0, imm as u32),
+            I::Sbcs { rdn, rm } => new(K::Sbcs, class, lo(rdn), lo(rm), 0, 0),
+            I::Rsbs { rd, rn } => new(K::Rsbs, class, lo(rd), lo(rn), 0, 0),
+            I::CmpReg { rn, rm } => new(K::CmpReg, class, lo(rn), lo(rm), 0, 0),
+            I::CmpImm { rn, imm } => new(K::CmpImm, class, lo(rn), 0, 0, imm as u32),
+            I::Muls { rdn, rm } => new(K::Muls, class, lo(rdn), lo(rm), 0, 0),
+            I::Nop => new(K::Nop, class, 0, 0, 0, 0),
             I::Push { reg_count } | I::Pop { reg_count } => {
-                Self::new(K::Stack, class, 0, 0, 0, reg_count as u32)
+                new(K::Stack, class, 0, 0, 0, reg_count as u32)
             }
             I::BCond { .. } | I::B | I::Bl | I::Bx => Self::BLOCKED,
         }
@@ -435,6 +461,7 @@ pub struct Machine {
     cycles: u64,
     energy_pj: f64,
     model: EnergyModel,
+    clock_hz: u64,
     category_stack: Vec<Category>,
     category_override: Option<Category>,
     by_category: [CategoryTotals; Category::ALL.len()],
@@ -454,8 +481,24 @@ impl Machine {
         Self::with_model(mem_words, EnergyModel::cortex_m0plus())
     }
 
-    /// Creates a machine with a custom [`EnergyModel`].
+    /// Creates a machine with a custom [`EnergyModel`] (clocked at the
+    /// paper's default [`crate::CLOCK_HZ`]).
     pub fn with_model(mem_words: usize, model: EnergyModel) -> Self {
+        Self::with_model_and_clock(mem_words, model, crate::CLOCK_HZ)
+    }
+
+    /// Creates a machine costed for a [`crate::target::TargetModel`]:
+    /// its cycle table, its pJ/cycle table and its clock. With the
+    /// default target this is bit-identical to [`Machine::new`].
+    pub fn with_target(mem_words: usize, target: &dyn crate::target::TargetModel) -> Self {
+        Self::with_model_and_clock(
+            mem_words,
+            EnergyModel::for_target(target),
+            target.clock_hz(),
+        )
+    }
+
+    fn with_model_and_clock(mem_words: usize, model: EnergyModel, clock_hz: u64) -> Self {
         Machine {
             regs: [0; 15],
             flags: Flags::default(),
@@ -465,6 +508,7 @@ impl Machine {
             cycles: 0,
             energy_pj: 0.0,
             model,
+            clock_hz,
             category_stack: Vec::new(),
             category_override: None,
             by_category: [CategoryTotals::default(); Category::ALL.len()],
@@ -591,6 +635,12 @@ impl Machine {
         &self.model
     }
 
+    /// The clock frequency this machine's time/power figures assume
+    /// (set by the target; [`crate::CLOCK_HZ`] by default).
+    pub fn clock_hz(&self) -> u64 {
+        self.clock_hz
+    }
+
     /// Captures the current counters so a later [`Machine::report_since`]
     /// can compute a delta.
     pub fn snapshot(&self) -> Snapshot {
@@ -604,7 +654,7 @@ impl Machine {
 
     /// Builds a [`RunReport`] for everything executed since `snapshot`.
     pub fn report_since(&self, snapshot: &Snapshot) -> RunReport {
-        RunReport::from_delta(snapshot, &self.snapshot(), crate::CLOCK_HZ)
+        RunReport::from_delta(snapshot, &self.snapshot(), self.clock_hz)
     }
 
     /// Builds a [`RunReport`] for the machine's whole life.
@@ -615,7 +665,7 @@ impl Machine {
             counts: ClassCounts::default(),
             by_category: vec![CategoryTotals::default(); Category::ALL.len()],
         };
-        RunReport::from_delta(&zero, &self.snapshot(), crate::CLOCK_HZ)
+        RunReport::from_delta(&zero, &self.snapshot(), self.clock_hz)
     }
 
     /// Asserts that `self` and `other` agree on every piece of
@@ -792,7 +842,7 @@ impl Machine {
 
     #[inline]
     fn record(&mut self, class: InstrClass) {
-        let cycles = class.cycles();
+        let cycles = self.model.cycles_of(class);
         let energy = self.model.picojoules_per_instr(class);
         self.cycles += cycles;
         self.energy_pj += energy;
@@ -1014,10 +1064,11 @@ impl Machine {
                         InstrClass::BranchNotTaken
                     };
                     let e = self.model.pj_per_instr_idx(class.index());
-                    cycles += class.cycles();
+                    let cyc = self.model.cycles_idx(class.index());
+                    cycles += cyc;
                     energy += e;
                     self.counts.bump_idx(class.index());
-                    totals.cycles += class.cycles();
+                    totals.cycles += cyc;
                     totals.energy_pj += e;
                     continue;
                 }
@@ -1025,17 +1076,19 @@ impl Machine {
                     // One Mov-class base cycle plus `imm` stack words,
                     // exactly the split the push/pop helpers charge.
                     let base = self.model.pj_per_instr_idx(MOV);
-                    cycles += InstrClass::Mov.cycles();
+                    let base_cyc = self.model.cycles_idx(MOV);
+                    cycles += base_cyc;
                     energy += base;
                     self.counts.bump_idx(MOV);
-                    totals.cycles += InstrClass::Mov.cycles();
+                    totals.cycles += base_cyc;
                     totals.energy_pj += base;
                     let word = self.model.pj_per_instr_idx(STACK_WORD);
+                    let word_cyc = self.model.cycles_idx(STACK_WORD);
                     for _ in 0..op.imm {
-                        cycles += InstrClass::StackWord.cycles();
+                        cycles += word_cyc;
                         energy += word;
                         self.counts.bump_idx(STACK_WORD);
-                        totals.cycles += InstrClass::StackWord.cycles();
+                        totals.cycles += word_cyc;
                         totals.energy_pj += word;
                     }
                     continue;

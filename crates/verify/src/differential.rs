@@ -60,10 +60,14 @@ pub struct DiffConfig {
     /// Montgomery batch, plus batch affine conversion at the curve
     /// layer.
     pub batch_cases: usize,
+    /// The target cost model the modeled tiers run under. Architectural
+    /// results must be target-invariant, so the differential verdict
+    /// cannot depend on this — the `--target` axis exists to prove it.
+    pub target: &'static m0plus::TargetSpec,
 }
 
 impl DiffConfig {
-    /// Bounded CI smoke configuration.
+    /// Bounded CI smoke configuration (default target).
     pub fn smoke() -> DiffConfig {
         DiffConfig {
             seed: 0xd1ff,
@@ -71,10 +75,12 @@ impl DiffConfig {
             scalar_cases: 24,
             wire_cases: 300,
             batch_cases: 16,
+            target: m0plus::target::default_target(),
         }
     }
 
-    /// Full campaign: at least 1000 cases for every tier pair.
+    /// Full campaign: at least 1000 cases for every tier pair (default
+    /// target).
     pub fn full() -> DiffConfig {
         DiffConfig {
             seed: 0xd1ff,
@@ -82,6 +88,7 @@ impl DiffConfig {
             scalar_cases: 1000,
             wire_cases: 1000,
             batch_cases: 200,
+            target: m0plus::target::default_target(),
         }
     }
 }
@@ -336,9 +343,10 @@ fn field_phase(config: &DiffConfig, report: &mut DiffReport, cases: Range<usize>
         return;
     }
     let oracle = GenericField::sect233k1();
-    let mut direct = ModeledField::new(Tier::Asm);
+    let mut direct = ModeledField::with_target(Tier::Asm, config.target);
     let (da, db, dz) = (direct.alloc(), direct.alloc(), direct.alloc());
-    let mut code = ModeledField::new_with_backend(Tier::Asm, Backend::Code);
+    let mut code = ModeledField::with_target(Tier::Asm, config.target);
+    code.set_backend(Backend::Code);
     let (ca, cb, cz) = (code.alloc(), code.alloc(), code.alloc());
 
     let edges = field_edges();
@@ -860,6 +868,7 @@ mod tests {
             scalar_cases: 14,
             wire_cases: 60,
             batch_cases: 6,
+            target: m0plus::target::default_target(),
         };
         let report = run(&cfg);
         assert!(report.ok(), "{}", report.render());
@@ -893,6 +902,7 @@ mod tests {
             scalar_cases: 13,
             wire_cases: 40,
             batch_cases: 5,
+            target: m0plus::target::default_target(),
         };
         assert_eq!(run(&cfg).render(), run(&cfg).render());
     }
@@ -905,6 +915,7 @@ mod tests {
             scalar_cases: 13,
             wire_cases: 33,
             batch_cases: 5,
+            target: m0plus::target::default_target(),
         };
         let baseline = run(&cfg).render();
         let total = total_cases(&cfg);
@@ -940,6 +951,7 @@ mod tests {
             scalar_cases: 0,
             wire_cases: 120,
             batch_cases: 0,
+            target: m0plus::target::default_target(),
         };
         let report = run(&cfg);
         assert!(report.ok(), "{}", report.render());

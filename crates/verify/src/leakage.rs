@@ -154,24 +154,31 @@ pub struct LeakageConfig {
     pub cheap_pairs: usize,
     /// Secret pairs per [`Cost::Expensive`] kernel.
     pub expensive_pairs: usize,
+    /// The target cost model the kernels run under. Leakage verdicts
+    /// must be target-invariant (a different cycle table rescales the
+    /// trace uniformly per class, it cannot create or hide a
+    /// divergence), and the `--target` axis lets CI check exactly that.
+    pub target: &'static m0plus::TargetSpec,
 }
 
 impl LeakageConfig {
-    /// The bounded CI smoke configuration.
+    /// The bounded CI smoke configuration (default target).
     pub fn smoke() -> LeakageConfig {
         LeakageConfig {
             seed: 0x1ea4a9e,
             cheap_pairs: 3,
             expensive_pairs: 1,
+            target: m0plus::target::default_target(),
         }
     }
 
-    /// The full campaign configuration.
+    /// The full campaign configuration (default target).
     pub fn full() -> LeakageConfig {
         LeakageConfig {
             seed: 0x1ea4a9e,
             cheap_pairs: 16,
             expensive_pairs: 2,
+            target: m0plus::target::default_target(),
         }
     }
 }
@@ -211,7 +218,7 @@ pub fn check_kernel(kernel: &Kernel, pairs: usize, rng: &mut SplitMix64) -> Kern
 /// kernel in registry order.
 pub fn run_campaign(config: &LeakageConfig) -> Vec<KernelVerdict> {
     let mut rng = SplitMix64::new(config.seed);
-    registry()
+    registry_for(config.target)
         .iter()
         .map(|k| {
             let pairs = match k.cost {
@@ -262,18 +269,28 @@ fn rand_scalar(rng: &mut SplitMix64) -> Int {
 // ---------------------------------------------------------------------
 
 /// Traces one field-kernel closure on a fresh Direct-backend machine.
-fn field_trace(tier: Tier, seed: u64, body: impl Fn(&mut ModeledField, &mut SplitMix64)) -> Trace {
+fn field_trace(
+    tier: Tier,
+    target: &'static m0plus::TargetSpec,
+    seed: u64,
+    body: impl Fn(&mut ModeledField, &mut SplitMix64),
+) -> Trace {
     let mut rng = SplitMix64::new(seed);
-    let mut f = ModeledField::new(tier);
+    let mut f = ModeledField::with_target(tier, target);
     f.machine_mut().start_trace();
     body(&mut f, &mut rng);
     f.machine_mut().take_trace()
 }
 
 /// Traces one point-kernel closure on a fresh Direct-backend machine.
-fn point_trace(tier: Tier, seed: u64, body: impl Fn(&mut ModeledMul, &mut SplitMix64)) -> Trace {
+fn point_trace(
+    tier: Tier,
+    target: &'static m0plus::TargetSpec,
+    seed: u64,
+    body: impl Fn(&mut ModeledMul, &mut SplitMix64),
+) -> Trace {
     let mut rng = SplitMix64::new(seed);
-    let mut mm = ModeledMul::new(tier);
+    let mut mm = ModeledMul::with_target(tier, target);
     mm.field_mut().machine_mut().start_trace();
     body(&mut mm, &mut rng);
     mm.field_mut().machine_mut().take_trace()
@@ -290,9 +307,15 @@ const TNAF_NOTE: &str = "the wTNAF digit pattern steers which window entry is ad
      *length* is fixed by recode padding, and the Montgomery ladder is the \
      constant-time alternative";
 
-/// Builds the full kernel registry: every crypto kernel of the stack
-/// with its per-class allowance and justification.
+/// Builds the full kernel registry on the default target: every crypto
+/// kernel of the stack with its per-class allowance and justification.
 pub fn registry() -> Vec<Kernel> {
+    registry_for(m0plus::target::default_target())
+}
+
+/// [`registry`] with the kernels' machines costed for an explicit
+/// registry target.
+pub fn registry_for(target: &'static m0plus::TargetSpec) -> Vec<Kernel> {
     let dep = true; // documented dependence allowed
     let indep = false; // must be independent
     let mut kernels: Vec<Kernel> = Vec::new();
@@ -305,7 +328,7 @@ pub fn registry() -> Vec<Kernel> {
             allowed: [indep, dep, indep],
             note: LD_TABLE_NOTE,
             run: Box::new(move |seed| {
-                field_trace(tier, seed, |f, rng| {
+                field_trace(tier, target, seed, |f, rng| {
                     let (a, b) = (rand_fe(rng), rand_fe(rng));
                     let (sa, sb, sz) = (f.alloc_init(a), f.alloc_init(b), f.alloc());
                     f.mul(sz, sa, sb);
@@ -318,8 +341,8 @@ pub fn registry() -> Vec<Kernel> {
         cost: Cost::Cheap,
         allowed: [indep, dep, indep],
         note: LD_TABLE_NOTE,
-        run: Box::new(|seed| {
-            field_trace(Tier::C, seed, |f, rng| {
+        run: Box::new(move |seed| {
+            field_trace(Tier::C, target, seed, |f, rng| {
                 let (a, b) = (rand_fe(rng), rand_fe(rng));
                 let (sa, sb, sz) = (f.alloc_init(a), f.alloc_init(b), f.alloc());
                 f.mul_rotating_c(sz, sa, sb);
@@ -335,7 +358,7 @@ pub fn registry() -> Vec<Kernel> {
             allowed: [indep, dep, indep],
             note: LD_TABLE_NOTE,
             run: Box::new(move |seed| {
-                field_trace(tier, seed, |f, rng| {
+                field_trace(tier, target, seed, |f, rng| {
                     let a = rand_fe(rng);
                     let (sa, sz) = (f.alloc_init(a), f.alloc());
                     f.sqr(sz, sa);
@@ -350,8 +373,8 @@ pub fn registry() -> Vec<Kernel> {
         cost: Cost::Cheap,
         allowed: [indep, indep, indep],
         note: "",
-        run: Box::new(|seed| {
-            field_trace(Tier::C, seed, |f, rng| {
+        run: Box::new(move |seed| {
+            field_trace(Tier::C, target, seed, |f, rng| {
                 let (a, b) = (rand_fe(rng), rand_fe(rng));
                 let wide = gf2m::mul::mul_poly_ld(a.words(), b.words());
                 let z = f.alloc();
@@ -366,8 +389,8 @@ pub fn registry() -> Vec<Kernel> {
         cost: Cost::Cheap,
         allowed: [indep, indep, indep],
         note: "",
-        run: Box::new(|seed| {
-            field_trace(Tier::C, seed, |f, rng| {
+        run: Box::new(move |seed| {
+            field_trace(Tier::C, target, seed, |f, rng| {
                 let (a, b) = (rand_fe(rng), rand_fe(rng));
                 let (sa, sb, sz) = (f.alloc_init(a), f.alloc_init(b), f.alloc());
                 f.add(sz, sa, sb);
@@ -379,8 +402,8 @@ pub fn registry() -> Vec<Kernel> {
         cost: Cost::Cheap,
         allowed: [indep, indep, indep],
         note: "",
-        run: Box::new(|seed| {
-            field_trace(Tier::C, seed, |f, rng| {
+        run: Box::new(move |seed| {
+            field_trace(Tier::C, target, seed, |f, rng| {
                 let (a, b) = (rand_fe(rng), rand_fe(rng));
                 let bit = rng.next_u64() & 1 == 1; // the secret
                 let (sa, sb) = (f.alloc_init(a), f.alloc_init(b));
@@ -395,8 +418,8 @@ pub fn registry() -> Vec<Kernel> {
         cost: Cost::Cheap,
         allowed: [dep, dep, dep],
         note: EEA_NOTE,
-        run: Box::new(|seed| {
-            field_trace(Tier::C, seed, |f, rng| {
+        run: Box::new(move |seed| {
+            field_trace(Tier::C, target, seed, |f, rng| {
                 let a = rand_nonzero_fe(rng);
                 let (sa, sz) = (f.alloc_init(a), f.alloc());
                 f.inv(sz, sa);
@@ -408,8 +431,8 @@ pub fn registry() -> Vec<Kernel> {
         cost: Cost::Cheap,
         allowed: [indep, dep, indep],
         note: LD_TABLE_NOTE,
-        run: Box::new(|seed| {
-            field_trace(Tier::C, seed, |f, rng| {
+        run: Box::new(move |seed| {
+            field_trace(Tier::C, target, seed, |f, rng| {
                 let a = rand_nonzero_fe(rng);
                 let (sa, sz) = (f.alloc_init(a), f.alloc());
                 f.inv_itoh_tsujii(sz, sa);
@@ -423,8 +446,8 @@ pub fn registry() -> Vec<Kernel> {
         cost: Cost::Cheap,
         allowed: [dep, dep, dep],
         note: TNAF_NOTE,
-        run: Box::new(|seed| {
-            point_trace(Tier::Asm, seed, |mm, rng| {
+        run: Box::new(move |seed| {
+            point_trace(Tier::Asm, target, seed, |mm, rng| {
                 let k = rand_scalar(rng);
                 let digits = mm.recode_charged(&k, 4);
                 // The satellite fix this verifier confirms: the digit
@@ -440,8 +463,8 @@ pub fn registry() -> Vec<Kernel> {
         cost: Cost::Expensive,
         allowed: [dep, dep, dep],
         note: TNAF_NOTE,
-        run: Box::new(|seed| {
-            point_trace(Tier::Asm, seed, |mm, rng| {
+        run: Box::new(move |seed| {
+            point_trace(Tier::Asm, target, seed, |mm, rng| {
                 let k = rand_scalar(rng);
                 mm.kp(&curve::generator(), &k);
             })
@@ -452,8 +475,8 @@ pub fn registry() -> Vec<Kernel> {
         cost: Cost::Expensive,
         allowed: [dep, dep, dep],
         note: TNAF_NOTE,
-        run: Box::new(|seed| {
-            point_trace(Tier::Asm, seed, |mm, rng| {
+        run: Box::new(move |seed| {
+            point_trace(Tier::Asm, target, seed, |mm, rng| {
                 let k = rand_scalar(rng);
                 mm.kg(&k);
             })
@@ -467,8 +490,8 @@ pub fn registry() -> Vec<Kernel> {
              iterations of masked cswap + fixed-role step); only the LD/squaring \
              window-table addresses inside each field op vary with the data, which \
              the cacheless M0+ cannot turn into a timing or Table-3 power signal",
-        run: Box::new(|seed| {
-            point_trace(Tier::Asm, seed, |mm, rng| {
+        run: Box::new(move |seed| {
+            point_trace(Tier::Asm, target, seed, |mm, rng| {
                 let k = rand_scalar(rng);
                 mm.ladder(&curve::generator(), &k);
             })
@@ -482,8 +505,8 @@ pub fn registry() -> Vec<Kernel> {
         cost: Cost::Expensive,
         allowed: [dep, dep, dep],
         note: TNAF_NOTE,
-        run: Box::new(|seed| {
-            point_trace(Tier::Asm, seed, |mm, rng| {
+        run: Box::new(move |seed| {
+            point_trace(Tier::Asm, target, seed, |mm, rng| {
                 let mut key_seed = [0u8; 32];
                 rng.fill_bytes(&mut key_seed);
                 let key = SigningKey::generate(&key_seed);

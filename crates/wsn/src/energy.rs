@@ -64,10 +64,27 @@ pub struct RadioModel {
 
 impl Default for RadioModel {
     fn default() -> Self {
+        // 60 cyc/B priced at the default target's mean measured
+        // pJ/cycle (the six Table-3 classes), so the symmetric cost
+        // tracks the same registry the ECC measurements run under.
+        let target = m0plus::target::default_target();
+        let measured = [
+            m0plus::InstrClass::Ldr,
+            m0plus::InstrClass::Lsr,
+            m0plus::InstrClass::Mul,
+            m0plus::InstrClass::Lsl,
+            m0plus::InstrClass::Eor,
+            m0plus::InstrClass::Add,
+        ];
+        let mean_pj: f64 = measured
+            .iter()
+            .map(|&c| m0plus::TargetModel::pj_per_cycle(target, c))
+            .sum::<f64>()
+            / measured.len() as f64;
         RadioModel {
             tx_uj_per_byte: 8.0 * 0.23,
             rx_uj_per_byte: 8.0 * 0.26,
-            symmetric_uj_per_byte: 60.0 * 12.2e-6, // 60 cyc/B × 12.2 pJ/cyc
+            symmetric_uj_per_byte: 60.0 * mean_pj * 1e-6,
         }
     }
 }

@@ -11,17 +11,20 @@ use verify::{differential, DiffConfig};
 /// Six field edges and twelve scalar edges (see
 /// `differential::field_edges` / `differential::scalar_edges`); sizes
 /// chosen to cover all of them plus a margin of random cases.
-const EDGE_CONFIG: DiffConfig = DiffConfig {
-    seed: 0xedfe,
-    field_cases: 10,
-    scalar_cases: 16,
-    wire_cases: 0,
-    batch_cases: 8,
-};
+fn edge_config() -> DiffConfig {
+    DiffConfig {
+        seed: 0xedfe,
+        field_cases: 10,
+        scalar_cases: 16,
+        wire_cases: 0,
+        batch_cases: 8,
+        target: m0plus::target::default_target(),
+    }
+}
 
 #[test]
 fn edge_cases_agree_across_all_tiers() {
-    let report = differential::run(&EDGE_CONFIG);
+    let report = differential::run(&edge_config());
     assert!(report.ok(), "{}", report.render());
     let cases = |name: &str| {
         report
@@ -41,7 +44,7 @@ fn edge_cases_agree_across_all_tiers() {
         "portable/modeled_code",
         "modeled_direct/modeled_code_cycles",
     ] {
-        assert_eq!(cases(pair), EDGE_CONFIG.field_cases, "{pair}");
+        assert_eq!(cases(pair), edge_config().field_cases, "{pair}");
     }
     // Every point algorithm saw every scalar edge (0, 1, n−1, n, n+1,
     // top-bit-set, …) and the recode length never moved.
@@ -52,14 +55,14 @@ fn edge_cases_agree_across_all_tiers() {
         "binary/ladder",
         "recode/fixed_length",
     ] {
-        assert_eq!(cases(pair), EDGE_CONFIG.scalar_cases, "{pair}");
+        assert_eq!(cases(pair), edge_config().scalar_cases, "{pair}");
     }
 }
 
 #[test]
 fn edge_sweep_is_deterministic() {
     assert_eq!(
-        differential::run(&EDGE_CONFIG).render(),
-        differential::run(&EDGE_CONFIG).render()
+        differential::run(&edge_config()).render(),
+        differential::run(&edge_config()).render()
     );
 }

@@ -59,6 +59,26 @@ grep -q "GATE: predecoded replay bit-identical" /tmp/throughput_smoke.txt
 grep -q "GATE: superblock replay bit-identical" /tmp/throughput_smoke.txt
 grep -q "GATE: sharded campaign byte-identical" /tmp/throughput_smoke.txt
 
+echo "==> service plane smoke (gas-metered traffic, deterministic)"
+target/release/service --smoke > /tmp/service_smoke_1.txt
+target/release/service --smoke > /tmp/service_smoke_2.txt
+diff /tmp/service_smoke_1.txt /tmp/service_smoke_2.txt
+grep -q "GATE: service accounting balanced" /tmp/service_smoke_1.txt
+grep -q "GATE: quotes bit-identical to canonical measurement on cortex-m0plus" /tmp/service_smoke_1.txt
+
+echo "==> service plane cross-target smoke (--target cortex-m0)"
+target/release/service --smoke --target cortex-m0 > /tmp/service_m0_1.txt
+target/release/service --smoke --target cortex-m0 > /tmp/service_m0_2.txt
+diff /tmp/service_m0_1.txt /tmp/service_m0_2.txt
+grep -q "GATE: quotes bit-identical to canonical measurement on cortex-m0" /tmp/service_m0_1.txt
+
+echo "==> service plane overload smoke (2x capacity + adversarial frames)"
+target/release/service --overload > /tmp/service_overload_1.txt
+target/release/service --overload > /tmp/service_overload_2.txt
+diff /tmp/service_overload_1.txt /tmp/service_overload_2.txt
+grep -q "GATE: service accounting balanced" /tmp/service_overload_1.txt
+grep -q "GATE: overload survivable" /tmp/service_overload_1.txt
+
 echo "==> lean build without the trace recorder"
 cargo build -p m0plus --release --offline --no-default-features
 

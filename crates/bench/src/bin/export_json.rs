@@ -8,12 +8,15 @@
 //! `"host_dependent": true`) record ops/sec, the predecode and
 //! superblock replay speedups and the shard-scaling wall clocks, which
 //! vary with the machine the export ran on. Everything outside those
-//! subtrees is byte-stable.
+//! subtrees is byte-stable — including the `service` subtree, whose
+//! traffic runs are seeded and measured in modeled cycles, not wall
+//! time.
 //!
 //! Run: `cargo run --release -p bench --bin export_json`
 
 use bench::campaign::{self, CampaignConfig};
 use bench::throughput::{self, ThroughputConfig};
+use bench::traffic::{self, TrafficConfig};
 use bench::workloads;
 use gf2m::modeled::Tier;
 use m0plus::Category;
@@ -22,7 +25,7 @@ use std::path::{Path, PathBuf};
 
 /// Schema identifier for downstream consumers; bump when the document
 /// shape changes.
-const SCHEMA: &str = "ecc233-bench/4";
+const SCHEMA: &str = "ecc233-bench/5";
 
 fn main() {
     let doc = render();
@@ -283,6 +286,81 @@ fn render() -> String {
         .unwrap();
     }
     writeln!(w, "    }}").unwrap();
+    writeln!(w, "  }},").unwrap();
+    writeln!(w, "  \"service\": {{").unwrap();
+    let service_runs = [
+        (
+            "smoke",
+            TrafficConfig::smoke(m0plus::target::default_target()),
+        ),
+        (
+            "overload",
+            TrafficConfig::overload(m0plus::target::default_target()),
+        ),
+    ];
+    for (ri, (label, cfg)) in service_runs.iter().enumerate() {
+        let rsep = if ri + 1 == service_runs.len() {
+            ""
+        } else {
+            ","
+        };
+        let r = traffic::run(cfg);
+        let c = &r.counters;
+        writeln!(w, "    \"{label}\": {{").unwrap();
+        writeln!(
+            w,
+            "      \"config\": {{ \"target\": \"{}\", \"seed\": {}, \"ticks\": {}, \"load_permille\": {}, \"adversarial_permille\": {}, \"clients\": {} }},",
+            cfg.target.name(), cfg.seed, cfg.ticks, cfg.load_permille, cfg.adversarial_permille, cfg.clients
+        )
+        .unwrap();
+        writeln!(
+            w,
+            "      \"counters\": {{ \"submitted\": {}, \"admitted\": {}, \"completed\": {}, \"decode_errors\": {}, \"replays\": {}, \"shed\": {}, \"quota_rejected\": {}, \"busy_rejected\": {}, \"overload_rejected\": {}, \"expired_on_arrival\": {}, \"timeouts\": {}, \"client_evictions\": {}, \"warms\": {}, \"level_changes\": {}, \"max_level\": {} }},",
+            c.submitted, c.admitted, c.completed, c.decode_errors, c.replays, c.shed,
+            c.quota_rejected, c.busy_rejected, c.overload_rejected, c.expired_on_arrival,
+            c.timeouts, c.client_evictions, c.warms, c.level_changes, c.max_level
+        )
+        .unwrap();
+        writeln!(
+            w,
+            "      \"executed\": {{ \"cycles\": {}, \"energy_uj\": {:.4}, \"verify_false\": {} }},",
+            c.executed_cycles,
+            c.executed_energy_pj / 1e6,
+            r.verify_false
+        )
+        .unwrap();
+        writeln!(
+            w,
+            "      \"latency_ticks\": {{ \"p50\": {}, \"p99\": {}, \"drain_ticks\": {} }},",
+            r.p50_latency_ticks, r.p99_latency_ticks, r.drain_ticks
+        )
+        .unwrap();
+        writeln!(
+            w,
+            "      \"wtnaf_cache\": {{ \"hits\": {}, \"misses\": {}, \"evictions\": {}, \"entries\": {} }},",
+            r.cache.hits, r.cache.misses, r.cache.evictions, r.cache.entries
+        )
+        .unwrap();
+        writeln!(w, "      \"quote_vs_actual\": {{").unwrap();
+        for (i, s) in r.quote_errors.iter().enumerate() {
+            let sep = if i + 1 == r.quote_errors.len() {
+                ""
+            } else {
+                ","
+            };
+            writeln!(
+                w,
+                "        \"{}_{i}\": {{ \"quoted_cycles\": {}, \"actual_cycles\": {}, \"err_permille\": {} }}{sep}",
+                s.kernel, s.quoted, s.actual,
+                s.err_permille()
+            )
+            .unwrap();
+        }
+        writeln!(w, "      }},").unwrap();
+        writeln!(w, "      \"quote_exact\": {},", r.quote_exact).unwrap();
+        writeln!(w, "      \"accounting_balanced\": {}", c.accounted(0)).unwrap();
+        writeln!(w, "    }}{rsep}").unwrap();
+    }
     writeln!(w, "  }},").unwrap();
     writeln!(w, "  \"targets\": {{").unwrap();
     let specs = m0plus::target::registry();

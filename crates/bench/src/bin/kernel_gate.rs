@@ -63,6 +63,23 @@ fn extract_section_u64(doc: &str, section: &str, key: &str) -> u64 {
     extract_u64(&doc[start..], key)
 }
 
+/// The gate reads individual keys, so it works across every schema
+/// revision of the export family — but a document from some other
+/// producer entirely would fail with confusing per-key panics, so the
+/// family prefix is checked up front. Any `ecc233-bench/<n>` passes.
+fn check_schema(doc: &str, path: &Path) {
+    let schema = doc
+        .lines()
+        .find_map(|l| l.split("\"schema\": \"").nth(1))
+        .and_then(|rest| rest.split('"').next())
+        .unwrap_or_else(|| panic!("{} has no \"schema\" field", path.display()));
+    assert!(
+        schema.starts_with("ecc233-bench/"),
+        "{} is not an ecc233-bench export (schema {schema:?})",
+        path.display()
+    );
+}
+
 fn main() {
     let path = std::env::args()
         .nth(1)
@@ -70,6 +87,7 @@ fn main() {
         .unwrap_or_else(|| latest_baseline(&repo_root()));
     let doc =
         std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    check_schema(&doc, &path);
 
     let (sqr_asm, mul_asm, _, inv_asm) = workloads::kernel_cycles(Tier::Asm);
     let (_, _, _, inv_c) = workloads::kernel_cycles(Tier::C);

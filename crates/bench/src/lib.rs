@@ -18,6 +18,7 @@ pub mod shard;
 pub mod tables;
 pub mod throughput;
 pub mod timing;
+pub mod traffic;
 pub mod workloads;
 
 use m0plus::Backend;

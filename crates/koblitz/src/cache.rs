@@ -41,6 +41,7 @@ struct Lru {
     clock: u64,
     hits: u64,
     misses: u64,
+    evictions: u64,
 }
 
 /// Snapshot of the cache's hit/miss counters.
@@ -50,6 +51,9 @@ pub struct CacheStats {
     pub hits: u64,
     /// Lookups that had to run `precompute_table`.
     pub misses: u64,
+    /// Resident tables displaced to make room for a new key — the
+    /// signature of adversarial key churn (every lookup a unique key).
+    pub evictions: u64,
     /// Tables currently resident.
     pub entries: usize,
 }
@@ -117,6 +121,7 @@ pub fn table_for(p: &Affine, w: u32) -> Arc<Vec<Affine>> {
             .map(|(i, _)| i)
         {
             lru.entries.swap_remove(victim);
+            lru.evictions += 1;
         }
     }
     let stamp = lru.clock;
@@ -134,6 +139,7 @@ pub fn stats() -> CacheStats {
     CacheStats {
         hits: lru.hits,
         misses: lru.misses,
+        evictions: lru.evictions,
         entries: lru.entries.len(),
     }
 }
@@ -146,6 +152,7 @@ pub fn reset() {
     lru.clock = 0;
     lru.hits = 0;
     lru.misses = 0;
+    lru.evictions = 0;
 }
 
 #[cfg(test)]
@@ -155,11 +162,16 @@ mod tests {
     use crate::int::Int;
     use crate::mul::KP_WINDOW;
 
-    // The cache is process-global and tests run concurrently, so these
-    // tests assert relative counter movement, not absolute values.
+    // The cache is process-global and tests run concurrently; counter
+    // assertions serialize on this lock so deltas are attributable.
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
 
     #[test]
     fn second_lookup_hits() {
+        let _guard = serial();
         let p = generator().mul_binary(&Int::from(0x5151_5151i64));
         let before = stats();
         let t1 = table_for(&p, KP_WINDOW);
@@ -181,6 +193,7 @@ mod tests {
 
     #[test]
     fn capacity_is_bounded() {
+        let _guard = serial();
         for k in 0..(CAPACITY as i64 + 8) {
             let p = generator().mul_binary(&Int::from(900_000 + k));
             let _ = table_for(&p, KP_WINDOW);

@@ -1,0 +1,85 @@
+//! Adversarial key churn against the process-wide wTNAF table cache.
+//!
+//! The cache exists because protocol traffic is skewed towards
+//! recurring base points; an adversary inverts that assumption by
+//! making every request a never-seen-before key. This test lives in
+//! its own integration binary so the global cache (and its counters)
+//! belongs to this process alone — the unit tests inside the crate
+//! share it with every `kp` call and can only assert relative
+//! movement.
+
+use koblitz::cache::{self, CAPACITY};
+use koblitz::mul::KP_WINDOW;
+use koblitz::{generator, Int};
+use std::sync::{Mutex, MutexGuard};
+
+// The two tests in this binary still share the one global cache;
+// serialize them so each owns the counters it resets.
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[test]
+fn unique_key_flood_degrades_hit_rate_without_growing() {
+    const FLOOD: i64 = 4 * CAPACITY as i64;
+    let _guard = serial();
+    cache::reset();
+    for k in 0..FLOOD {
+        let p = generator().mul_binary(&Int::from(7_000_000 + k));
+        let t = cache::table_for(&p, KP_WINDOW);
+        assert_eq!(t.len(), 4, "tables stay well-formed under churn");
+    }
+    let s = cache::stats();
+    assert!(s.entries <= CAPACITY, "flood must not grow the cache");
+    assert_eq!(s.misses, FLOOD as u64, "unique keys never hit");
+    assert_eq!(s.hits, 0, "hit rate degrades to zero under churn");
+    assert_eq!(s.hit_rate(), 0.0);
+    assert_eq!(
+        s.evictions,
+        FLOOD as u64 - CAPACITY as u64,
+        "every miss beyond the resident capacity displaces exactly one table"
+    );
+
+    // The cache still works after the flood: recurring keys hit again.
+    let survivors: Vec<_> = (0..4)
+        .map(|k| generator().mul_binary(&Int::from(8_000_000 + k)))
+        .collect();
+    let first: Vec<_> = survivors
+        .iter()
+        .map(|p| cache::table_for(p, KP_WINDOW))
+        .collect();
+    let second: Vec<_> = survivors
+        .iter()
+        .map(|p| cache::table_for(p, KP_WINDOW))
+        .collect();
+    assert_eq!(first, second, "post-flood tables round-trip");
+    let s2 = cache::stats();
+    assert_eq!(s2.hits, 4, "recurring keys hit once resident");
+    assert!(s2.hit_rate() > 0.0);
+}
+
+#[test]
+fn strict_lru_evicts_least_recently_used_under_churn() {
+    let _guard = serial();
+    cache::reset();
+    let points: Vec<_> = (0..CAPACITY as i64)
+        .map(|k| generator().mul_binary(&Int::from(9_000_000 + k)))
+        .collect();
+    for p in &points {
+        let _ = cache::table_for(p, KP_WINDOW);
+    }
+    // Touch everything except point 0, then insert a new key: the
+    // untouched point 0 must be the victim.
+    for p in &points[1..] {
+        let _ = cache::table_for(p, KP_WINDOW);
+    }
+    let fresh = generator().mul_binary(&Int::from(9_900_000i64));
+    let _ = cache::table_for(&fresh, KP_WINDOW);
+    let before = cache::stats();
+    let _ = cache::table_for(&points[0], KP_WINDOW); // evicted: recompute
+    let _ = cache::table_for(&points[5], KP_WINDOW); // resident: hit
+    let after = cache::stats();
+    assert_eq!(after.misses - before.misses, 1, "victim was point 0 only");
+    assert_eq!(after.hits - before.hits, 1, "survivors still resident");
+}

@@ -307,6 +307,166 @@ impl ReplayGuard {
     }
 }
 
+/// A windowed replay rejection: the raw-sequence counterpart of
+/// [`WireError::Replayed`] for [`WindowedReplayGuard`], which tracks
+/// 64-bit sequence numbers and a window floor rather than a single
+/// high-water mark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplayRejected {
+    /// The sequence number that was refused.
+    pub seq: u64,
+    /// The oldest sequence number the window still accepts; everything
+    /// below it is treated as replayed.
+    pub floor: u64,
+}
+
+impl std::fmt::Display for ReplayRejected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "replayed sequence {} (window floor {})",
+            self.seq, self.floor
+        )
+    }
+}
+
+impl std::error::Error for ReplayRejected {}
+
+/// Bounded anti-replay state accepting *out-of-order* sequence numbers
+/// within a sliding window.
+///
+/// [`ReplayGuard`] is O(1) but strictly monotonic: any reordering drops
+/// frames. This guard remembers up to `capacity` accepted sequence
+/// numbers so late frames still land, while staying immune to the
+/// attack a naive seen-set invites — an adversarial flood of unique
+/// sequence numbers growing receiver memory without bound. When the set
+/// is full, the *lowest* sequence number is evicted deterministically
+/// and the window floor rises past it, so memory is bounded by
+/// construction and replay detection still holds for everything at or
+/// above the floor (older frames are conservatively refused).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowedReplayGuard {
+    /// Accepted sequence numbers at or above `floor`, sorted ascending.
+    seen: Vec<u64>,
+    capacity: usize,
+    floor: u64,
+    evictions: u64,
+}
+
+impl WindowedReplayGuard {
+    /// A guard remembering at most `capacity` sequence numbers
+    /// (clamped to at least 1).
+    pub fn new(capacity: usize) -> WindowedReplayGuard {
+        WindowedReplayGuard {
+            seen: Vec::new(),
+            capacity: capacity.max(1),
+            floor: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Checks freshness without committing — the admission-control
+    /// pattern: a request rejected *later* in the pipeline (quota,
+    /// backpressure) must not burn its sequence number, or the retry
+    /// the rejection invites would read as a replay.
+    ///
+    /// # Errors
+    ///
+    /// [`ReplayRejected`] for sequence numbers below the window floor
+    /// or already accepted.
+    pub fn check(&self, seq: u64) -> Result<(), ReplayRejected> {
+        if seq < self.floor || self.seen.binary_search(&seq).is_ok() {
+            return Err(ReplayRejected {
+                seq,
+                floor: self.floor,
+            });
+        }
+        Ok(())
+    }
+
+    /// Commits a sequence number, evicting the lowest one (and raising
+    /// the floor past it) if the window is full.
+    ///
+    /// # Errors
+    ///
+    /// The same rejections as [`WindowedReplayGuard::check`].
+    pub fn accept(&mut self, seq: u64) -> Result<(), ReplayRejected> {
+        if seq < self.floor {
+            return Err(ReplayRejected {
+                seq,
+                floor: self.floor,
+            });
+        }
+        let at = match self.seen.binary_search(&seq) {
+            Ok(_) => {
+                return Err(ReplayRejected {
+                    seq,
+                    floor: self.floor,
+                })
+            }
+            Err(at) => at,
+        };
+        self.seen.insert(at, seq);
+        if self.seen.len() > self.capacity {
+            let evicted = self.seen.remove(0);
+            self.floor = evicted + 1;
+            self.evictions += 1;
+        }
+        Ok(())
+    }
+
+    /// Verifies, decrypts and freshness-checks a sealed frame — the
+    /// windowed counterpart of [`ReplayGuard::open`], for receivers
+    /// whose radio reorders frames.
+    ///
+    /// # Errors
+    ///
+    /// [`SealedFrame::open`]'s errors, plus [`WireError::Replayed`]
+    /// (carrying the newest accepted sequence number) when the
+    /// sequence number is stale or already seen. A frame that fails
+    /// authentication never advances the window.
+    pub fn open(
+        &mut self,
+        frame: &SealedFrame,
+        secret: &[u8; 32],
+    ) -> Result<(u32, Vec<u8>), WireError> {
+        let (seq, payload) = frame.open(secret)?;
+        self.accept(seq as u64).map_err(|_| WireError::Replayed {
+            seq,
+            last: self.newest() as u32,
+        })?;
+        Ok((seq, payload))
+    }
+
+    /// The newest sequence number accepted (0 before any accept).
+    pub fn newest(&self) -> u64 {
+        self.seen
+            .last()
+            .copied()
+            .unwrap_or_else(|| self.floor.saturating_sub(1))
+    }
+
+    /// The oldest sequence number the window still accepts.
+    pub fn floor(&self) -> u64 {
+        self.floor
+    }
+
+    /// Sequence numbers currently remembered (≤ capacity, always).
+    pub fn len(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Whether no sequence number has been accepted yet.
+    pub fn is_empty(&self) -> bool {
+        self.seen.is_empty()
+    }
+
+    /// How many sequence numbers were evicted to keep memory bounded.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -466,6 +626,95 @@ mod tests {
         let forged = SealedFrame::from_bytes(&forged).unwrap();
         assert_eq!(guard.open(&forged, &secret), Err(WireError::BadTag));
         assert_eq!(guard.last_accepted(), Some(2));
+    }
+
+    #[test]
+    fn windowed_guard_accepts_out_of_order_within_window() {
+        let mut g = WindowedReplayGuard::new(8);
+        for seq in [5u64, 3, 9, 4, 7] {
+            assert_eq!(g.accept(seq), Ok(()), "seq {seq}");
+        }
+        // Every accepted sequence is now a replay; gaps are still fine.
+        for seq in [5u64, 3, 9] {
+            assert_eq!(g.accept(seq), Err(ReplayRejected { seq, floor: 0 }));
+        }
+        assert_eq!(g.accept(6), Ok(()));
+        assert_eq!(g.newest(), 9);
+        assert_eq!(g.floor(), 0, "no eviction yet");
+        assert_eq!(g.evictions(), 0);
+    }
+
+    #[test]
+    fn windowed_guard_flood_of_unique_seqs_stays_bounded() {
+        let mut g = WindowedReplayGuard::new(16);
+        // An adversary pumping unique nonces must not grow memory.
+        for seq in 0..10_000u64 {
+            assert_eq!(g.accept(seq), Ok(()));
+            assert!(g.len() <= 16, "window exceeded its capacity at {seq}");
+        }
+        assert_eq!(g.len(), 16);
+        assert_eq!(g.evictions(), 10_000 - 16);
+        assert_eq!(g.floor(), 10_000 - 16);
+        // Detection still holds within the surviving window…
+        for seq in (10_000 - 16)..10_000u64 {
+            assert!(g.accept(seq).is_err(), "seq {seq} must read as replayed");
+        }
+        // …and everything below the floor is conservatively refused.
+        assert_eq!(
+            g.accept(17),
+            Err(ReplayRejected {
+                seq: 17,
+                floor: 10_000 - 16
+            })
+        );
+    }
+
+    #[test]
+    fn windowed_guard_evicts_lowest_first_deterministically() {
+        let mut g = WindowedReplayGuard::new(3);
+        for seq in [10u64, 30, 20] {
+            g.accept(seq).unwrap();
+        }
+        // Inserting 40 evicts the minimum (10): the floor rises past it.
+        g.accept(40).unwrap();
+        assert_eq!((g.floor(), g.evictions()), (11, 1));
+        // 10 is gone (below floor) but 20 and 30 are still remembered.
+        assert!(g.accept(10).is_err());
+        assert!(g.accept(20).is_err());
+        assert!(g.accept(30).is_err());
+        // Next eviction is again the minimum survivor (20).
+        g.accept(50).unwrap();
+        assert_eq!((g.floor(), g.evictions()), (21, 2));
+        // check() is read-only: a fresh sequence stays fresh.
+        assert_eq!(g.check(60), Ok(()));
+        assert_eq!(g.check(60), Ok(()));
+        assert_eq!(g.accept(60), Ok(()));
+        assert!(g.check(60).is_err());
+    }
+
+    #[test]
+    fn windowed_guard_opens_reordered_sealed_frames() {
+        let secret = [11u8; 32];
+        let frames: Vec<SealedFrame> = (1..=4u32)
+            .map(|seq| SealedFrame::seal(&secret, seq, format!("f{seq}").as_bytes()))
+            .collect();
+        let mut g = WindowedReplayGuard::new(8);
+        // Delivery order 2, 1, 4, 3: the strict guard would drop 1 and
+        // 3; the windowed guard accepts all four exactly once.
+        for i in [1usize, 0, 3, 2] {
+            assert!(g.open(&frames[i], &secret).is_ok(), "frame {}", i + 1);
+        }
+        assert_eq!(
+            g.open(&frames[0], &secret),
+            Err(WireError::Replayed { seq: 1, last: 4 })
+        );
+        // A forged frame still cannot advance the window.
+        let mut forged = frames[0].as_bytes().to_vec();
+        let len = forged.len();
+        forged[len - 1] ^= 1;
+        let forged = SealedFrame::from_bytes(&forged).unwrap();
+        assert_eq!(g.open(&forged, &secret), Err(WireError::BadTag));
+        assert_eq!(g.newest(), 4);
     }
 
     #[test]

@@ -1,0 +1,880 @@
+//! The service plane's wire format: framed requests and typed
+//! responses.
+//!
+//! A request names a client, a sequence number, a priority, an absolute
+//! deadline tick, and one of the four protocol operations (sign /
+//! verify / ecdh / ecies) with its operands. Every response — success
+//! or any of the admission-control rejections — is a typed frame that
+//! round-trips through this encoding, so a client can always tell *why*
+//! a request was refused and when to retry. Nothing is ever dropped
+//! silently.
+//!
+//! Decoding is total: any byte string yields either a [`Request`] or a
+//! [`FrameError`], never a panic (the negative-path suite in
+//! `tests/robustness.rs` fuzzes this with a seeded mutation corpus).
+
+use koblitz::curve::{Affine, DecompressError};
+use protocols::wire::{
+    decode_public_key_slice, decode_signature_slice, encode_public_key, encode_signature, WireError,
+};
+use protocols::Signature;
+
+/// Wire-format version byte of both requests and responses.
+pub const VERSION: u8 = 1;
+
+/// Fixed request header: version ‖ op ‖ priority ‖ client u32 ‖
+/// seq u64 ‖ deadline u64 ‖ payload length u16.
+pub const HEADER_LEN: usize = 1 + 1 + 1 + 4 + 8 + 8 + 2;
+
+/// Largest operation payload a request may carry (an MTU bound, like
+/// [`protocols::wire::SealedFrame::MAX_PAYLOAD`]: a malicious length
+/// must not force unbounded buffering).
+pub const MAX_PAYLOAD: usize = 512;
+
+/// Largest legal request frame.
+pub const MAX_FRAME: usize = HEADER_LEN + MAX_PAYLOAD;
+
+/// The four metered operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// ECDSA signature over the payload (one kG on the device model).
+    Sign,
+    /// ECDSA verification (one kG + one kP).
+    Verify,
+    /// ECDH shared secret against a peer key (one kP).
+    Ecdh,
+    /// ECIES encryption to a recipient key (one kG + one kP).
+    Ecies,
+}
+
+impl Op {
+    /// All operations, in wire-code order.
+    pub const ALL: [Op; 4] = [Op::Sign, Op::Verify, Op::Ecdh, Op::Ecies];
+
+    /// The wire code (1-based; 0 is reserved as invalid).
+    pub fn code(self) -> u8 {
+        match self {
+            Op::Sign => 1,
+            Op::Verify => 2,
+            Op::Ecdh => 3,
+            Op::Ecies => 4,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<Op> {
+        Op::ALL.into_iter().find(|op| op.code() == code)
+    }
+
+    /// Human-readable name (metrics keys, rendered reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            Op::Sign => "sign",
+            Op::Verify => "verify",
+            Op::Ecdh => "ecdh",
+            Op::Ecies => "ecies",
+        }
+    }
+}
+
+/// Request priority: the degradation ladder sheds [`Priority::Low`]
+/// first, then [`Priority::Normal`]; [`Priority::High`] survives until
+/// the plane rejects everything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Priority {
+    /// Best-effort traffic, first to be shed.
+    Low,
+    /// Default traffic class.
+    Normal,
+    /// Survives all but the full-reject degradation level.
+    High,
+}
+
+impl Priority {
+    /// The wire code (also the shedding order).
+    pub fn code(self) -> u8 {
+        match self {
+            Priority::Low => 0,
+            Priority::Normal => 1,
+            Priority::High => 2,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<Priority> {
+        match code {
+            0 => Some(Priority::Low),
+            1 => Some(Priority::Normal),
+            2 => Some(Priority::High),
+            _ => None,
+        }
+    }
+}
+
+/// One decoded operation with its operands, fully validated (points on
+/// curve and in the prime-order subgroup, signature scalars in range).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpRequest {
+    /// Sign `msg` with the plane's signing key.
+    Sign {
+        /// The message to sign.
+        msg: Vec<u8>,
+    },
+    /// Verify `sig` over `msg` under `public`.
+    Verify {
+        /// The claimed signer's public key.
+        public: Affine,
+        /// The signature to check.
+        sig: Signature,
+        /// The signed message.
+        msg: Vec<u8>,
+    },
+    /// Derive the shared secret with `peer`.
+    Ecdh {
+        /// The peer's public key.
+        peer: Affine,
+    },
+    /// Encrypt `msg` to `recipient`.
+    Ecies {
+        /// The recipient's public key.
+        recipient: Affine,
+        /// The plaintext.
+        msg: Vec<u8>,
+    },
+}
+
+impl OpRequest {
+    /// Which metered operation this is.
+    pub fn op(&self) -> Op {
+        match self {
+            OpRequest::Sign { .. } => Op::Sign,
+            OpRequest::Verify { .. } => Op::Verify,
+            OpRequest::Ecdh { .. } => Op::Ecdh,
+            OpRequest::Ecies { .. } => Op::Ecies,
+        }
+    }
+
+    /// The base point a table-warming admission prefetches (the kP
+    /// operand), if the operation has one.
+    pub fn warm_point(&self) -> Option<&Affine> {
+        match self {
+            OpRequest::Sign { .. } => None,
+            OpRequest::Verify { public, .. } => Some(public),
+            OpRequest::Ecdh { peer } => Some(peer),
+            OpRequest::Ecies { recipient, .. } => Some(recipient),
+        }
+    }
+}
+
+/// A decoded request frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Client identity (quota and replay state are per client).
+    pub client: u32,
+    /// Per-client sequence number (replay protection).
+    pub seq: u64,
+    /// Traffic class for the shedding ladder.
+    pub priority: Priority,
+    /// Absolute deadline tick; 0 means "use the plane's default".
+    pub deadline: u64,
+    /// The operation and operands.
+    pub op: OpRequest,
+}
+
+/// Everything that can be wrong with a received frame — the service
+/// plane's error taxonomy. Every variant has a stable wire code and
+/// round-trips through [`Status::Rejected`] encoding, so clients (and
+/// the negative-path tests) can distinguish a truncation from an
+/// off-curve key from a replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// Shorter than the header or the declared payload requires.
+    Truncated {
+        /// Bytes the format needs.
+        need: u64,
+        /// Bytes received.
+        got: u64,
+    },
+    /// Longer than the frame MTU allows.
+    Oversize {
+        /// Maximum accepted length.
+        max: u64,
+        /// Length received (or declared).
+        got: u64,
+    },
+    /// Unknown wire-format version.
+    BadVersion {
+        /// Version byte received.
+        got: u8,
+    },
+    /// Unknown operation (or response status) code.
+    UnknownOp {
+        /// Code byte received.
+        got: u8,
+    },
+    /// Unknown priority code.
+    BadPriority {
+        /// Code byte received.
+        got: u8,
+    },
+    /// Frame length disagrees with the declared payload length.
+    LengthMismatch {
+        /// Payload bytes the header declared.
+        declared: u64,
+        /// Payload bytes actually present.
+        got: u64,
+    },
+    /// The operation payload has the wrong shape for its op.
+    BadPayload {
+        /// Minimum payload bytes the op needs.
+        need: u64,
+        /// Payload bytes received.
+        got: u64,
+    },
+    /// The sequence number was already accepted (or fell below the
+    /// replay window's floor).
+    Replayed {
+        /// Sequence number received.
+        seq: u64,
+        /// Oldest sequence number the window still accepts.
+        floor: u64,
+    },
+    /// An operand failed the radio-layer validation (bad point, bad
+    /// scalar, …).
+    Wire(WireError),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Truncated { need, got } => {
+                write!(f, "frame truncated: need {need} bytes, got {got}")
+            }
+            FrameError::Oversize { max, got } => {
+                write!(f, "frame oversize: at most {max} bytes, got {got}")
+            }
+            FrameError::BadVersion { got } => write!(f, "unknown frame version {got}"),
+            FrameError::UnknownOp { got } => write!(f, "unknown operation code {got}"),
+            FrameError::BadPriority { got } => write!(f, "unknown priority code {got}"),
+            FrameError::LengthMismatch { declared, got } => {
+                write!(f, "payload length mismatch: declared {declared}, got {got}")
+            }
+            FrameError::BadPayload { need, got } => {
+                write!(f, "malformed op payload: need {need} bytes, got {got}")
+            }
+            FrameError::Replayed { seq, floor } => {
+                write!(f, "replayed sequence {seq} (window floor {floor})")
+            }
+            FrameError::Wire(e) => write!(f, "operand rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<WireError> for FrameError {
+    fn from(e: WireError) -> FrameError {
+        FrameError::Wire(e)
+    }
+}
+
+impl FrameError {
+    /// The stable wire code plus two detail words — everything needed
+    /// to reconstruct the exact variant on the other side (see
+    /// [`FrameError::from_parts`]).
+    pub fn to_parts(self) -> (u16, u64, u64) {
+        match self {
+            FrameError::Truncated { need, got } => (1, need, got),
+            FrameError::Oversize { max, got } => (2, max, got),
+            FrameError::BadVersion { got } => (3, got as u64, 0),
+            FrameError::UnknownOp { got } => (4, got as u64, 0),
+            FrameError::BadPriority { got } => (5, got as u64, 0),
+            FrameError::LengthMismatch { declared, got } => (6, declared, got),
+            FrameError::BadPayload { need, got } => (7, need, got),
+            FrameError::Replayed { seq, floor } => (8, seq, floor),
+            FrameError::Wire(w) => match w {
+                WireError::BadPoint(DecompressError::InvalidTag) => (16, 0, 0),
+                WireError::BadPoint(DecompressError::NotOnCurve) => (17, 0, 0),
+                WireError::IdentityPoint => (18, 0, 0),
+                WireError::WrongOrder => (19, 0, 0),
+                WireError::BadScalar => (20, 0, 0),
+                WireError::BadTag => (21, 0, 0),
+                WireError::BadLength { need, got } => (22, need as u64, got as u64),
+                WireError::Oversize { max, got } => (23, max as u64, got as u64),
+                WireError::Replayed { seq, last } => (24, seq as u64, last as u64),
+            },
+        }
+    }
+
+    /// Rebuilds the variant encoded by [`FrameError::to_parts`].
+    /// Returns `None` for unknown codes (a corrupted response frame).
+    pub fn from_parts(code: u16, a: u64, b: u64) -> Option<FrameError> {
+        Some(match code {
+            1 => FrameError::Truncated { need: a, got: b },
+            2 => FrameError::Oversize { max: a, got: b },
+            3 => FrameError::BadVersion { got: a as u8 },
+            4 => FrameError::UnknownOp { got: a as u8 },
+            5 => FrameError::BadPriority { got: a as u8 },
+            6 => FrameError::LengthMismatch {
+                declared: a,
+                got: b,
+            },
+            7 => FrameError::BadPayload { need: a, got: b },
+            8 => FrameError::Replayed { seq: a, floor: b },
+            16 => FrameError::Wire(WireError::BadPoint(DecompressError::InvalidTag)),
+            17 => FrameError::Wire(WireError::BadPoint(DecompressError::NotOnCurve)),
+            18 => FrameError::Wire(WireError::IdentityPoint),
+            19 => FrameError::Wire(WireError::WrongOrder),
+            20 => FrameError::Wire(WireError::BadScalar),
+            21 => FrameError::Wire(WireError::BadTag),
+            22 => FrameError::Wire(WireError::BadLength {
+                need: a as usize,
+                got: b as usize,
+            }),
+            23 => FrameError::Wire(WireError::Oversize {
+                max: a as usize,
+                got: b as usize,
+            }),
+            24 => FrameError::Wire(WireError::Replayed {
+                seq: a as u32,
+                last: b as u32,
+            }),
+            _ => return None,
+        })
+    }
+}
+
+/// A decode failure with whatever attribution the header yielded before
+/// the error (zero client/seq when even the header was unreadable), so
+/// the plane can still address its typed rejection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeFailure {
+    /// Client id from the header, or 0.
+    pub client: u32,
+    /// Sequence number from the header, or 0.
+    pub seq: u64,
+    /// What was wrong.
+    pub error: FrameError,
+}
+
+/// Encodes a request frame.
+///
+/// # Panics
+///
+/// Panics if the operation payload exceeds [`MAX_PAYLOAD`] (a
+/// sender-side programming error; the peer would reject the frame).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let payload = match &req.op {
+        OpRequest::Sign { msg } => msg.clone(),
+        OpRequest::Verify { public, sig, msg } => {
+            let mut p = encode_public_key(public).to_vec();
+            p.extend_from_slice(&encode_signature(sig));
+            p.extend_from_slice(msg);
+            p
+        }
+        OpRequest::Ecdh { peer } => encode_public_key(peer).to_vec(),
+        OpRequest::Ecies { recipient, msg } => {
+            let mut p = encode_public_key(recipient).to_vec();
+            p.extend_from_slice(msg);
+            p
+        }
+    };
+    assert!(
+        payload.len() <= MAX_PAYLOAD,
+        "request payload exceeds the frame MTU"
+    );
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.push(VERSION);
+    out.push(req.op.op().code());
+    out.push(req.priority.code());
+    out.extend_from_slice(&req.client.to_be_bytes());
+    out.extend_from_slice(&req.seq.to_be_bytes());
+    out.extend_from_slice(&req.deadline.to_be_bytes());
+    out.extend_from_slice(&(payload.len() as u16).to_be_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+fn be_u16(b: &[u8]) -> u16 {
+    u16::from_be_bytes(b.try_into().expect("2 bytes"))
+}
+
+fn be_u32(b: &[u8]) -> u32 {
+    u32::from_be_bytes(b.try_into().expect("4 bytes"))
+}
+
+fn be_u64(b: &[u8]) -> u64 {
+    u64::from_be_bytes(b.try_into().expect("8 bytes"))
+}
+
+/// Decodes and fully validates a request frame. Total: every byte
+/// string yields a request or a typed [`DecodeFailure`], never a panic.
+pub fn decode_request(bytes: &[u8]) -> Result<Request, DecodeFailure> {
+    let anon = |error| DecodeFailure {
+        client: 0,
+        seq: 0,
+        error,
+    };
+    if bytes.len() < HEADER_LEN {
+        return Err(anon(FrameError::Truncated {
+            need: HEADER_LEN as u64,
+            got: bytes.len() as u64,
+        }));
+    }
+    if bytes.len() > MAX_FRAME {
+        return Err(anon(FrameError::Oversize {
+            max: MAX_FRAME as u64,
+            got: bytes.len() as u64,
+        }));
+    }
+    // The header is present: every later error carries attribution.
+    let client = be_u32(&bytes[3..7]);
+    let seq = be_u64(&bytes[7..15]);
+    let fail = |error| DecodeFailure { client, seq, error };
+    if bytes[0] != VERSION {
+        return Err(fail(FrameError::BadVersion { got: bytes[0] }));
+    }
+    let op =
+        Op::from_code(bytes[1]).ok_or_else(|| fail(FrameError::UnknownOp { got: bytes[1] }))?;
+    let priority = Priority::from_code(bytes[2])
+        .ok_or_else(|| fail(FrameError::BadPriority { got: bytes[2] }))?;
+    let deadline = be_u64(&bytes[15..23]);
+    let declared = be_u16(&bytes[23..25]) as usize;
+    let payload = &bytes[HEADER_LEN..];
+    if declared != payload.len() {
+        return Err(fail(FrameError::LengthMismatch {
+            declared: declared as u64,
+            got: payload.len() as u64,
+        }));
+    }
+    let shape = |need: usize| FrameError::BadPayload {
+        need: need as u64,
+        got: payload.len() as u64,
+    };
+    let op = match op {
+        Op::Sign => OpRequest::Sign {
+            msg: payload.to_vec(),
+        },
+        Op::Verify => {
+            if payload.len() < 91 {
+                return Err(fail(shape(91)));
+            }
+            let public = decode_public_key_slice(&payload[..31]).map_err(|e| fail(e.into()))?;
+            let sig = decode_signature_slice(&payload[31..91]).map_err(|e| fail(e.into()))?;
+            OpRequest::Verify {
+                public,
+                sig,
+                msg: payload[91..].to_vec(),
+            }
+        }
+        Op::Ecdh => {
+            if payload.len() != 31 {
+                return Err(fail(shape(31)));
+            }
+            let peer = decode_public_key_slice(payload).map_err(|e| fail(e.into()))?;
+            OpRequest::Ecdh { peer }
+        }
+        Op::Ecies => {
+            if payload.len() < 31 {
+                return Err(fail(shape(31)));
+            }
+            let recipient = decode_public_key_slice(&payload[..31]).map_err(|e| fail(e.into()))?;
+            OpRequest::Ecies {
+                recipient,
+                msg: payload[31..].to_vec(),
+            }
+        }
+    };
+    Ok(Request {
+        client,
+        seq,
+        priority,
+        deadline,
+        op,
+    })
+}
+
+/// Outcome of one request — the typed response body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Status {
+    /// The operation executed; the bytes are its result (a 60-byte
+    /// signature, a 1-byte verification verdict, a 32-byte shared
+    /// secret, or an ECIES ciphertext).
+    Done(Vec<u8>),
+    /// The admission queue is full — explicit backpressure, try again
+    /// after `retry_after` ticks.
+    Busy {
+        /// Ticks until the backlog should have drained.
+        retry_after: u64,
+    },
+    /// The client's token bucket cannot cover the quoted cost yet.
+    QuotaExceeded {
+        /// Modeled cycles the request would cost.
+        quote_cycles: u64,
+        /// Ticks until the bucket has refilled enough.
+        retry_after: u64,
+    },
+    /// The degradation ladder shed this priority class.
+    Shed {
+        /// Ladder level at the time of shedding.
+        level: u8,
+    },
+    /// The plane is at the full-reject degradation level; the quote
+    /// tells the client what to budget for when it backs off.
+    Overloaded {
+        /// Modeled cycles the request would have cost.
+        quote_cycles: u64,
+        /// Ticks until the backlog should have drained.
+        retry_after: u64,
+    },
+    /// The deadline passed before (or while) the request was queued.
+    Expired {
+        /// The request's absolute deadline tick.
+        deadline: u64,
+        /// The tick at which expiry was detected.
+        now: u64,
+    },
+    /// The frame failed decoding or admission validation.
+    Rejected(FrameError),
+}
+
+impl Status {
+    fn code(&self) -> u8 {
+        match self {
+            Status::Done(_) => 0,
+            Status::Busy { .. } => 1,
+            Status::QuotaExceeded { .. } => 2,
+            Status::Shed { .. } => 3,
+            Status::Overloaded { .. } => 4,
+            Status::Expired { .. } => 5,
+            Status::Rejected(_) => 6,
+        }
+    }
+
+    /// Short name for counters and rendered reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Status::Done(_) => "done",
+            Status::Busy { .. } => "busy",
+            Status::QuotaExceeded { .. } => "quota",
+            Status::Shed { .. } => "shed",
+            Status::Overloaded { .. } => "overloaded",
+            Status::Expired { .. } => "expired",
+            Status::Rejected(_) => "rejected",
+        }
+    }
+}
+
+/// A response frame: the addressed request plus its [`Status`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// Client the response addresses.
+    pub client: u32,
+    /// Sequence number the response addresses.
+    pub seq: u64,
+    /// The outcome.
+    pub status: Status,
+}
+
+/// Fixed response header: version ‖ status ‖ client u32 ‖ seq u64.
+pub const RESPONSE_HEADER_LEN: usize = 1 + 1 + 4 + 8;
+
+/// Encodes a response frame.
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut out = Vec::with_capacity(RESPONSE_HEADER_LEN + 18);
+    out.push(VERSION);
+    out.push(resp.status.code());
+    out.extend_from_slice(&resp.client.to_be_bytes());
+    out.extend_from_slice(&resp.seq.to_be_bytes());
+    match &resp.status {
+        Status::Done(bytes) => {
+            out.extend_from_slice(&(bytes.len() as u16).to_be_bytes());
+            out.extend_from_slice(bytes);
+        }
+        Status::Busy { retry_after } => out.extend_from_slice(&retry_after.to_be_bytes()),
+        Status::QuotaExceeded {
+            quote_cycles,
+            retry_after,
+        }
+        | Status::Overloaded {
+            quote_cycles,
+            retry_after,
+        } => {
+            out.extend_from_slice(&quote_cycles.to_be_bytes());
+            out.extend_from_slice(&retry_after.to_be_bytes());
+        }
+        Status::Shed { level } => out.push(*level),
+        Status::Expired { deadline, now } => {
+            out.extend_from_slice(&deadline.to_be_bytes());
+            out.extend_from_slice(&now.to_be_bytes());
+        }
+        Status::Rejected(err) => {
+            let (code, a, b) = err.to_parts();
+            out.extend_from_slice(&code.to_be_bytes());
+            out.extend_from_slice(&a.to_be_bytes());
+            out.extend_from_slice(&b.to_be_bytes());
+        }
+    }
+    out
+}
+
+/// Decodes a response frame (the client side of the taxonomy
+/// round-trip). Total, like [`decode_request`].
+pub fn decode_response(bytes: &[u8]) -> Result<Response, FrameError> {
+    if bytes.len() < RESPONSE_HEADER_LEN {
+        return Err(FrameError::Truncated {
+            need: RESPONSE_HEADER_LEN as u64,
+            got: bytes.len() as u64,
+        });
+    }
+    if bytes[0] != VERSION {
+        return Err(FrameError::BadVersion { got: bytes[0] });
+    }
+    let client = be_u32(&bytes[2..6]);
+    let seq = be_u64(&bytes[6..14]);
+    let body = &bytes[RESPONSE_HEADER_LEN..];
+    let need = |need: usize| FrameError::Truncated {
+        need: (RESPONSE_HEADER_LEN + need) as u64,
+        got: bytes.len() as u64,
+    };
+    let status = match bytes[1] {
+        0 => {
+            if body.len() < 2 {
+                return Err(need(2));
+            }
+            let len = be_u16(&body[..2]) as usize;
+            if body.len() != 2 + len {
+                return Err(FrameError::LengthMismatch {
+                    declared: len as u64,
+                    got: (body.len() - 2) as u64,
+                });
+            }
+            Status::Done(body[2..].to_vec())
+        }
+        1 => {
+            if body.len() != 8 {
+                return Err(need(8));
+            }
+            Status::Busy {
+                retry_after: be_u64(body),
+            }
+        }
+        code @ (2 | 4) => {
+            if body.len() != 16 {
+                return Err(need(16));
+            }
+            let quote_cycles = be_u64(&body[..8]);
+            let retry_after = be_u64(&body[8..]);
+            if code == 2 {
+                Status::QuotaExceeded {
+                    quote_cycles,
+                    retry_after,
+                }
+            } else {
+                Status::Overloaded {
+                    quote_cycles,
+                    retry_after,
+                }
+            }
+        }
+        3 => {
+            if body.len() != 1 {
+                return Err(need(1));
+            }
+            Status::Shed { level: body[0] }
+        }
+        5 => {
+            if body.len() != 16 {
+                return Err(need(16));
+            }
+            Status::Expired {
+                deadline: be_u64(&body[..8]),
+                now: be_u64(&body[8..]),
+            }
+        }
+        6 => {
+            if body.len() != 18 {
+                return Err(need(18));
+            }
+            let code = be_u16(&body[..2]);
+            let a = be_u64(&body[2..10]);
+            let b = be_u64(&body[10..18]);
+            let err = FrameError::from_parts(code, a, b)
+                .ok_or(FrameError::BadPayload { need: 18, got: 18 })?;
+            Status::Rejected(err)
+        }
+        got => return Err(FrameError::UnknownOp { got }),
+    };
+    Ok(Response {
+        client,
+        seq,
+        status,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use protocols::{Keypair, SigningKey};
+
+    #[test]
+    fn request_roundtrip_all_ops() {
+        let key = SigningKey::generate(b"frame signer");
+        let peer = Keypair::generate(b"frame peer");
+        let sig = key.sign(b"framed message");
+        let ops = [
+            OpRequest::Sign {
+                msg: b"framed message".to_vec(),
+            },
+            OpRequest::Verify {
+                public: *key.public(),
+                sig,
+                msg: b"framed message".to_vec(),
+            },
+            OpRequest::Ecdh {
+                peer: *peer.public(),
+            },
+            OpRequest::Ecies {
+                recipient: *peer.public(),
+                msg: b"config update".to_vec(),
+            },
+        ];
+        for (i, op) in ops.into_iter().enumerate() {
+            let req = Request {
+                client: 7 + i as u32,
+                seq: 100 + i as u64,
+                priority: Priority::Normal,
+                deadline: 42,
+                op,
+            };
+            let bytes = encode_request(&req);
+            assert_eq!(decode_request(&bytes), Ok(req), "op {i}");
+        }
+    }
+
+    #[test]
+    fn request_decode_rejects_bad_frames_with_attribution() {
+        let req = Request {
+            client: 9,
+            seq: 55,
+            priority: Priority::High,
+            deadline: 0,
+            op: OpRequest::Sign { msg: b"m".to_vec() },
+        };
+        let bytes = encode_request(&req);
+        // Truncated below the header: anonymous.
+        let short = decode_request(&bytes[..10]).unwrap_err();
+        assert_eq!(short.client, 0);
+        assert!(matches!(short.error, FrameError::Truncated { .. }));
+        // Bad version: attributed.
+        let mut bad = bytes.clone();
+        bad[0] = 9;
+        let fail = decode_request(&bad).unwrap_err();
+        assert_eq!((fail.client, fail.seq), (9, 55));
+        assert_eq!(fail.error, FrameError::BadVersion { got: 9 });
+        // Unknown op, bad priority, length mismatch.
+        let mut bad = bytes.clone();
+        bad[1] = 0;
+        assert_eq!(
+            decode_request(&bad).unwrap_err().error,
+            FrameError::UnknownOp { got: 0 }
+        );
+        let mut bad = bytes.clone();
+        bad[2] = 7;
+        assert_eq!(
+            decode_request(&bad).unwrap_err().error,
+            FrameError::BadPriority { got: 7 }
+        );
+        let mut bad = bytes.clone();
+        bad.push(0);
+        assert_eq!(
+            decode_request(&bad).unwrap_err().error,
+            FrameError::LengthMismatch {
+                declared: 1,
+                got: 2
+            }
+        );
+        // Oversize.
+        let huge = vec![1u8; MAX_FRAME + 1];
+        assert!(matches!(
+            decode_request(&huge).unwrap_err().error,
+            FrameError::Oversize { .. }
+        ));
+    }
+
+    #[test]
+    fn request_decode_validates_operands() {
+        // An ecdh frame carrying the identity encoding.
+        let mut bytes = vec![VERSION, Op::Ecdh.code(), 1];
+        bytes.extend_from_slice(&1u32.to_be_bytes());
+        bytes.extend_from_slice(&1u64.to_be_bytes());
+        bytes.extend_from_slice(&0u64.to_be_bytes());
+        bytes.extend_from_slice(&31u16.to_be_bytes());
+        bytes.extend_from_slice(&[0u8; 31]);
+        assert_eq!(
+            decode_request(&bytes).unwrap_err().error,
+            FrameError::Wire(WireError::IdentityPoint)
+        );
+    }
+
+    #[test]
+    fn response_roundtrip_every_status() {
+        let statuses = [
+            Status::Done(vec![1, 2, 3]),
+            Status::Done(Vec::new()),
+            Status::Busy { retry_after: 3 },
+            Status::QuotaExceeded {
+                quote_cycles: 2_000_000,
+                retry_after: 5,
+            },
+            Status::Shed { level: 2 },
+            Status::Overloaded {
+                quote_cycles: 4_500_000,
+                retry_after: 9,
+            },
+            Status::Expired {
+                deadline: 10,
+                now: 12,
+            },
+            Status::Rejected(FrameError::Wire(WireError::WrongOrder)),
+        ];
+        for (i, status) in statuses.into_iter().enumerate() {
+            let resp = Response {
+                client: i as u32,
+                seq: 1000 + i as u64,
+                status,
+            };
+            let bytes = encode_response(&resp);
+            assert_eq!(decode_response(&bytes), Ok(resp), "status {i}");
+        }
+    }
+
+    #[test]
+    fn frame_error_codes_roundtrip() {
+        let everything = [
+            FrameError::Truncated { need: 25, got: 3 },
+            FrameError::Oversize { max: 537, got: 600 },
+            FrameError::BadVersion { got: 9 },
+            FrameError::UnknownOp { got: 0 },
+            FrameError::BadPriority { got: 7 },
+            FrameError::LengthMismatch {
+                declared: 12,
+                got: 13,
+            },
+            FrameError::BadPayload { need: 91, got: 12 },
+            FrameError::Replayed { seq: 5, floor: 9 },
+            FrameError::Wire(WireError::BadPoint(DecompressError::InvalidTag)),
+            FrameError::Wire(WireError::BadPoint(DecompressError::NotOnCurve)),
+            FrameError::Wire(WireError::IdentityPoint),
+            FrameError::Wire(WireError::WrongOrder),
+            FrameError::Wire(WireError::BadScalar),
+            FrameError::Wire(WireError::BadTag),
+            FrameError::Wire(WireError::BadLength { need: 31, got: 30 }),
+            FrameError::Wire(WireError::Oversize { max: 10, got: 11 }),
+            FrameError::Wire(WireError::Replayed { seq: 4, last: 9 }),
+        ];
+        for err in everything {
+            let (code, a, b) = err.to_parts();
+            assert_eq!(FrameError::from_parts(code, a, b), Some(err));
+        }
+        assert_eq!(FrameError::from_parts(999, 0, 0), None);
+    }
+}

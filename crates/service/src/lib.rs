@@ -1,0 +1,36 @@
+//! Gas-metered service plane over the modeled ECC protocol stack.
+//!
+//! The paper's device is a sensor-node coprocessor: a constrained
+//! engine that must answer sign / verify / key-agreement requests
+//! without ever being driven past its cycle-and-energy envelope. This
+//! crate reproduces that discipline as a deterministic service plane:
+//!
+//! * [`frame`] — the framed wire protocol: every request arrives as
+//!   bytes, is decoded totally (no panics on any input), and every
+//!   outcome — success or any rejection — is a typed, encodable
+//!   response.
+//! * [`cost`] — the gas meter: per-operation cycle/energy quotes from
+//!   the active [`m0plus::target::TargetSpec`] cost model, priced
+//!   *before* execution and charged bit-identically after.
+//! * [`quota`] — per-client token buckets denominated in modeled
+//!   cycles.
+//! * [`plane`] — admission control, the bounded queue with typed
+//!   backpressure, deadlines, and the graceful-degradation ladder.
+//!
+//! The overload experiment that drives this plane lives in the `bench`
+//! crate (`bench --bin service`); its CI gates are double-run
+//! byte-identical counters and the accounting identity under 2×
+//! overload with adversarial frames mixed in.
+
+pub mod cost;
+pub mod frame;
+pub mod plane;
+pub mod quota;
+
+pub use cost::{CostTable, OpCost, COST_TIER};
+pub use frame::{
+    decode_request, decode_response, encode_request, encode_response, FrameError, Op, OpRequest,
+    Priority, Request, Response, Status,
+};
+pub use plane::{ConfigError, Counters, PlaneConfig, ServicePlane};
+pub use quota::TokenBucket;

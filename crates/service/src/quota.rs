@@ -1,0 +1,106 @@
+//! Per-client admission quotas: token buckets denominated in modeled
+//! cycles.
+//!
+//! A client's budget refills at a configured rate of modeled cycles per
+//! tick up to a burst capacity; every admitted request debits its
+//! quoted cost. Because the denomination is the *quoted* cycle cost,
+//! quota enforcement prices a verify at its real (kG + kP) weight
+//! instead of counting requests — a flood of cheap signs and a trickle
+//! of expensive ECIES calls draw down the same budget honestly.
+
+/// A token bucket in modeled cycles with lazy, tick-driven refill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TokenBucket {
+    capacity: u64,
+    refill_per_tick: u64,
+    tokens: u64,
+    last_tick: u64,
+}
+
+impl TokenBucket {
+    /// A bucket born full at `now`.
+    pub fn new(capacity: u64, refill_per_tick: u64, now: u64) -> TokenBucket {
+        TokenBucket {
+            capacity,
+            refill_per_tick,
+            tokens: capacity,
+            last_tick: now,
+        }
+    }
+
+    /// Applies the refill owed for the ticks elapsed since the last
+    /// interaction (lazy: no per-tick scan over idle clients).
+    pub fn advance(&mut self, now: u64) {
+        let elapsed = now.saturating_sub(self.last_tick);
+        self.last_tick = self.last_tick.max(now);
+        let refill = (elapsed as u128 * self.refill_per_tick as u128).min(self.capacity as u128);
+        self.tokens = (self.tokens + refill as u64).min(self.capacity);
+    }
+
+    /// Debits `cost` cycles, or reports how many ticks of refill the
+    /// client must wait before this request could be admitted
+    /// (`u64::MAX` when `cost` exceeds the burst capacity and would
+    /// never fit).
+    pub fn try_charge(&mut self, cost: u64) -> Result<(), u64> {
+        if cost <= self.tokens {
+            self.tokens -= cost;
+            return Ok(());
+        }
+        if cost > self.capacity || self.refill_per_tick == 0 {
+            return Err(u64::MAX);
+        }
+        let deficit = cost - self.tokens;
+        Err(deficit.div_ceil(self.refill_per_tick))
+    }
+
+    /// Cycles currently available.
+    pub fn tokens(&self) -> u64 {
+        self.tokens
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_until_empty_then_quotes_the_wait() {
+        let mut b = TokenBucket::new(10, 2, 0);
+        assert_eq!(b.try_charge(6), Ok(()));
+        assert_eq!(b.tokens(), 4);
+        // 4 tokens left, need 6 more for a 10-cycle request: 3 ticks.
+        assert_eq!(b.try_charge(10), Err(3));
+        // The failed attempt did not debit anything.
+        assert_eq!(b.tokens(), 4);
+    }
+
+    #[test]
+    fn refill_is_lazy_and_capped() {
+        let mut b = TokenBucket::new(10, 2, 0);
+        assert_eq!(b.try_charge(10), Ok(()));
+        b.advance(3);
+        assert_eq!(b.tokens(), 6);
+        // A huge idle gap saturates at capacity (no overflow).
+        b.advance(u64::MAX);
+        assert_eq!(b.tokens(), 10);
+    }
+
+    #[test]
+    fn oversized_requests_can_never_be_admitted() {
+        let mut b = TokenBucket::new(10, 2, 0);
+        assert_eq!(b.try_charge(11), Err(u64::MAX));
+        let mut frozen = TokenBucket::new(10, 0, 0);
+        assert_eq!(frozen.try_charge(5), Ok(()));
+        assert_eq!(frozen.try_charge(6), Err(u64::MAX), "no refill, no hope");
+    }
+
+    #[test]
+    fn advance_never_rewinds() {
+        let mut b = TokenBucket::new(10, 1, 5);
+        assert_eq!(b.try_charge(10), Ok(()));
+        b.advance(2); // a stale clock must not mint tokens
+        assert_eq!(b.tokens(), 0);
+        b.advance(7);
+        assert_eq!(b.tokens(), 2);
+    }
+}

@@ -1,0 +1,94 @@
+//! The acceptance criterion of the gas meter: a pre-execution quote
+//! must match a post-execution measurement of the same canonical
+//! kernels EXACTLY — bit-identical cycles and energy — on the default
+//! target and on a non-default `--target`, because both sides are the
+//! same deterministic cost model evaluated on the same inputs.
+
+use koblitz::modeled::ModeledMul;
+use koblitz::{generator, order};
+use m0plus::target::{by_name, default_target};
+use service::cost::{canonical_scalar, CostTable, COST_TIER};
+use service::frame::Op;
+
+/// Independently re-runs the canonical kernels (fresh modeled state,
+/// no shared cache) and checks the quoted prices bit-for-bit.
+fn assert_quotes_exact(target: &'static m0plus::target::TargetSpec) {
+    let table = CostTable::shared(target);
+    let k = canonical_scalar();
+
+    let mut mm = ModeledMul::with_target(COST_TIER, target);
+    let kg = mm.kg(&k);
+    assert_eq!(
+        table.kg.cycles,
+        kg.report.cycles,
+        "{}: quoted kG cycles must equal measured",
+        target.name()
+    );
+    assert_eq!(
+        table.kg.energy_pj.to_bits(),
+        kg.report.energy_pj.to_bits(),
+        "{}: quoted kG energy must be bit-identical",
+        target.name()
+    );
+
+    let mut mm = ModeledMul::with_target(COST_TIER, target);
+    let kp = mm.kp(&generator(), &k);
+    assert_eq!(
+        table.kp.cycles,
+        kp.report.cycles,
+        "{}: quoted kP cycles must equal measured",
+        target.name()
+    );
+    assert_eq!(
+        table.kp.energy_pj.to_bits(),
+        kp.report.energy_pj.to_bits(),
+        "{}: quoted kP energy must be bit-identical",
+        target.name()
+    );
+
+    // Composed quotes: sign = kG, ecdh = kP, verify = ecies = kG + kP.
+    assert_eq!(table.quote(Op::Sign).cycles, kg.report.cycles);
+    assert_eq!(table.quote(Op::Ecdh).cycles, kp.report.cycles);
+    assert_eq!(
+        table.quote(Op::Verify).cycles,
+        kg.report.cycles + kp.report.cycles
+    );
+    assert_eq!(
+        table.quote(Op::Ecies).energy_pj.to_bits(),
+        (kg.report.energy_pj + kp.report.energy_pj).to_bits()
+    );
+}
+
+#[test]
+fn quotes_match_measured_cycles_exactly_on_default_target() {
+    assert_quotes_exact(default_target());
+}
+
+#[test]
+fn quotes_match_measured_cycles_exactly_on_non_default_target() {
+    let m0 = by_name("cortex-m0").expect("registry target");
+    assert!(!std::ptr::eq(m0, default_target()));
+    assert_quotes_exact(m0);
+    // Distinct targets price distinctly (the meter really is
+    // target-aware, not a constant).
+    assert_ne!(
+        CostTable::shared(m0).kp.cycles,
+        CostTable::shared(default_target()).kp.cycles
+    );
+}
+
+#[test]
+fn measuring_twice_is_bit_identical() {
+    let a = CostTable::measure(default_target());
+    let b = CostTable::measure(default_target());
+    assert_eq!(a.kg.cycles, b.kg.cycles);
+    assert_eq!(a.kp.cycles, b.kp.cycles);
+    assert_eq!(a.kg.energy_pj.to_bits(), b.kg.energy_pj.to_bits());
+    assert_eq!(a.kp.energy_pj.to_bits(), b.kp.energy_pj.to_bits());
+}
+
+#[test]
+fn canonical_scalar_is_stable_across_calls() {
+    assert_eq!(canonical_scalar(), canonical_scalar());
+    assert!(canonical_scalar() < order());
+}

@@ -28,8 +28,9 @@ pub struct SignedTelemetry {
 
 /// The exact byte string a node signs: a domain tag, then the identity
 /// and sequence number (so frames cannot be re-attributed or replayed
-/// under another id), then the payload.
-fn telemetry_message(node_id: u32, seq: u32, payload: &[u8]) -> Vec<u8> {
+/// under another id), then the payload. Public so other front ends
+/// (the service-plane gateway) verify the same message the node signed.
+pub fn telemetry_message(node_id: u32, seq: u32, payload: &[u8]) -> Vec<u8> {
     let mut msg = Vec::with_capacity(21 + payload.len());
     msg.extend_from_slice(b"wsn-telemetry");
     msg.extend_from_slice(&node_id.to_be_bytes());

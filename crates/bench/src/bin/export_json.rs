@@ -25,7 +25,7 @@ use std::path::{Path, PathBuf};
 
 /// Schema identifier for downstream consumers; bump when the document
 /// shape changes.
-const SCHEMA: &str = "ecc233-bench/5";
+const SCHEMA: &str = "ecc233-bench/6";
 
 fn main() {
     let doc = render();
@@ -240,7 +240,7 @@ fn render() -> String {
     writeln!(w, "      }},").unwrap();
     writeln!(
         w,
-        "      \"predecode\": {{ \"trace_len\": {}, \"replays\": {}, \"decoded_ns_per_replay\": {:.0}, \"predecoded_ns_per_replay\": {:.0}, \"speedup\": {:.2} }}",
+        "      \"predecode\": {{ \"trace_len\": {}, \"replays\": {}, \"decoded_ns_per_replay\": {:.0}, \"predecoded_ns_per_replay\": {:.0}, \"speedup\": {:.2} }},",
         tp.predecode.trace_len,
         tp.predecode.replays,
         tp.predecode.decoded_ns,
@@ -248,6 +248,38 @@ fn render() -> String {
         tp.predecode.speedup()
     )
     .unwrap();
+    writeln!(w, "      \"bitsliced\": {{").unwrap();
+    writeln!(
+        w,
+        "        \"lanes\": 64, \"crossover\": {}, \"replays\": {}, \"values_bit_identical\": true,",
+        gf2m::bitsliced::CROSSOVER,
+        tp.bitsliced.replays
+    )
+    .unwrap();
+    writeln!(
+        w,
+        "        \"sqr_speedup\": {:.2}, \"mul_speedup\": {:.2}, \"inv64_speedup\": {:.2},",
+        tp.bitsliced.sqr_speedup(),
+        tp.bitsliced.mul_speedup(),
+        tp.bitsliced.inv_speedup()
+    )
+    .unwrap();
+    writeln!(w, "        \"invert_sweep\": {{").unwrap();
+    for (i, r) in tp.bitsliced.invert_sweep.iter().enumerate() {
+        let sep = if i + 1 == tp.bitsliced.invert_sweep.len() {
+            ""
+        } else {
+            ","
+        };
+        writeln!(
+            w,
+            "          \"{}\": {{ \"scalar_ns\": {:.0}, \"bitsliced_ns\": {:.0}, \"speedup\": {:.2} }}{sep}",
+            r.size, r.scalar_ns, r.bitsliced_ns, r.speedup()
+        )
+        .unwrap();
+    }
+    writeln!(w, "        }}").unwrap();
+    writeln!(w, "      }}").unwrap();
     writeln!(w, "    }}").unwrap();
     writeln!(w, "  }},").unwrap();
     writeln!(w, "  \"campaign_engine\": {{").unwrap();

@@ -42,6 +42,32 @@ fn main() {
         "GATE: superblock replay bit-identical, {:.2}x wall-clock",
         report.superblock.speedup()
     );
+    // Bitsliced gates: values are asserted bit-identical inside
+    // bitsliced_ab; the wall-clock bounds are set well below the
+    // measured numbers (sqr ~6.4x, batch_invert ~1.6x at 1024 on the
+    // reference host) so host noise cannot flake them, while still
+    // catching any regression that erases the win.
+    assert!(
+        report.bitsliced.sqr_speedup() >= 4.0,
+        "bitsliced sqr lane throughput {:.2}x dropped below the 4x bound",
+        report.bitsliced.sqr_speedup()
+    );
+    let largest = report
+        .bitsliced
+        .largest_sweep_row()
+        .expect("the sweep is non-empty");
+    assert!(
+        largest.speedup() >= 1.2,
+        "bitsliced batch_invert at {} is {:.2}x, below the 1.2x bound",
+        largest.size,
+        largest.speedup()
+    );
+    println!(
+        "GATE: bitsliced values bit-identical; sqr {:.2}x (>= 4x), batch_invert@{} {:.2}x (>= 1.2x)",
+        report.bitsliced.sqr_speedup(),
+        largest.size,
+        largest.speedup()
+    );
     println!(
         "GATE: sharded campaign byte-identical at {} widths",
         report.shard_scaling.len()

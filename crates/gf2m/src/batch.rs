@@ -22,39 +22,37 @@
 //! multiplication costs separately so the amortisation claim is
 //! *measured*, not assumed.
 
+use crate::bitsliced;
 use crate::counted::{self, Tally};
 use crate::Fe;
 
-/// Inverts every non-zero element of `elems` in place with one field
-/// inversion total (Montgomery's trick). Zero elements are left as
-/// zero; the other elements are unaffected by their presence.
-///
-/// ```
-/// use gf2m::{batch, Fe};
-/// let mut v = [Fe::from_hex("1234").unwrap(), Fe::ZERO, Fe::from_hex("abcd").unwrap()];
-/// batch::batch_invert(&mut v);
-/// assert_eq!(v[0], Fe::from_hex("1234").unwrap().invert().unwrap());
-/// assert!(v[1].is_zero());
-/// assert_eq!(v[2], Fe::from_hex("abcd").unwrap().invert().unwrap());
-/// ```
-pub fn batch_invert(elems: &mut [Fe]) {
-    // Prefix products, carrying the running product through zeros so
-    // prods[i] is the product of all non-zero elements in 0..=i.
+/// The zero-aware Montgomery chain every tier shares: prefix products
+/// carried through zeros (so `prods[i]` is the product of all non-zero
+/// elements in `0..=i`), one inversion of the running product, then the
+/// backward peel. `mul` and `inv` supply the tier's arithmetic —
+/// portable operators, counted kernels, or anything else that matches
+/// the portable values — so the algorithm lives in exactly one place.
+/// Returns `false` (without calling `inv`) for an all-zero batch.
+fn montgomery_core(
+    elems: &mut [Fe],
+    mut mul: impl FnMut(Fe, Fe) -> Fe,
+    inv: impl FnOnce(Fe) -> Fe,
+) -> bool {
     let mut prods = Vec::with_capacity(elems.len());
     let mut acc = Fe::ONE;
     let mut nonzero = 0usize;
     for e in elems.iter() {
         if !e.is_zero() {
-            acc = if nonzero == 0 { *e } else { acc * *e };
+            acc = if nonzero == 0 { *e } else { mul(acc, *e) };
             nonzero += 1;
         }
         prods.push(acc);
     }
     if nonzero == 0 {
-        return;
+        return false;
     }
     // One inversion for the whole batch.
-    let mut inv = acc.invert().expect("product of non-zero elements");
+    let mut inv_acc = inv(acc);
     // Backward sweep: peel off one inverse per non-zero element. The
     // prefix products carry through zeros, so prods[i − 1] is always
     // "the product of everything non-zero before i".
@@ -66,13 +64,52 @@ pub fn batch_invert(elems: &mut [Fe]) {
         remaining -= 1;
         if remaining == 0 {
             // First non-zero element: its prefix is empty.
-            elems[i] = inv;
+            elems[i] = inv_acc;
             break;
         }
         let a = elems[i];
-        elems[i] = inv * prods[i - 1];
-        inv = inv * a;
+        elems[i] = mul(inv_acc, prods[i - 1]);
+        inv_acc = mul(inv_acc, a);
     }
+    true
+}
+
+/// Inverts every non-zero element of `elems` in place with one field
+/// inversion total (Montgomery's trick). Zero elements are left as
+/// zero; the other elements are unaffected by their presence.
+///
+/// Batches of at least [`bitsliced::CROSSOVER`] elements are routed
+/// through the 64-lane bitsliced backend (unless
+/// [`bitsliced::set_bitsliced_enabled`] turned it off); the values are
+/// bit-identical either way — inverses are unique — only the wall
+/// clock differs.
+///
+/// ```
+/// use gf2m::{batch, Fe};
+/// let mut v = [Fe::from_hex("1234").unwrap(), Fe::ZERO, Fe::from_hex("abcd").unwrap()];
+/// batch::batch_invert(&mut v);
+/// assert_eq!(v[0], Fe::from_hex("1234").unwrap().invert().unwrap());
+/// assert!(v[1].is_zero());
+/// assert_eq!(v[2], Fe::from_hex("abcd").unwrap().invert().unwrap());
+/// ```
+pub fn batch_invert(elems: &mut [Fe]) {
+    if bitsliced::bitsliced_enabled() && elems.len() >= bitsliced::CROSSOVER {
+        bitsliced::invert_elements(elems);
+        return;
+    }
+    scalar_invert(elems);
+}
+
+/// The scalar-tier Montgomery chain: [`montgomery_core`] over the
+/// portable operators. Never dispatches to the bitsliced backend — it
+/// is also the final-inversion step *inside* that backend's chunked
+/// chain, so it must stay scalar.
+pub(crate) fn scalar_invert(elems: &mut [Fe]) {
+    montgomery_core(
+        elems,
+        |a, b| a * b,
+        |p| p.invert().expect("product of non-zero elements"),
+    );
 }
 
 /// [`batch_invert`] on a borrowed slice, returning the inverses.
@@ -104,59 +141,39 @@ impl CountedBatchInversion {
     }
 }
 
-/// Counted-tier batch inversion: the same algorithm as
-/// [`batch_invert`], built from [`counted::inv_eea`] and the paper's
-/// Method-C counted multiplication, with the inversion and
-/// multiplication costs tallied separately.
+/// Counted-tier batch inversion: the same `montgomery_core` chain as
+/// [`batch_invert`] (not a re-implementation), instantiated with
+/// [`counted::inv_eea`] and the paper's Method-C counted
+/// multiplication, with the inversion and multiplication costs tallied
+/// separately.
 pub fn batch_invert_counted(elems: &[Fe]) -> CountedBatchInversion {
-    let mut out = CountedBatchInversion {
-        values: elems.to_vec(),
-        ..CountedBatchInversion::default()
-    };
-    fn cmul(t: &mut CountedBatchInversion, a: Fe, b: Fe) -> Fe {
-        let p = counted::mul_ld_fixed(a, b);
-        t.mul = t.mul.plus(p.total());
-        t.muls += 1;
-        p.value
+    let mut values = elems.to_vec();
+    let mut mul_tally = Tally::default();
+    let mut muls = 0u64;
+    let mut inv_tally = Tally::default();
+    let mut inversions = 0u64;
+    montgomery_core(
+        &mut values,
+        |a, b| {
+            let p = counted::mul_ld_fixed(a, b);
+            mul_tally = mul_tally.plus(p.total());
+            muls += 1;
+            p.value
+        },
+        |p| {
+            let run = counted::inv_eea(p).expect("product of non-zero elements");
+            inv_tally = run.tally;
+            inversions = 1;
+            run.value
+        },
+    );
+    CountedBatchInversion {
+        values,
+        inv: inv_tally,
+        mul: mul_tally,
+        inversions,
+        muls,
     }
-
-    let mut prods = Vec::with_capacity(elems.len());
-    let mut acc = Fe::ONE;
-    let mut nonzero = 0usize;
-    for e in elems.iter() {
-        if !e.is_zero() {
-            acc = if nonzero == 0 {
-                *e
-            } else {
-                cmul(&mut out, acc, *e)
-            };
-            nonzero += 1;
-        }
-        prods.push(acc);
-    }
-    if nonzero == 0 {
-        return out;
-    }
-    let inv_run = counted::inv_eea(acc).expect("product of non-zero elements");
-    out.inv = inv_run.tally;
-    out.inversions = 1;
-    let mut inv = inv_run.value;
-    let mut remaining = nonzero;
-    for i in (0..out.values.len()).rev() {
-        if out.values[i].is_zero() {
-            continue;
-        }
-        remaining -= 1;
-        if remaining == 0 {
-            out.values[i] = inv;
-            break;
-        }
-        let a = out.values[i];
-        let peeled = cmul(&mut out, inv, prods[i - 1]);
-        out.values[i] = peeled;
-        inv = cmul(&mut out, inv, a);
-    }
-    out
 }
 
 #[cfg(test)]

@@ -40,6 +40,7 @@
 //! ```
 
 pub mod batch;
+pub mod bitsliced;
 pub mod counted;
 pub mod element;
 pub mod formulas;

@@ -16,7 +16,13 @@
 //!    3(N−1) multiplications instead of N inversions;
 //! 3. *table caching* — repeated operations against the same public
 //!    key hit the process-wide wTNAF table cache ([`koblitz::cache`])
-//!    instead of re-running `TNAF_Precomputation`.
+//!    instead of re-running `TNAF_Precomputation`;
+//! 4. *bitslicing* — batches of at least [`gf2m::bitsliced::CROSSOVER`]
+//!    points route the affine conversion through the 64-lane bitsliced
+//!    field backend inside `batch_to_affine`. Nothing here changes for
+//!    that: the pickup is transparent and the outputs are
+//!    byte-identical either way (inverses are unique), which the tests
+//!    below pin by toggling [`gf2m::bitsliced::set_bitsliced_enabled`].
 //!
 //! The batch entry points are drop-in equivalent to their scalar
 //! counterparts: same signatures, same shared secrets, same error
@@ -327,6 +333,32 @@ mod tests {
             for (m, sig) in msgs.iter().zip(&sigs) {
                 assert_eq!(*sig, key.sign(m), "workers={workers}");
             }
+        }
+    }
+
+    #[test]
+    fn bitsliced_toggle_never_changes_batch_outputs() {
+        // A batch wide enough to cross the bitsliced dispatch
+        // threshold must produce byte-identical signatures and ECDH
+        // secrets with the backend on and off — the fast path is a
+        // wall-clock change only.
+        let n = gf2m::bitsliced::CROSSOVER + 2;
+        let key = SigningKey::generate(b"bitsliced toggle signer");
+        let kp = Keypair::generate(b"bitsliced toggle ecdh");
+        let peers: Vec<Affine> = (0..n)
+            .map(|i| *Keypair::generate(format!("toggle peer {i}").as_bytes()).public())
+            .collect();
+        let msgs = msgs(n);
+        gf2m::bitsliced::set_bitsliced_enabled(false);
+        let sigs_scalar = sign_batch(&key, &msgs, 2);
+        let secrets_scalar = ecdh_batch(&kp, &peers, 2);
+        gf2m::bitsliced::set_bitsliced_enabled(true);
+        let sigs_fast = sign_batch(&key, &msgs, 2);
+        let secrets_fast = ecdh_batch(&kp, &peers, 2);
+        assert_eq!(sigs_scalar, sigs_fast);
+        assert_eq!(secrets_scalar.len(), secrets_fast.len());
+        for (a, b) in secrets_scalar.iter().zip(&secrets_fast) {
+            assert_eq!(a.as_ref().unwrap(), b.as_ref().unwrap());
         }
     }
 
